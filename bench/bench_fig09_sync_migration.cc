@@ -1,0 +1,156 @@
+// Figure 9: (a) synchronization time vs the number of upstream executors —
+// RC grows 2-3 orders of magnitude and widens with upstream count;
+// Elasticutor stays flat around 2 ms (shard reassignment is local to the
+// executor). (b) state migration time vs shard state size {32 KB .. 32 MB}:
+// intra-node migration is negligible under intra-process state sharing;
+// inter-node migration grows with size once network transfer dominates.
+#include "harness/experiment.h"
+
+using namespace elasticutor;
+using namespace elasticutor::bench;
+
+namespace {
+
+MicroOptions ProbeOptions() {
+  MicroOptions options;
+  options.mode = SourceSpec::Mode::kTrace;
+  options.trace_rate_per_sec = 20000.0;
+  return options;
+}
+
+struct Avg {
+  double sync_ms = 0;
+  double mig_ms = 0;
+  int n = 0;
+  void Add(const ElasticityOp& op) {
+    sync_ms += ToMillis(op.sync_ns);
+    mig_ms += ToMillis(op.migration_ns);
+    ++n;
+  }
+  double sync() const { return n ? sync_ms / n : 0; }
+  double mig() const { return n ? mig_ms / n : 0; }
+};
+
+// Runs probes on Elasticutor with the given options; returns averages over
+// `probes` reassignments toward `inter` (remote) or local tasks. The
+// balancer is disabled so every shard starts on the first local task and
+// each probe is exactly one controlled intra- or inter-node move.
+Avg ElasticProbe(const MicroOptions& options, bool inter, int probes) {
+  auto workload = BuildMicroWorkload(options, 42);
+  ELASTICUTOR_CHECK(workload.ok());
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.scheduler.enabled = false;
+  config.balancer.enabled = false;
+  Engine engine(workload->topology, config);
+  ELASTICUTOR_CHECK(engine.Setup().ok());
+  auto ex = engine.elastic_executors(workload->calculator)[0];
+  NodeId home = ex->home_node();
+  NodeId remote = (home + 1) % engine.cluster().num_nodes();
+  for (NodeId node : {home, remote}) {
+    ELASTICUTOR_CHECK(engine.ledger()->Acquire(node, ex->id()) >= 0);
+    ELASTICUTOR_CHECK(ex->AddCore(node).ok());
+  }
+  engine.Start();
+  engine.RunFor(Scaled(Seconds(2)));
+  Avg avg;
+  size_t before = engine.metrics()->elasticity_ops().size();
+  for (int i = 0; i < probes; ++i) {
+    // All shards sit on the first (local) task; the move direction is
+    // therefore fully controlled.
+    ELASTICUTOR_CHECK(
+        ex->ProbeReassign(5 + i, inter ? remote : home).ok());
+    // Wait long enough for the largest state transfer to finish.
+    engine.RunFor(Millis(600) +
+                  SecondsF(static_cast<double>(options.shard_state_bytes) /
+                           100e6));
+  }
+  const auto& ops = engine.metrics()->elasticity_ops();
+  for (size_t i = before; i < ops.size(); ++i) {
+    if (ops[i].inter_node == inter) avg.Add(ops[i]);
+  }
+  return avg;
+}
+
+// Runs a single-shard RC repartition probe; returns averages.
+Avg RcProbe(const MicroOptions& options, bool inter, int probes) {
+  auto workload = BuildMicroWorkload(options, 42);
+  ELASTICUTOR_CHECK(workload.ok());
+  EngineConfig config;
+  config.paradigm = Paradigm::kResourceCentric;
+  config.rc.enabled = false;
+  Engine engine(workload->topology, config);
+  ELASTICUTOR_CHECK(engine.Setup().ok());
+  engine.Start();
+  engine.RunFor(Scaled(Seconds(2)));
+  OperatorId op = workload->calculator;
+  OperatorPartition* part = engine.runtime()->partition(op);
+  auto execs = engine.runtime()->executors(op);
+  Avg avg;
+  size_t before = engine.metrics()->elasticity_ops().size();
+  int done = 0;
+  for (int shard = 0; done < probes && shard < part->num_shards(); ++shard) {
+    int from = part->ExecutorOfShard(shard);
+    int to = -1;
+    for (size_t e = 0; e < execs.size(); ++e) {
+      if (static_cast<int>(e) == from) continue;
+      bool same = execs[e]->home_node() == execs[from]->home_node();
+      if (same != inter) {
+        to = static_cast<int>(e);
+        break;
+      }
+    }
+    if (to < 0) continue;
+    if (!engine.rc_controller()->ProbeMoveShard(op, shard, to).ok()) continue;
+    ++done;
+    engine.RunFor(Millis(1500));
+  }
+  const auto& ops = engine.metrics()->elasticity_ops();
+  for (size_t i = before; i < ops.size(); ++i) avg.Add(ops[i]);
+  return avg;
+}
+
+}  // namespace
+
+int main() {
+  Banner("Figure 9", "(a) sync vs upstream executors; (b) migration vs "
+                     "state size");
+
+  std::printf("\n(a) synchronization time vs number of upstream executors\n");
+  TablePrinter ta({"upstream", "RC_sync_ms", "EC_sync_ms"});
+  ta.PrintHeader();
+  for (int upstream : {1, 2, 4, 8, 16, 32}) {
+    MicroOptions options = ProbeOptions();
+    options.generator_executors = upstream;
+    // Fewer generators bound the offered trace rate; keep load proportional.
+    options.trace_rate_per_sec = 600.0 * upstream;
+    Avg rc = RcProbe(options, /*inter=*/true, /*probes=*/8);
+    Avg ec = ElasticProbe(options, /*inter=*/true, /*probes=*/8);
+    ta.PrintRow({FmtInt(upstream), Fmt(rc.sync(), 2), Fmt(ec.sync(), 2)});
+  }
+
+  std::printf("\n(b) state migration time vs shard state size\n");
+  TablePrinter tb({"state", "RC_intra_ms", "RC_inter_ms", "EC_intra_ms",
+                   "EC_inter_ms"});
+  tb.PrintHeader();
+  struct Size {
+    const char* label;
+    int64_t bytes;
+  };
+  for (Size size : {Size{"32KB", 32 * kKiB}, Size{"256KB", 256 * kKiB},
+                    Size{"2MB", 2 * kMiB}, Size{"8MB", 8 * kMiB},
+                    Size{"32MB", 32 * kMiB}}) {
+    MicroOptions options = ProbeOptions();
+    options.shard_state_bytes = size.bytes;
+    Avg rc_intra = RcProbe(options, false, 4);
+    Avg rc_inter = RcProbe(options, true, 4);
+    Avg ec_intra = ElasticProbe(options, false, 4);
+    Avg ec_inter = ElasticProbe(options, true, 4);
+    tb.PrintRow({size.label, Fmt(rc_intra.mig(), 2), Fmt(rc_inter.mig(), 2),
+                 Fmt(ec_intra.mig(), 2), Fmt(ec_inter.mig(), 2)});
+  }
+  std::printf("\npaper: EC sync flat ~2 ms regardless of upstream count; "
+              "intra-node migration ~0 (state sharing); inter-node grows "
+              "with size\n");
+  return 0;
+}

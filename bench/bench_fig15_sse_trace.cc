@@ -1,0 +1,33 @@
+// Figure 15: arrival rates of the 5 most popular stocks over time in the
+// (synthetic) SSE order stream — the workload-dynamics illustration. Rates
+// are queried analytically from the trace model and printed in 10-second
+// bins, showing waves, flash surges and popularity drift.
+#include "harness/experiment.h"
+
+using namespace elasticutor;
+using namespace elasticutor::bench;
+
+int main() {
+  Banner("Figure 15", "arrival rates of the 5 most popular stocks");
+
+  SseTraceOptions options;
+  SseTraceModel trace(options, /*seed=*/42);
+  std::vector<int> top = trace.TopStocks(5);
+
+  TablePrinter table({"t(s)", "stock#1", "stock#2", "stock#3", "stock#4",
+                      "stock#5", "aggregate"});
+  table.PrintHeader();
+  for (int t = 0; t <= 600; t += 10) {
+    SimTime now = Seconds(t);
+    std::vector<std::string> row{FmtInt(t)};
+    for (int stock : top) {
+      row.push_back(Fmt(trace.StockRate(stock, now), 0));
+    }
+    row.push_back(Fmt(trace.AggregateRate(now), 0));
+    table.PrintRow(row);
+  }
+  std::printf("\n(orders/s; flash surges multiply a stock's rate 5-20x for "
+              "10-40 s, popularity drifts every 30 s — the dynamics that "
+              "demand rapid elasticity)\n");
+  return 0;
+}

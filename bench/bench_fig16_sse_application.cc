@@ -1,0 +1,125 @@
+// Figure 16: the SSE application (Fig 14 topology) under the four
+// approaches — static, RC, naive-EC and Elasticutor — driven by the
+// synthetic order trace. Prints instantaneous throughput and mean latency
+// per 10-second bin.
+//
+// Paper shape: both executor-centric variants roughly double the throughput
+// of static/RC and cut latency by 1-2 orders of magnitude; the gap between
+// naive-EC and Elasticutor is visible but small in comparison (the paradigm
+// matters more than the scheduler optimizations).
+#include "harness/experiment.h"
+
+using namespace elasticutor;
+using namespace elasticutor::bench;
+
+namespace {
+
+struct Mode {
+  const char* name;
+  Paradigm paradigm;
+  bool naive = false;
+};
+
+}  // namespace
+
+int main() {
+  Banner("Figure 16", "SSE application: throughput & latency over time");
+
+  // 16 nodes keeps the bench quick; capacity ~= 100k orders/s, trace pushes
+  // ~75% on average with surges beyond it.
+  const int kNodes = 16;
+  const SimDuration total = Scaled(Seconds(70));
+  const int kBin = 10;
+
+  std::vector<Mode> modes = {
+      {"static", Paradigm::kStatic},
+      {"rc", Paradigm::kResourceCentric},
+      {"naive-EC", Paradigm::kElastic, /*naive=*/true},
+      {"elasticutor", Paradigm::kElastic, /*naive=*/false},
+  };
+
+  std::vector<std::vector<double>> tput(modes.size());
+  std::vector<std::vector<double>> lat(modes.size());
+  std::vector<double> mean_tput(modes.size());
+  std::vector<double> mean_lat(modes.size());
+
+  for (size_t m = 0; m < modes.size(); ++m) {
+    SseOptions options;
+    // 4 executors/op: with one task pinned per core (no thread
+    // time-sharing, unlike Storm), every executor's minimum core strands
+    // capacity on near-idle operators; 12 ops x 4 = 48 minimum cores on the
+    // 128-core cluster leaves the transactor room to grow (DESIGN.md §2).
+    options.executors_per_operator = 4;
+    // The paper's Fig 16 regime: offered load above the static baseline's
+    // imbalance-limited capacity but within elastic capacity.
+    options.trace.base_rate_per_sec = 95000.0;
+    auto workload = BuildSseWorkload(options, /*seed=*/42);
+    ELASTICUTOR_CHECK(workload.ok());
+
+    EngineConfig config;
+    config.paradigm = modes[m].paradigm;
+    config.num_nodes = kNodes;
+    config.scheduler.naive_assignment = modes[m].naive;
+    // Comparable buffering: static/RC executors queue 256 tuples each;
+    // give elastic tasks equivalent depth so surges are absorbed rather
+    // than reflected into spout backlog.
+    config.task_queue_cap = 64;
+    Engine engine(workload->topology, config);
+    ELASTICUTOR_CHECK(engine.Setup().ok());
+    engine.Start();
+    engine.RunFor(total);
+
+    auto tbins = engine.metrics()->sink_throughput_series().Bins();
+    auto lsum = engine.metrics()->latency_sum_series().Bins();
+    auto lcount = engine.metrics()->latency_count_series().Bins();
+    for (size_t b = 0; b + kBin <= tbins.size(); b += kBin) {
+      double t = 0, ls = 0, lc = 0;
+      for (int i = 0; i < kBin; ++i) {
+        t += tbins[b + i].second;
+        if (b + i < lsum.size()) ls += lsum[b + i].second;
+        if (b + i < lcount.size()) lc += lcount[b + i].second;
+      }
+      tput[m].push_back(t / kBin);
+      lat[m].push_back(lc > 0 ? ls / lc / 1e6 : 0.0);
+    }
+    mean_tput[m] = static_cast<double>(engine.metrics()->sink_count()) /
+                   ToSeconds(total);
+    mean_lat[m] = engine.metrics()->latency().mean() / 1e6;
+  }
+
+  std::printf("\n(a) instantaneous throughput (completed tuples/s, 10 s "
+              "bins)\n");
+  TablePrinter ta({"t(s)", modes[0].name, modes[1].name, modes[2].name,
+                   modes[3].name});
+  ta.PrintHeader();
+  for (size_t b = 0; b < tput[0].size(); ++b) {
+    std::vector<std::string> row{FmtInt(static_cast<int64_t>(b) * kBin)};
+    for (size_t m = 0; m < modes.size(); ++m) {
+      row.push_back(b < tput[m].size() ? Fmt(tput[m][b], 0) : "-");
+    }
+    ta.PrintRow(row);
+  }
+
+  std::printf("\n(b) mean processing latency (ms, 10 s bins)\n");
+  TablePrinter tb({"t(s)", modes[0].name, modes[1].name, modes[2].name,
+                   modes[3].name});
+  tb.PrintHeader();
+  for (size_t b = 0; b < lat[0].size(); ++b) {
+    std::vector<std::string> row{FmtInt(static_cast<int64_t>(b) * kBin)};
+    for (size_t m = 0; m < modes.size(); ++m) {
+      row.push_back(b < lat[m].size() ? Fmt(lat[m][b], 2) : "-");
+    }
+    tb.PrintRow(row);
+  }
+
+  std::printf("\nwhole-run summary:\n");
+  TablePrinter ts({"approach", "tput(tup/s)", "mean_lat_ms"});
+  ts.PrintHeader();
+  for (size_t m = 0; m < modes.size(); ++m) {
+    ts.PrintRow({modes[m].name, Fmt(mean_tput[m], 0), Fmt(mean_lat[m], 2)});
+  }
+  std::printf("\npaper: executor-centric approaches ~2x the throughput of "
+              "static/RC with latency 1-2 orders lower; naive-EC close to "
+              "Elasticutor (the paradigm is the main win)\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// google-benchmark micro-operation benchmarks: the hot-path primitives of
+// the system — hashing/routing, Zipf sampling, the balancer's planning
+// round, Erlang-C/Jackson evaluation, Algorithm 1, the event queue and the
+// order book. These bound the realism of the "scheduling time" results and
+// document the cost of each building block.
+#include <benchmark/benchmark.h>
+
+#include "elasticutor/elasticutor.h"
+
+namespace elasticutor {
+namespace {
+
+void BM_HashKey(benchmark::State& state) {
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashKey(++key, 3));
+  }
+}
+BENCHMARK(BM_HashKey);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(10000, 0.5);
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Sample(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  EventQueue queue;
+  int64_t t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      queue.Push(t + (i * 37) % 101, []() {});
+    }
+    for (int i = 0; i < 64; ++i) {
+      benchmark::DoNotOptimize(queue.Pop());
+    }
+    t += 101;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_ErlangC(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MmkSojournSeconds(k, k * 900.0, 1000.0));
+  }
+}
+BENCHMARK(BM_ErlangC)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_GreedyAllocation(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  std::vector<ExecutorDemand> demands(m);
+  Rng rng(7);
+  for (auto& d : demands) {
+    d.lambda = 500.0 + rng.NextDouble() * 8000.0;
+    d.mu = 1000.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AllocateCores(demands, 256, 0.05, true));
+  }
+}
+BENCHMARK(BM_GreedyAllocation)->Arg(32)->Arg(192);
+
+void BM_Assignment(benchmark::State& state) {
+  int m = static_cast<int>(state.range(0));
+  const int n = 32;
+  AssignmentInput in;
+  in.node_capacity.assign(n, 8);
+  in.home.resize(m);
+  in.target.resize(m);
+  in.state_bytes.assign(m, 8e6);
+  in.data_intensity.assign(m, 100e3);
+  in.current.assign(n, std::vector<int>(m, 0));
+  Rng rng(11);
+  int total = 0;
+  for (int j = 0; j < m; ++j) {
+    in.home[j] = j % n;
+    in.current[j % n][j] = 1;
+    in.target[j] = 1 + static_cast<int>(rng.NextBounded(3));
+    total += in.target[j];
+  }
+  while (total > 256) {
+    int j = static_cast<int>(rng.NextBounded(m));
+    if (in.target[j] > 1) {
+      --in.target[j];
+      --total;
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAssignment(in));
+  }
+}
+BENCHMARK(BM_Assignment)->Arg(32)->Arg(192);
+
+void BM_BalancerPlan(benchmark::State& state) {
+  int shards = static_cast<int>(state.range(0));
+  std::vector<double> load = ZipfWeights(shards, 0.5);
+  for (auto _ : state) {
+    std::vector<int> assignment(shards);
+    for (int s = 0; s < shards; ++s) assignment[s] = s % 8;
+    benchmark::DoNotOptimize(
+        balance::PlanMoves(load, &assignment, 8, 1.2, 256));
+  }
+}
+BENCHMARK(BM_BalancerPlan)->Arg(256)->Arg(8192);
+
+void BM_OrderBookExecute(benchmark::State& state) {
+  OrderBook book;
+  Rng rng(3);
+  std::vector<Trade> trades;
+  for (auto _ : state) {
+    trades.clear();
+    auto side = rng.NextBool(0.5) ? OrderBook::Side::kBuy
+                                  : OrderBook::Side::kSell;
+    int64_t price = 1000 + static_cast<int64_t>(rng.NextGaussian(0, 3));
+    benchmark::DoNotOptimize(book.Execute(side, price, 100, &trades));
+  }
+}
+BENCHMARK(BM_OrderBookExecute);
+
+void BM_StateAccess(benchmark::State& state) {
+  ProcessStateStore store;
+  ELASTICUTOR_CHECK(store.CreateShard(0, 32768).ok());
+  uint64_t key = 0;
+  for (auto _ : state) {
+    StateAccessor accessor(&store, 0, key++ % 1024);
+    benchmark::DoNotOptimize(accessor.GetOrCreate<int64_t>());
+  }
+}
+BENCHMARK(BM_StateAccess);
+
+}  // namespace
+}  // namespace elasticutor
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace elasticutor {
+namespace bench {
+
+double TimeScale() {
+  static double scale = []() {
+    const char* env = std::getenv("ELASTICUTOR_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double v = std::atof(env);
+    if (v <= 0.0) return 1.0;
+    return std::clamp(v, 0.05, 100.0);
+  }();
+  return scale;
+}
+
+SimDuration Scaled(SimDuration d) {
+  return static_cast<SimDuration>(static_cast<double>(d) * TimeScale());
+}
+
+ExperimentResult Snapshot(Engine* engine, SimDuration measured) {
+  ExperimentResult result;
+  double seconds = std::max(ToSeconds(measured), 1e-9);
+  const EngineMetrics& m = *engine->metrics();
+  result.completed = m.sink_count();
+  result.throughput_tps = static_cast<double>(m.sink_count()) / seconds;
+  result.mean_latency_ms = m.latency().mean() / 1e6;
+  result.p99_latency_ms = static_cast<double>(m.latency().P99()) / 1e6;
+
+  const auto& ops = m.elasticity_ops();
+  result.elasticity_ops = static_cast<int64_t>(ops.size());
+  if (!ops.empty()) {
+    double sync = 0, migration = 0;
+    for (const auto& op : ops) {
+      sync += ToMillis(op.sync_ns);
+      migration += ToMillis(op.migration_ns);
+    }
+    result.avg_sync_ms = sync / ops.size();
+    result.avg_migration_ms = migration / ops.size();
+  }
+
+  const Network& net = *engine->net();
+  result.migration_rate_mbps =
+      net.inter_node_bytes(Purpose::kStateMigration) / 1e6 / seconds;
+  result.remote_task_rate_mbps =
+      net.inter_node_bytes(Purpose::kRemoteTask) / 1e6 / seconds;
+  result.order_violations = engine->order_violations();
+  return result;
+}
+
+ExperimentResult RunAndMeasure(Engine* engine, SimDuration warmup,
+                               SimDuration measure) {
+  engine->Start();
+  engine->RunFor(warmup);
+  engine->ResetMetricsAfterWarmup();
+  engine->RunFor(measure);
+  return Snapshot(engine, measure);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers, int width)
+    : headers_(std::move(headers)), width_(width) {}
+
+void TablePrinter::PrintHeader() const {
+  for (const auto& h : headers_) {
+    std::printf("%-*s", width_, h.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    for (int c = 0; c < width_ - 2; ++c) std::printf("-");
+    std::printf("  ");
+  }
+  std::printf("\n");
+}
+
+void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
+  for (const auto& c : cells) {
+    std::printf("%-*s", width_, c.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FmtInt(int64_t value) { return std::to_string(value); }
+
+void Banner(const std::string& experiment, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+  if (TimeScale() != 1.0) {
+    std::printf("(durations scaled by ELASTICUTOR_BENCH_SCALE=%.2f)\n",
+                TimeScale());
+  }
+  std::printf("==============================================================\n");
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace elasticutor

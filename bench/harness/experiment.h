@@ -1,0 +1,69 @@
+// Shared experiment harness for the per-figure/per-table benches: runs an
+// engine through warm-up + measurement and extracts the metrics the paper
+// reports; provides fixed-width table printing so every bench emits rows in
+// the paper's format.
+//
+// Durations scale with the ELASTICUTOR_BENCH_SCALE environment variable
+// (default 1.0) so CI can run quick passes and full runs stay available.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "elasticutor/elasticutor.h"
+
+namespace elasticutor {
+namespace bench {
+
+/// Multiplier from ELASTICUTOR_BENCH_SCALE (clamped to [0.05, 100]).
+double TimeScale();
+
+/// `d` scaled by TimeScale().
+SimDuration Scaled(SimDuration d);
+
+struct ExperimentResult {
+  double throughput_tps = 0.0;
+  double mean_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  int64_t completed = 0;
+
+  // Elasticity operations during the measured window.
+  int64_t elasticity_ops = 0;
+  double avg_sync_ms = 0.0;
+  double avg_migration_ms = 0.0;
+
+  // Network rates over the measured window (inter-node only).
+  double migration_rate_mbps = 0.0;   // MB/s of state migration.
+  double remote_task_rate_mbps = 0.0; // MB/s main <-> remote task traffic.
+
+  int64_t order_violations = 0;
+};
+
+/// Start → warm-up → reset → measure; returns the window's metrics.
+ExperimentResult RunAndMeasure(Engine* engine, SimDuration warmup,
+                               SimDuration measure);
+
+/// Compute the result from an engine already run past a measured window that
+/// started at ResetMetricsAfterWarmup().
+ExperimentResult Snapshot(Engine* engine, SimDuration measured);
+
+/// Fixed-width table output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int width = 14);
+  void PrintHeader() const;
+  void PrintRow(const std::vector<std::string>& cells) const;
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+std::string Fmt(double value, int precision = 1);
+std::string FmtInt(int64_t value);
+
+/// Prints the standard bench banner (figure id + description + scale note).
+void Banner(const std::string& experiment, const std::string& description);
+
+}  // namespace bench
+}  // namespace elasticutor

@@ -1,0 +1,70 @@
+// Shared helper for the single-elastic-executor scale-out experiments
+// (Figs 10-12): ONE elastic executor for the calculator operator, cores
+// added manually (local first, then remote, as in the paper's testbed where
+// the first 8 cores are local), scheduler disabled, balancer enabled.
+#pragma once
+
+#include "harness/experiment.h"
+
+namespace elasticutor {
+namespace bench {
+
+struct SingleExecutorResult {
+  double throughput_tps = 0;
+  double p99_latency_ms = 0;
+  double mean_latency_ms = 0;
+};
+
+/// Builds the micro workload with ONE calculator executor, grants it
+/// `cores` CPU cores (8 local, rest round-robin over remote nodes), runs
+/// warm-up + measure and returns the results.
+inline SingleExecutorResult RunSingleExecutor(MicroOptions options, int cores,
+                                              SimDuration warmup,
+                                              SimDuration measure,
+                                              uint64_t seed = 42) {
+  options.calculator_executors = 1;
+  auto workload = BuildMicroWorkload(options, seed);
+  ELASTICUTOR_CHECK(workload.ok());
+
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.scheduler.enabled = false;  // Cores are pinned for the sweep.
+  Engine engine(workload->topology, config);
+  ELASTICUTOR_CHECK(engine.Setup().ok());
+  workload->InstallDynamics(&engine);
+
+  auto ex = engine.elastic_executors(workload->calculator)[0];
+  NodeId home = ex->home_node();
+  int granted = 1;  // Setup granted the first local core.
+  // Fill the local node first, then spread over remote nodes round-robin.
+  while (granted < cores) {
+    NodeId node = -1;
+    if (engine.ledger()->FreeOn(home) > 0) {
+      node = home;
+    } else {
+      for (int i = 1; i < engine.cluster().num_nodes(); ++i) {
+        NodeId candidate = (home + granted + i) % engine.cluster().num_nodes();
+        if (engine.ledger()->FreeOn(candidate) > 0) {
+          node = candidate;
+          break;
+        }
+      }
+    }
+    ELASTICUTOR_CHECK_MSG(node >= 0, "cluster out of cores");
+    ELASTICUTOR_CHECK(engine.ledger()->Acquire(node, ex->id()) >= 0);
+    ELASTICUTOR_CHECK(ex->AddCore(node).ok());
+    ++granted;
+  }
+
+  // Shards start concentrated on the first task; give the balancer a few
+  // rounds to spread them before measuring (scale-out warm-up).
+  ExperimentResult r = RunAndMeasure(&engine, warmup + Seconds(3), measure);
+  SingleExecutorResult out;
+  out.throughput_tps = r.throughput_tps;
+  out.p99_latency_ms = r.p99_latency_ms;
+  out.mean_latency_ms = r.mean_latency_ms;
+  return out;
+}
+
+}  // namespace bench
+}  // namespace elasticutor

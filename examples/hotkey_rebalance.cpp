@@ -1,0 +1,82 @@
+// Demonstrates rapid elasticity against a hot-key storm: a uniform key
+// distribution suddenly collapses onto a small hot set (one executor's key
+// subspace), and the dynamic scheduler shifts CPU cores to the overloaded
+// elastic executor within a couple of scheduling intervals — no key
+// repartitioning, no global synchronization.
+//
+//   ./build/examples/hotkey_rebalance
+#include <cstdio>
+#include <memory>
+
+#include "elasticutor/elasticutor.h"
+
+using namespace elasticutor;
+
+int main() {
+  const int kKeys = 8192;
+  // Shared switch the source factory reads: when hot, 60% of tuples hit a
+  // 32-key hot set (each hot key stays below one core's serial capacity, so
+  // the system can recover once cores move).
+  auto hot = std::make_shared<bool>(false);
+
+  TopologyBuilder builder;
+  OperatorSpec source;
+  source.name = "events";
+  source.is_source = true;
+  source.num_executors = 16;
+  source.shards_per_executor = 1;
+  source.source.mode = SourceSpec::Mode::kTrace;
+  source.source.rate_fn = [](SimTime) { return 40000.0; };
+  source.source.factory = [hot](Rng* rng, SimTime) {
+    Tuple t;
+    bool spike = *hot && rng->NextBool(0.6);
+    t.key = spike ? rng->NextBounded(32)
+                  : rng->NextBounded(kKeys);
+    t.size_bytes = 128;
+    return t;
+  };
+  OperatorId src = builder.AddOperator(std::move(source));
+
+  OperatorSpec worker;
+  worker.name = "worker";
+  worker.num_executors = 8;
+  worker.shards_per_executor = 64;
+  worker.mean_cost_ns = Millis(1);
+  worker.selectivity = 0.0;
+  OperatorId work = builder.AddOperator(std::move(worker));
+  ELASTICUTOR_CHECK(builder.Connect(src, work).ok());
+  Topology topology = std::move(builder.Build()).value();
+
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.num_nodes = 8;
+  Engine engine(topology, config);
+  ELASTICUTOR_CHECK(engine.Setup().ok());
+  engine.Start();
+
+  // Flip the distribution at t = 20 s, back at t = 45 s.
+  engine.sim()->At(Seconds(20), [hot]() { *hot = true; });
+  engine.sim()->At(Seconds(45), [hot]() { *hot = false; });
+
+  std::printf("hot-key storm between t=20s and t=45s (60%% of traffic on 32 "
+              "of %d keys)\n\n", kKeys);
+  std::printf("%6s %12s %12s   cores per executor\n", "t(s)", "done/s",
+              "lat ms");
+  int64_t last = 0;
+  for (int t = 5; t <= 60; t += 5) {
+    engine.RunUntil(Seconds(t));
+    int64_t sinks = engine.metrics()->sink_count();
+    std::printf("%6d %12.0f %12.2f   ", t,
+                static_cast<double>(sinks - last) / 5.0,
+                engine.metrics()->latency().mean() / 1e6);
+    last = sinks;
+    for (const auto& ex : engine.elastic_executors(work)) {
+      std::printf("%d ", ex->num_tasks());
+    }
+    std::printf("\n");
+  }
+  std::printf("\nwatch the hot executor's core count jump after t=20s and "
+              "relax after t=45s —\nthat is executor-centric elasticity: "
+              "cores move, keys stay.\n");
+  return 0;
+}

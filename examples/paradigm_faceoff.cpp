@@ -1,0 +1,50 @@
+// Compares the three execution paradigms (Table 1) on the same dynamic
+// workload: static, resource-centric (operator-level key repartitioning),
+// and Elasticutor (executor-centric core reassignment).
+//
+//   ./build/examples/paradigm_faceoff [omega]
+//
+// omega = key shuffles per minute (default 2).
+#include <cstdio>
+#include <cstdlib>
+
+#include "elasticutor/elasticutor.h"
+
+using namespace elasticutor;
+
+int main(int argc, char** argv) {
+  double omega = argc > 1 ? std::atof(argv[1]) : 2.0;
+  std::printf("micro workload, omega = %.1f shuffles/min, 32 nodes x 8 "
+              "cores\n\n", omega);
+  std::printf("%-18s %12s %14s %12s %16s\n", "paradigm", "tuples/s",
+              "mean lat (ms)", "p99 (ms)", "elasticity ops");
+
+  for (Paradigm paradigm : {Paradigm::kStatic, Paradigm::kResourceCentric,
+                            Paradigm::kElastic}) {
+    MicroOptions options;
+    options.shuffles_per_minute = omega;
+    auto workload = BuildMicroWorkload(options, /*seed=*/42);
+    if (!workload.ok()) return 1;
+
+    EngineConfig config;
+    config.paradigm = paradigm;
+    Engine engine(workload->topology, config);
+    if (!engine.Setup().ok()) return 1;
+    workload->InstallDynamics(&engine);
+
+    engine.Start();
+    engine.RunFor(Seconds(10));
+    engine.ResetMetricsAfterWarmup();
+    engine.RunFor(Seconds(30));
+
+    const EngineMetrics& m = *engine.metrics();
+    std::printf("%-18s %12.0f %14.2f %12.2f %16zu\n", ParadigmName(paradigm),
+                engine.MeasuredThroughput(), m.latency().mean() / 1e6,
+                static_cast<double>(m.latency().P99()) / 1e6,
+                m.elasticity_ops().size());
+  }
+  std::printf("\nThe executor-centric paradigm holds throughput and latency "
+              "as dynamics rise;\nre-run with omega 8 or 16 to watch the "
+              "resource-centric approach fall apart.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "cluster/cluster.h"
+
+#include <numeric>
+
+namespace elasticutor {
+
+Cluster::Cluster(int num_nodes, int cores_per_node)
+    : cores_(static_cast<size_t>(num_nodes), cores_per_node) {
+  ELASTICUTOR_CHECK_MSG(num_nodes > 0, "cluster needs at least one node");
+  ELASTICUTOR_CHECK_MSG(cores_per_node > 0, "nodes need at least one core");
+  total_cores_ = num_nodes * cores_per_node;
+}
+
+Cluster::Cluster(std::vector<int> cores_per_node)
+    : cores_(std::move(cores_per_node)) {
+  ELASTICUTOR_CHECK_MSG(!cores_.empty(), "cluster needs at least one node");
+  total_cores_ = 0;
+  for (int c : cores_) {
+    ELASTICUTOR_CHECK_MSG(c > 0, "nodes need at least one core");
+    total_cores_ += c;
+  }
+}
+
+CoreLedger::CoreLedger(const Cluster& cluster) {
+  owners_.resize(cluster.num_nodes());
+  for (int i = 0; i < cluster.num_nodes(); ++i) {
+    owners_[i].assign(cluster.cores(i), kFreeCore);
+  }
+}
+
+int CoreLedger::Acquire(NodeId node, int64_t owner) {
+  ELASTICUTOR_CHECK(owner != kFreeCore);
+  auto& cores = owners_.at(node);
+  for (size_t i = 0; i < cores.size(); ++i) {
+    if (cores[i] == kFreeCore) {
+      cores[i] = owner;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+void CoreLedger::Release(NodeId node, int core_index) {
+  auto& cores = owners_.at(node);
+  ELASTICUTOR_CHECK_MSG(cores.at(core_index) != kFreeCore,
+                        "releasing a free core");
+  cores[core_index] = kFreeCore;
+}
+
+int CoreLedger::ReleaseOneOf(NodeId node, int64_t owner) {
+  auto& cores = owners_.at(node);
+  for (size_t i = 0; i < cores.size(); ++i) {
+    if (cores[i] == owner) {
+      cores[i] = kFreeCore;
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int64_t CoreLedger::OwnerOf(NodeId node, int core_index) const {
+  return owners_.at(node).at(core_index);
+}
+
+int CoreLedger::FreeOn(NodeId node) const {
+  int free = 0;
+  for (int64_t owner : owners_.at(node)) {
+    if (owner == kFreeCore) ++free;
+  }
+  return free;
+}
+
+int CoreLedger::TotalFree() const {
+  int free = 0;
+  for (size_t n = 0; n < owners_.size(); ++n) {
+    free += FreeOn(static_cast<NodeId>(n));
+  }
+  return free;
+}
+
+int CoreLedger::CountOwnedBy(int64_t owner) const {
+  int count = 0;
+  for (size_t n = 0; n < owners_.size(); ++n) {
+    count += CountOwnedBy(owner, static_cast<NodeId>(n));
+  }
+  return count;
+}
+
+int CoreLedger::CountOwnedBy(int64_t owner, NodeId node) const {
+  int count = 0;
+  for (int64_t o : owners_.at(node)) {
+    if (o == owner) ++count;
+  }
+  return count;
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,60 @@
+// Simulated cluster: nodes with a fixed number of CPU cores, plus a ledger
+// tracking which logical owner (executor) currently holds each core. The
+// paper's testbed is 32 EC2 nodes with 8 cores each; that is the default.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+using NodeId = int32_t;
+
+class Cluster {
+ public:
+  /// Homogeneous cluster (the paper's setup).
+  Cluster(int num_nodes, int cores_per_node);
+  /// Heterogeneous cluster.
+  explicit Cluster(std::vector<int> cores_per_node);
+
+  int num_nodes() const { return static_cast<int>(cores_.size()); }
+  int cores(NodeId node) const { return cores_.at(node); }
+  int total_cores() const { return total_cores_; }
+
+ private:
+  std::vector<int> cores_;
+  int total_cores_;
+};
+
+/// Tracks core ownership. Owners are opaque 64-bit ids (executor ids);
+/// kFreeCore marks an unowned core.
+class CoreLedger {
+ public:
+  static constexpr int64_t kFreeCore = -1;
+
+  explicit CoreLedger(const Cluster& cluster);
+
+  /// Acquires a free core on `node` for `owner`; returns the core index or
+  /// -1 if the node is fully allocated.
+  int Acquire(NodeId node, int64_t owner);
+
+  /// Releases a core. The core must be owned.
+  void Release(NodeId node, int core_index);
+
+  /// Releases one core owned by `owner` on `node`; returns the core index
+  /// or -1 if the owner holds no core there.
+  int ReleaseOneOf(NodeId node, int64_t owner);
+
+  int64_t OwnerOf(NodeId node, int core_index) const;
+  int FreeOn(NodeId node) const;
+  int TotalFree() const;
+  int CountOwnedBy(int64_t owner) const;
+  int CountOwnedBy(int64_t owner, NodeId node) const;
+
+ private:
+  std::vector<std::vector<int64_t>> owners_;  // [node][core] -> owner.
+};
+
+}  // namespace elasticutor

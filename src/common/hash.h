@@ -1,0 +1,24 @@
+// Hashing used for key→shard and key→executor partitioning. A strong mixer
+// matters here: partition balance in every paradigm depends on it.
+#pragma once
+
+#include <cstdint>
+
+namespace elasticutor {
+
+/// 64-bit finalizer (splitmix64 / murmur3 fmix64 style).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Hash of a key under a salt; different salts give independent partitions.
+inline uint64_t HashKey(uint64_t key, uint64_t salt = 0) {
+  return Mix64(key + 0x9e3779b97f4a7c15ULL * (salt + 1));
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,88 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace elasticutor {
+
+namespace {
+// 63 powers of two, kSubBuckets sub-buckets each.
+constexpr int kMaxBuckets = 64 << 6;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kMaxBuckets, 0) {}
+
+int Histogram::BucketIndex(int64_t value) {
+  if (value < 0) value = 0;
+  uint64_t v = static_cast<uint64_t>(value);
+  if (v < static_cast<uint64_t>(kSubBuckets)) {
+    return static_cast<int>(v);
+  }
+  int log2 = 63 - std::countl_zero(v);
+  int shift = log2 - kSubBucketBits;
+  int sub = static_cast<int>((v >> shift) & (kSubBuckets - 1));
+  int index = ((shift + 1) << kSubBucketBits) + sub;
+  return std::min(index, kMaxBuckets - 1);
+}
+
+int64_t Histogram::BucketMidpoint(int index) {
+  int block = index >> kSubBucketBits;
+  int sub = index & (kSubBuckets - 1);
+  if (block == 0) return sub;
+  int shift = block - 1;
+  uint64_t base = (static_cast<uint64_t>(kSubBuckets) + sub) << shift;
+  uint64_t width = 1ULL << shift;
+  return static_cast<int64_t>(base + width / 2);
+}
+
+void Histogram::Record(int64_t value) { RecordN(value, 1); }
+
+void Histogram::RecordN(int64_t value, int64_t n) {
+  if (n <= 0) return;
+  if (value < 0) value = 0;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+  buckets_[BucketIndex(value)] += n;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+int64_t Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  int64_t seen = 0;
+  for (int i = 0; i < kMaxBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,49 @@
+// Log-bucketed latency histogram (HdrHistogram-style). Values are recorded
+// in nanoseconds; buckets keep ~1.5% relative resolution across 12 orders of
+// magnitude, so p50/p99/p999 queries are O(buckets) with bounded error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace elasticutor {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void RecordN(int64_t value, int64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  int64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  /// Value at quantile q in [0, 1]; 0 if empty. Returned value is the
+  /// representative midpoint of the bucket containing the quantile.
+  int64_t Quantile(double q) const;
+  int64_t P50() const { return Quantile(0.50); }
+  int64_t P99() const { return Quantile(0.99); }
+  int64_t P999() const { return Quantile(0.999); }
+
+  void Reset();
+
+ private:
+  static constexpr int kSubBucketBits = 6;  // 64 sub-buckets per power of 2.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static int BucketIndex(int64_t value);
+  static int64_t BucketMidpoint(int index);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace elasticutor

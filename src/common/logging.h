@@ -1,0 +1,42 @@
+// Minimal leveled logger. Logging in the hot path of the simulator is
+// avoided; this is for harness/bench/driver diagnostics.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace elasticutor {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void EmitLog(LogLevel level, const std::string& message);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { EmitLog(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace elasticutor
+
+#define ELOG(level)                                                       \
+  if (::elasticutor::LogLevel::level < ::elasticutor::GetLogLevel()) {    \
+  } else                                                                  \
+    ::elasticutor::internal::LogMessage(::elasticutor::LogLevel::level)   \
+        .stream()
+
+#define ELOG_DEBUG ELOG(kDebug)
+#define ELOG_INFO ELOG(kInfo)
+#define ELOG_WARN ELOG(kWarn)
+#define ELOG_ERROR ELOG(kError)

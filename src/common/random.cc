@@ -1,0 +1,70 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace elasticutor {
+
+Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+uint32_t Rng::NextU32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+uint64_t Rng::NextU64() {
+  return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+}
+
+uint32_t Rng::NextBounded(uint32_t bound) {
+  // Lemire's nearly-divisionless method with rejection.
+  uint64_t m = static_cast<uint64_t>(NextU32()) * bound;
+  uint32_t low = static_cast<uint32_t>(m);
+  if (low < bound) {
+    uint32_t threshold = static_cast<uint32_t>(-bound) % bound;
+    while (low < threshold) {
+      m = static_cast<uint64_t>(NextU32()) * bound;
+      low = static_cast<uint32_t>(m);
+    }
+  }
+  return static_cast<uint32_t>(m >> 32);
+}
+
+double Rng::NextDouble() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextExponential(double mean) {
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  double u2 = NextDouble();
+  double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  return mean + stddev * z;
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+Rng Rng::Fork(uint64_t salt) {
+  uint64_t seed = NextU64() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  uint64_t stream = NextU64() + salt;
+  return Rng(seed, stream);
+}
+
+}  // namespace elasticutor

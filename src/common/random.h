@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generation (PCG32). Every stochastic
+// component takes an explicit Rng so experiments are reproducible from a
+// single seed; independent streams are derived with Fork().
+#pragma once
+
+#include <cstdint>
+
+namespace elasticutor {
+
+/// PCG32 (O'Neill): small, fast, statistically solid; 64-bit state,
+/// 32-bit output.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL,
+               uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32();
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+  /// Uniform in [0, bound) without modulo bias. bound must be > 0.
+  uint32_t NextBounded(uint32_t bound);
+  /// Uniform double in [0, 1).
+  double NextDouble();
+  /// Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+  /// Normally distributed value (Box-Muller).
+  double NextGaussian(double mean, double stddev);
+  /// Bernoulli trial.
+  bool NextBool(double p_true);
+
+  /// Derives an independent generator; deterministic in (this stream, salt).
+  Rng Fork(uint64_t salt);
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,47 @@
+#include "common/rate_meter.h"
+
+#include <cstddef>
+
+namespace elasticutor {
+
+void SlidingWindowMeter::Add(int64_t now_ns, int64_t count) {
+  Evict(now_ns);
+  if (!samples_.empty() && samples_.back().first == now_ns) {
+    samples_.back().second += count;
+  } else {
+    samples_.emplace_back(now_ns, count);
+  }
+  in_window_ += count;
+  total_ += count;
+}
+
+double SlidingWindowMeter::RatePerSec(int64_t now_ns) {
+  Evict(now_ns);
+  return static_cast<double>(in_window_) * 1e9 /
+         static_cast<double>(window_ns_);
+}
+
+void SlidingWindowMeter::Evict(int64_t now_ns) {
+  int64_t cutoff = now_ns - window_ns_;
+  while (!samples_.empty() && samples_.front().first <= cutoff) {
+    in_window_ -= samples_.front().second;
+    samples_.pop_front();
+  }
+}
+
+void TimeSeries::Add(int64_t now_ns, double value) {
+  size_t bin = static_cast<size_t>(now_ns / bin_ns_);
+  if (bin >= bins_.size()) bins_.resize(bin + 1, 0.0);
+  bins_[bin] += value;
+}
+
+std::vector<std::pair<int64_t, double>> TimeSeries::Bins() const {
+  std::vector<std::pair<int64_t, double>> out;
+  out.reserve(bins_.size());
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    out.emplace_back(static_cast<int64_t>(i) * bin_ns_, bins_[i]);
+  }
+  return out;
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,79 @@
+// Rate measurement utilities used by executors and the scheduler:
+//  * SlidingWindowMeter — counts events per fixed-size window over simulated
+//    time; gives "instantaneous throughput measured in a sliding time window
+//    of 1 second" (paper §5.1, Fig 7).
+//  * Ewma — exponentially weighted moving average for λ/µ estimation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+namespace elasticutor {
+
+/// Counts events in a trailing window of simulated time (nanoseconds).
+class SlidingWindowMeter {
+ public:
+  explicit SlidingWindowMeter(int64_t window_ns) : window_ns_(window_ns) {}
+
+  void Add(int64_t now_ns, int64_t count = 1);
+
+  /// Events per second over the trailing window ending at now_ns.
+  double RatePerSec(int64_t now_ns);
+
+  /// Total events ever recorded.
+  int64_t total() const { return total_; }
+
+ private:
+  void Evict(int64_t now_ns);
+
+  int64_t window_ns_;
+  std::deque<std::pair<int64_t, int64_t>> samples_;  // (time, count)
+  int64_t in_window_ = 0;
+  int64_t total_ = 0;
+};
+
+/// EWMA over irregularly sampled values with a configurable smoothing factor.
+class Ewma {
+ public:
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) {}
+
+  void Add(double value) {
+    if (!initialized_) {
+      value_ = value;
+      initialized_ = true;
+    } else {
+      value_ = alpha_ * value + (1.0 - alpha_) * value_;
+    }
+  }
+
+  double value() const { return initialized_ ? value_ : 0.0; }
+  bool initialized() const { return initialized_; }
+  void Reset() { initialized_ = false; value_ = 0.0; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Fixed-interval time series recorder: bins event counts into equal
+/// intervals so benches can print throughput-vs-time curves.
+class TimeSeries {
+ public:
+  explicit TimeSeries(int64_t bin_ns) : bin_ns_(bin_ns) {}
+
+  void Add(int64_t now_ns, double value = 1.0);
+
+  /// (bin start time ns, sum of values in bin), in time order.
+  std::vector<std::pair<int64_t, double>> Bins() const;
+
+  int64_t bin_ns() const { return bin_ns_; }
+
+ private:
+  int64_t bin_ns_;
+  std::vector<double> bins_;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,35 @@
+// Byte and simulated-time unit helpers. Simulated time is int64 nanoseconds
+// everywhere (see sim/time.h); these helpers keep call sites readable.
+#pragma once
+
+#include <cstdint>
+
+namespace elasticutor {
+
+constexpr int64_t kKiB = 1024;
+constexpr int64_t kMiB = 1024 * kKiB;
+constexpr int64_t kGiB = 1024 * kMiB;
+
+constexpr int64_t kNanosPerMicro = 1000;
+constexpr int64_t kNanosPerMilli = 1000 * kNanosPerMicro;
+constexpr int64_t kNanosPerSecond = 1000 * kNanosPerMilli;
+
+constexpr int64_t Micros(int64_t us) { return us * kNanosPerMicro; }
+constexpr int64_t Millis(int64_t ms) { return ms * kNanosPerMilli; }
+constexpr int64_t Seconds(int64_t s) { return s * kNanosPerSecond; }
+
+/// Fractional conversions for measured/derived quantities.
+constexpr double ToMillis(int64_t ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNanosPerMilli);
+}
+constexpr double ToSeconds(int64_t ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNanosPerSecond);
+}
+constexpr int64_t MillisF(double ms) {
+  return static_cast<int64_t>(ms * static_cast<double>(kNanosPerMilli));
+}
+constexpr int64_t SecondsF(double s) {
+  return static_cast<int64_t>(s * static_cast<double>(kNanosPerSecond));
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,65 @@
+#include "common/zipf.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  ELASTICUTOR_CHECK_MSG(n > 0, "AliasSampler needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    ELASTICUTOR_CHECK_MSG(w >= 0.0, "negative weight");
+    total += w;
+  }
+  ELASTICUTOR_CHECK_MSG(total > 0.0, "all weights are zero");
+
+  prob_.resize(n);
+  alias_.resize(n);
+  // Scaled probabilities; average is 1.0.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers: both piles hold cells with probability ~1.
+  for (uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (uint32_t i : small) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+uint32_t AliasSampler::Sample(Rng* rng) const {
+  uint32_t column = rng->NextBounded(static_cast<uint32_t>(prob_.size()));
+  return rng->NextDouble() < prob_[column] ? column : alias_[column];
+}
+
+std::vector<double> ZipfWeights(size_t n, double skew) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+  }
+  return weights;
+}
+
+}  // namespace elasticutor

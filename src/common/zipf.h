@@ -1,0 +1,49 @@
+// Zipf-distributed key sampling. Frequencies follow f(rank) ∝ 1/rank^s
+// (the paper uses 10K distinct keys with skew factor s = 0.5). Sampling is
+// O(1) via Walker's alias method after an O(n) build.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace elasticutor {
+
+/// O(1) sampler over an arbitrary discrete distribution (alias method).
+class AliasSampler {
+ public:
+  /// Builds from unnormalized non-negative weights; at least one weight must
+  /// be positive.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Samples an index in [0, size()) with probability weight[i]/sum(weights).
+  uint32_t Sample(Rng* rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+/// Zipf frequency vector: weight(i) = 1/(i+1)^skew for i in [0, n).
+std::vector<double> ZipfWeights(size_t n, double skew);
+
+/// Zipf sampler over ranks [0, n). Rank 0 is the most frequent.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double skew)
+      : sampler_(ZipfWeights(n, skew)), skew_(skew) {}
+
+  uint32_t Sample(Rng* rng) const { return sampler_.Sample(rng); }
+  size_t size() const { return sampler_.size(); }
+  double skew() const { return skew_; }
+
+ private:
+  AliasSampler sampler_;
+  double skew_;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,30 @@
+// Intra-executor load-balancer configuration (§3.1).
+#pragma once
+
+#include "common/units.h"
+#include "sim/time.h"
+
+namespace elasticutor {
+
+struct BalancerConfig {
+  /// Master switch (benches probing manual shard placement disable it).
+  bool enabled = true;
+
+  /// Imbalance threshold θ: rebalancing runs until δ = max task load /
+  /// average task load is at or below this. Paper default 1.2 (max 20%
+  /// deviation from the average).
+  double theta = 1.2;
+
+  /// How often each elastic executor evaluates its task balance.
+  SimDuration interval_ns = Millis(250);
+
+  /// Safety valve on reassignments per balancing round. Large enough that
+  /// a freshly grown executor (e.g. 1 -> 256 cores) spreads its shards
+  /// within a few rounds; intra-process moves are nearly free anyway.
+  int max_moves_per_round = 512;
+
+  /// EWMA smoothing for per-shard load statistics.
+  double shard_load_alpha = 0.4;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,575 @@
+#include "elastic/elastic_executor.h"
+
+#include <algorithm>
+
+namespace elasticutor {
+
+ElasticExecutor::ElasticExecutor(Runtime* rt, OperatorId op,
+                                 ExecutorIndex index, NodeId home,
+                                 ShardId first_shard, int num_shards)
+    : ExecutorBase(rt, op, index, home),
+      first_shard_(first_shard),
+      num_shards_(num_shards),
+      rng_(rt->rng()->Fork(0xE1A5 + MakeExecutorId(op, index))) {
+  ELASTICUTOR_CHECK(num_shards > 0);
+  shard_task_.assign(num_shards, -1);
+  shard_paused_.assign(num_shards, 0);
+  pause_buffers_.resize(num_shards);
+  shard_cost_ns_.assign(num_shards, 0);
+  shard_cost_prev_.assign(num_shards, 0);
+  shard_load_.assign(num_shards, 0.0);
+  stores_.emplace(home, ProcessStateStore());
+}
+
+Status ElasticExecutor::InitShards(int64_t shard_state_bytes) {
+  ProcessStateStore& store = stores_.at(home_node_);
+  for (int s = 0; s < num_shards_; ++s) {
+    ELASTICUTOR_RETURN_NOT_OK(
+        store.CreateShard(global_shard(s), shard_state_bytes));
+  }
+  return Status::OK();
+}
+
+void ElasticExecutor::Start() {
+  ELASTICUTOR_CHECK_MSG(num_tasks() > 0,
+                        "elastic executor started with no cores");
+  const BalancerConfig& cfg = rt_->config().balancer;
+  if (!cfg.enabled) return;
+  rt_->sim()->Periodic(cfg.interval_ns, cfg.interval_ns,
+                       [this](SimTime) {
+                         RunBalanceRound();
+                         return true;
+                       });
+}
+
+Status ElasticExecutor::ProbeReassign(int local_shard, NodeId node) {
+  if (local_shard < 0 || local_shard >= num_shards_) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  if (shard_paused_[local_shard]) {
+    return Status::FailedPrecondition("shard reassignment in progress");
+  }
+  int from = shard_task_[local_shard];
+  for (const auto& t : tasks_) {
+    if (t && !t->draining && t->node == node && t->id != from) {
+      ReassignShard(local_shard, t->id, nullptr);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no other task on that node");
+}
+
+// ---------------------------------------------------------------------------
+// Receiver daemon (single entrance).
+// ---------------------------------------------------------------------------
+
+bool ElasticExecutor::CanAccept() const {
+  int64_t cap = static_cast<int64_t>(rt_->config().task_queue_cap) *
+                std::max(1, num_tasks());
+  return total_queued_ + reserved() < cap;
+}
+
+void ElasticExecutor::OnTupleArrive(Tuple t) {
+  ConsumeReservation();
+  rt_->StampArrival(op_, &t);
+  ++metrics_.arrivals;
+  metrics_.bytes_in += t.size_bytes;
+  int local = static_cast<int>(rt_->partition(op_)->ShardOf(t.key)) -
+              static_cast<int>(first_shard_);
+  ELASTICUTOR_CHECK_MSG(local >= 0 && local < num_shards_,
+                        "tuple routed to wrong elastic executor");
+  // Offered-load statistic for the balancer (arrival-based: processed
+  // counts equalize under saturation and would hide imbalance).
+  shard_cost_ns_[local] += rt_->topology().spec(op_).mean_cost_ns;
+  if (shard_paused_[local]) {
+    pause_buffers_[local].push_back(t);
+    ++total_queued_;
+    return;
+  }
+  RouteToTask(local, t);
+}
+
+void ElasticExecutor::RouteToTask(int local_shard, const Tuple& t) {
+  int task_id = shard_task_.at(local_shard);
+  ELASTICUTOR_CHECK_MSG(task_id >= 0, "shard not mapped to a task");
+  const TaskPtr& target = task(task_id);
+  if (target->node == home_node_) {
+    EnqueueToTask(target, QueueItem{t, -1});
+    return;
+  }
+  // Remote task: main process -> remote process over the network. Delivery
+  // order per (home, node) is FIFO, which the labeling protocol needs.
+  ++total_queued_;  // Counted from dispatch so CanAccept sees in-flight load.
+  rt_->net()->Send(home_node_, target->node, t.size_bytes,
+                   Purpose::kRemoteTask, [this, target, t]() {
+                     --total_queued_;
+                     EnqueueToTask(target, QueueItem{t, -1});
+                   });
+}
+
+void ElasticExecutor::EnqueueToTask(const TaskPtr& target, QueueItem item) {
+  if (!item.is_label()) ++total_queued_;
+  target->pending.push_back(std::move(item));
+  if (!target->busy) TaskStartNext(target);
+}
+
+// ---------------------------------------------------------------------------
+// Task processing loop.
+// ---------------------------------------------------------------------------
+
+void ElasticExecutor::TaskStartNext(const TaskPtr& task) {
+  if (task->busy) return;
+  while (!task->pending.empty()) {
+    // Labeling markers carry no computation. Handling is deferred one event
+    // so that FinishReassign's pause-buffer flush cannot re-enter this loop;
+    // no tuple of the paused shard can be behind the label, so deferral
+    // cannot reorder anything.
+    if (task->pending.front().is_label()) {
+      int label_id = task->pending.front().label_id;
+      task->pending.pop_front();
+      rt_->sim()->After(0, [this, task, label_id]() { OnLabel(task, label_id); });
+      continue;
+    }
+    if (task->outputs_outstanding >= rt_->config().task_output_credit) {
+      task->waiting_credit = true;  // Resumed when the emitter frees credit.
+      return;
+    }
+    Tuple t = task->pending.front().tuple;
+    task->pending.pop_front();
+    --total_queued_;
+    task->busy = true;
+    const OperatorSpec& spec = rt_->topology().spec(op_);
+    SimDuration cost = SampleCost(spec, rt_->config(), t, &task->rng);
+    if (rt_->config().state_backend == StateBackend::kExternalStore) {
+      // RAMCloud-style external store: one read + one write round trip per
+      // tuple (the §3.2 design alternative, kept for the ablation bench).
+      cost += 2 * rt_->config().external_store_access_ns;
+    }
+    metrics_.busy_ns += cost;
+    rt_->sim()->After(cost, [this, task, t]() {
+      task->busy = false;
+      OnProcessingComplete(task, t);
+    });
+    return;
+  }
+}
+
+void ElasticExecutor::OnProcessingComplete(const TaskPtr& task, Tuple t) {
+  const OperatorSpec& spec = rt_->topology().spec(op_);
+  int local = static_cast<int>(rt_->partition(op_)->ShardOf(t.key)) -
+              static_cast<int>(first_shard_);
+  BatchEmitContext emit(rt_, op_, t.created_at);
+  ApplyOperatorLogic(rt_, spec, op_, t, store_on(task->node),
+                     global_shard(local), &emit, &task->rng);
+  ++metrics_.processed;
+  rt_->OnProcessed(op_, t);
+
+  auto batch = emit.take_batch();
+  if (!batch->empty()) {
+    EnqueueEmitter(task, std::move(*batch));
+  }
+  TaskStartNext(task);
+}
+
+// ---------------------------------------------------------------------------
+// Emitter daemon (single exit).
+// ---------------------------------------------------------------------------
+
+void ElasticExecutor::EnqueueEmitter(const TaskPtr& task,
+                                     std::vector<Runtime::PendingEmit> outs) {
+  task->outputs_outstanding += static_cast<int>(outs.size());
+  if (task->node == home_node_) {
+    for (auto& out : outs) {
+      emitter_queue_.push_back(EmitterEntry{std::move(out), task});
+    }
+    RunEmitter();
+    return;
+  }
+  // Remote task -> emitter transfer. One message carries the batch.
+  int64_t bytes = 0;
+  for (const auto& out : outs) bytes += out.tuple.size_bytes;
+  rt_->net()->Send(task->node, home_node_, bytes, Purpose::kRemoteTask,
+                   [this, task, outs = std::move(outs)]() mutable {
+                     for (auto& out : outs) {
+                       emitter_queue_.push_back(
+                           EmitterEntry{std::move(out), task});
+                     }
+                     RunEmitter();
+                   });
+}
+
+void ElasticExecutor::RunEmitter() {
+  if (emitter_flushing_) return;
+  while (!emitter_queue_.empty()) {
+    EmitterEntry& head = emitter_queue_.front();
+    if (!rt_->TryRoute(home_node_, head.emit.to_op, head.emit.tuple,
+                       &metrics_)) {
+      // Downstream full or paused: single retry loop keeps FIFO order
+      // through the single exit. Jittered like every back-pressure retry.
+      emitter_flushing_ = true;
+      SimDuration delay = static_cast<SimDuration>(
+          rt_->config().emit_retry_ns * (0.5 + rng_.NextDouble()));
+      rt_->sim()->After(delay, [this]() {
+        emitter_flushing_ = false;
+        RunEmitter();
+      });
+      return;
+    }
+    TaskPtr task = std::move(head.task);
+    emitter_queue_.pop_front();
+    --task->outputs_outstanding;
+    if (task->waiting_credit && !task->busy &&
+        task->outputs_outstanding < rt_->config().task_output_credit) {
+      task->waiting_credit = false;
+      TaskStartNext(task);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Core management.
+// ---------------------------------------------------------------------------
+
+int ElasticExecutor::num_tasks() const {
+  int count = 0;
+  for (const auto& t : tasks_) {
+    if (t && !t->draining) ++count;
+  }
+  return count;
+}
+
+int ElasticExecutor::tasks_on(NodeId node) const {
+  int count = 0;
+  for (const auto& t : tasks_) {
+    if (t && !t->draining && t->node == node) ++count;
+  }
+  return count;
+}
+
+std::unordered_map<NodeId, int> ElasticExecutor::core_distribution() const {
+  std::unordered_map<NodeId, int> dist;
+  for (const auto& t : tasks_) {
+    if (t && !t->draining) ++dist[t->node];
+  }
+  return dist;
+}
+
+int64_t ElasticExecutor::state_bytes() const {
+  int64_t total = 0;
+  for (const auto& [node, store] : stores_) total += store.TotalBytes();
+  return total;
+}
+
+Status ElasticExecutor::AddCore(NodeId node) {
+  // The very first task adopts all shards, whose state lives in the home
+  // store — so it must be local.
+  bool first = num_tasks() == 0 && shard_task_[0] < 0;
+  if (first && node != home_node_) {
+    return Status::FailedPrecondition(
+        "first core of an elastic executor must be on its local node");
+  }
+  auto task = std::make_shared<Task>();
+  task->id = static_cast<int>(tasks_.size());
+  task->node = node;
+  task->rng = rng_.Fork(0x7A5C + tasks_.size());
+  tasks_.push_back(task);
+  if (!stores_.contains(node)) {
+    stores_.emplace(node, ProcessStateStore());  // New remote process.
+  }
+  if (first) {
+    for (int s = 0; s < num_shards_; ++s) shard_task_[s] = task->id;
+  }
+  return Status::OK();
+}
+
+Status ElasticExecutor::RemoveCore(NodeId node, EventFn done) {
+  // Victim: a non-draining task on `node`; prefer the one with fewest shards.
+  TaskPtr victim;
+  int victim_shards = 0;
+  for (const auto& t : tasks_) {
+    if (!t || t->draining || t->node != node) continue;
+    int count = 0;
+    for (int s = 0; s < num_shards_; ++s) {
+      if (shard_task_[s] == t->id) ++count;
+    }
+    if (!victim || count < victim_shards) {
+      victim = t;
+      victim_shards = count;
+    }
+  }
+  if (!victim) return Status::NotFound("no removable task on node");
+  if (num_tasks() <= 1) {
+    return Status::FailedPrecondition("cannot remove the last core");
+  }
+  if (transition_pending()) {
+    // A concurrent reassignment could otherwise target the victim (or a
+    // concurrent removal could drain a reassignment's destination).
+    return Status::FailedPrecondition("executor transition in progress");
+  }
+  victim->draining = true;
+  ++removals_in_progress_;
+
+  // Evacuate all its shards to the least-loaded remaining tasks.
+  std::vector<int> shards;
+  for (int s = 0; s < num_shards_; ++s) {
+    if (shard_task_[s] == victim->id && !shard_paused_[s]) {
+      shards.push_back(s);
+    }
+  }
+  std::vector<double> slot_load(tasks_.size(), 0.0);
+  std::vector<bool> allowed(tasks_.size(), false);
+  for (const auto& t : tasks_) {
+    if (t && !t->draining) allowed[t->id] = true;
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    if (shard_task_[s] >= 0) slot_load[shard_task_[s]] += shard_load_[s];
+  }
+  auto moves = balance::PlanEvacuation(shards, shard_load_, &slot_load,
+                                       victim->id, allowed);
+
+  auto remaining = std::make_shared<int>(static_cast<int>(moves.size()));
+  EventFn shared_done = [this, victim, remaining, done]() {
+    if (--*remaining > 0) return;
+    TryFinalizeRemoval(victim, done);
+  };
+  if (moves.empty()) {
+    TryFinalizeRemoval(victim, done);
+    return Status::OK();
+  }
+  for (const auto& move : moves) {
+    ReassignShard(move.shard, move.to, shared_done);
+  }
+  return Status::OK();
+}
+
+void ElasticExecutor::TryFinalizeRemoval(const TaskPtr& victim, EventFn done) {
+  // The task may still hold in-flight work: unprocessed labels, unflushed
+  // outputs, or (if remote) data that was on the wire when draining started.
+  if (!victim->pending.empty() || victim->busy ||
+      victim->outputs_outstanding > 0) {
+    rt_->sim()->After(Millis(1),
+                      [this, victim, done]() {
+                        TryFinalizeRemoval(victim, done);
+                      });
+    return;
+  }
+  for (int s = 0; s < num_shards_; ++s) {
+    ELASTICUTOR_CHECK_MSG(shard_task_[s] != victim->id,
+                          "draining task still owns a shard");
+  }
+  NodeId node = victim->node;
+  tasks_[victim->id] = nullptr;
+  --removals_in_progress_;
+  // Tear down an emptied remote process.
+  if (node != home_node_ && tasks_on(node) == 0) {
+    auto it = stores_.find(node);
+    if (it != stores_.end()) {
+      ELASTICUTOR_CHECK_MSG(it->second.num_shards() == 0,
+                            "remote store torn down with shards inside");
+      stores_.erase(it);
+    }
+  }
+  if (done) done();
+}
+
+// ---------------------------------------------------------------------------
+// Consistent shard reassignment (§3.3).
+// ---------------------------------------------------------------------------
+
+void ElasticExecutor::ReassignShard(int local_shard, int to_task,
+                                    EventFn done) {
+  ELASTICUTOR_CHECK(!shard_paused_[local_shard]);
+  int from_task = shard_task_.at(local_shard);
+  ELASTICUTOR_CHECK(from_task >= 0 && from_task != to_task);
+  ELASTICUTOR_CHECK(tasks_.at(to_task) && !tasks_.at(to_task)->draining);
+
+  shard_paused_[local_shard] = 1;  // 1. Pause routing for the shard.
+  ++reassigns_in_progress_;
+  int label_id = next_label_id_++;
+  Reassign rec;
+  rec.local_shard = local_shard;
+  rec.from_task = from_task;
+  rec.to_task = to_task;
+  rec.start = rt_->sim()->now();
+  rec.done = std::move(done);
+  pending_reassigns_.emplace(label_id, std::move(rec));
+
+  SendLabel(task(from_task), label_id);  // 2. Labeling tuple down the FIFO.
+}
+
+void ElasticExecutor::SendLabel(const TaskPtr& target, int label_id) {
+  if (target->node == home_node_) {
+    EnqueueToTask(target, QueueItem{Tuple{}, label_id});
+    return;
+  }
+  // The label must follow previously routed data tuples through the same
+  // network channel (per-(src,dst) FIFO).
+  rt_->net()->Send(home_node_, target->node, 64, Purpose::kRemoteTask,
+                   [this, target, label_id]() {
+                     EnqueueToTask(target, QueueItem{Tuple{}, label_id});
+                   });
+}
+
+void ElasticExecutor::OnLabel(const TaskPtr& from, int label_id) {
+  auto it = pending_reassigns_.find(label_id);
+  ELASTICUTOR_CHECK(it != pending_reassigns_.end());
+  Reassign& rec = it->second;
+  rec.sync_done = rt_->sim()->now();  // Pending tuples all processed.
+
+  NodeId from_node = from->node;
+  NodeId to_node = task(rec.to_task)->node;
+  ShardId gshard = global_shard(rec.local_shard);
+  const StateBackend backend = rt_->config().state_backend;
+
+  if (backend == StateBackend::kExternalStore) {
+    // State lives in the external store; nothing moves.
+    FinishReassign(label_id, 0);
+    return;
+  }
+  if (from_node == to_node && backend == StateBackend::kSharedInProcess) {
+    // 3'. Intra-process state sharing: no migration (§3.2).
+    FinishReassign(label_id, 0);
+    return;
+  }
+  // 3. Migrate the shard state to the destination process.
+  auto blob = std::make_shared<ShardState>();
+  {
+    Result<ShardState> extracted = store_on(from_node)->ExtractShard(gshard);
+    ELASTICUTOR_CHECK(extracted.ok());
+    *blob = std::move(extracted).value();
+  }
+  int64_t bytes = blob->bytes();
+  if (from_node == to_node) {
+    // kAlwaysMigrate ablation, same node: serialize/copy cost, no network.
+    SimDuration copy = static_cast<SimDuration>(
+        static_cast<double>(bytes) / 2e9 * 1e9);  // ~2 GB/s memcpy+serde.
+    rt_->sim()->After(copy, [this, to_node, gshard, blob, label_id, bytes]() {
+      ELASTICUTOR_CHECK(
+          store_on(to_node)->InstallShard(gshard, std::move(*blob)).ok());
+      FinishReassign(label_id, bytes);
+    });
+    return;
+  }
+  rt_->net()->Send(from_node, to_node, bytes, Purpose::kStateMigration,
+                   [this, to_node, gshard, blob, label_id, bytes]() {
+                     ELASTICUTOR_CHECK(store_on(to_node)
+                                           ->InstallShard(gshard,
+                                                          std::move(*blob))
+                                           .ok());
+                     FinishReassign(label_id, bytes);
+                   });
+}
+
+void ElasticExecutor::FinishReassign(int label_id, int64_t migrated_bytes) {
+  auto it = pending_reassigns_.find(label_id);
+  ELASTICUTOR_CHECK(it != pending_reassigns_.end());
+  Reassign rec = std::move(it->second);
+  pending_reassigns_.erase(it);
+
+  NodeId from_node = task(rec.from_task)->node;
+  NodeId to_node = task(rec.to_task)->node;
+
+  // 4. Update the shard->task map, then resume routing.
+  shard_task_[rec.local_shard] = rec.to_task;
+  shard_paused_[rec.local_shard] = 0;
+  auto& buffer = pause_buffers_[rec.local_shard];
+  while (!buffer.empty()) {
+    Tuple t = buffer.front();
+    buffer.pop_front();
+    --total_queued_;  // RouteToTask/EnqueueToTask re-counts it.
+    RouteToTask(rec.local_shard, t);
+  }
+
+  ElasticityOp op;
+  op.inter_node = from_node != to_node;
+  op.sync_ns = rec.sync_done - rec.start;
+  op.migration_ns = rt_->sim()->now() - rec.sync_done;
+  op.moved_bytes = migrated_bytes;
+  rt_->metrics()->OnElasticityOp(op);
+
+  ++reassignments_done_;
+  --reassigns_in_progress_;
+  if (rec.done) rec.done();
+}
+
+// ---------------------------------------------------------------------------
+// Intra-executor load balancing (§3.1).
+// ---------------------------------------------------------------------------
+
+void ElasticExecutor::RunBalanceRound() {
+  if (balancing_frozen_) return;
+  const BalancerConfig& cfg = rt_->config().balancer;
+  // Refresh per-shard load EWMAs from the cost counters.
+  double interval_s = ToSeconds(cfg.interval_ns);
+  for (int s = 0; s < num_shards_; ++s) {
+    double rate =
+        static_cast<double>(shard_cost_ns_[s] - shard_cost_prev_[s]) / 1e9 /
+        interval_s;
+    shard_cost_prev_[s] = shard_cost_ns_[s];
+    shard_load_[s] = cfg.shard_load_alpha * rate +
+                     (1.0 - cfg.shard_load_alpha) * shard_load_[s];
+  }
+  if (reassigns_in_progress_ > 0 || removals_in_progress_ > 0) return;
+  if (num_tasks() <= 1) return;
+
+  // Balance on shrinkage-smoothed loads. With few arrivals per shard the
+  // per-shard estimates are noise; the prior (every shard expected to carry
+  // ~average traffic) then dominates and the balancer effectively spreads
+  // by cardinality — crucial right after a scale-out, when the whole key
+  // subspace sits on one task and almost nothing has been observed yet. As
+  // samples accumulate the measured loads take over.
+  int64_t observed = metrics_.arrivals - last_balance_arrivals_;
+  last_balance_arrivals_ = metrics_.arrivals;
+  double total_load = 0.0;
+  for (double l : shard_load_) total_load += l;
+  double avg_load = total_load / static_cast<double>(num_shards_);
+  double pseudo = 2.0 * static_cast<double>(num_shards_);
+  double prior =
+      avg_load * pseudo / (pseudo + static_cast<double>(observed)) + 1e-12;
+  std::vector<double> loads = shard_load_;
+  for (double& l : loads) l += prior;
+
+  std::vector<bool> frozen(tasks_.size(), false);
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    frozen[i] = !tasks_[i] || tasks_[i]->draining;
+  }
+  std::vector<int> assignment = shard_task_;
+  balance::PlanMoves(loads, &assignment, static_cast<int>(tasks_.size()),
+                     cfg.theta, cfg.max_moves_per_round, &frozen);
+  // Execute the final-assignment diff: one reassignment per shard, even if
+  // the planner routed a shard through several intermediate slots.
+  for (int s = 0; s < num_shards_; ++s) {
+    if (assignment[s] != shard_task_[s]) {
+      ReassignShard(s, assignment[s], nullptr);
+    }
+  }
+}
+
+double ElasticExecutor::CurrentImbalance() const {
+  std::vector<double> loads;
+  std::vector<double> by_slot(tasks_.size(), 0.0);
+  for (int s = 0; s < num_shards_; ++s) {
+    if (shard_task_[s] >= 0) by_slot[shard_task_[s]] += shard_load_[s];
+  }
+  for (const auto& t : tasks_) {
+    if (t && !t->draining) loads.push_back(by_slot[t->id]);
+  }
+  return balance::ImbalanceFactor(loads);
+}
+
+int ElasticExecutor::shards_on_task_count(NodeId node) const {
+  int count = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    int id = shard_task_[s];
+    if (id >= 0 && tasks_[id] && tasks_[id]->node == node) ++count;
+  }
+  return count;
+}
+
+ProcessStateStore* ElasticExecutor::store_on(NodeId node) {
+  auto it = stores_.find(node);
+  ELASTICUTOR_CHECK_MSG(it != stores_.end(), "no process on node");
+  return &it->second;
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,127 @@
+#include "elastic/load_balancer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/status.h"
+
+namespace elasticutor {
+namespace balance {
+
+double ImbalanceFactor(const std::vector<double>& slot_load) {
+  if (slot_load.empty()) return 1.0;
+  double max = 0.0, sum = 0.0;
+  for (double load : slot_load) {
+    max = std::max(max, load);
+    sum += load;
+  }
+  if (sum <= 0.0) return 1.0;
+  double avg = sum / static_cast<double>(slot_load.size());
+  return max / avg;
+}
+
+std::vector<Move> PlanMoves(const std::vector<double>& shard_load,
+                            std::vector<int>* assignment, int num_slots,
+                            double theta, int max_moves,
+                            const std::vector<bool>* frozen) {
+  ELASTICUTOR_CHECK(assignment != nullptr);
+  ELASTICUTOR_CHECK(assignment->size() == shard_load.size());
+  std::vector<Move> moves;
+  if (num_slots <= 1) return moves;
+
+  // Effective slot set: frozen slots are excluded from the balance.
+  auto is_frozen = [&](int slot) {
+    return frozen != nullptr && (*frozen)[slot];
+  };
+
+  std::vector<double> slot_load(num_slots, 0.0);
+  for (size_t s = 0; s < assignment->size(); ++s) {
+    int slot = (*assignment)[s];
+    ELASTICUTOR_CHECK(slot >= 0 && slot < num_slots);
+    slot_load[slot] += shard_load[s];
+  }
+
+  int active = 0;
+  double total = 0.0;
+  for (int i = 0; i < num_slots; ++i) {
+    if (!is_frozen(i)) {
+      ++active;
+      total += slot_load[i];
+    }
+  }
+  if (active <= 1 || total <= 0.0) return moves;
+  const double avg = total / active;
+
+  while (static_cast<int>(moves.size()) < max_moves) {
+    // Most- and least-loaded active slots.
+    int src = -1, dst = -1;
+    for (int i = 0; i < num_slots; ++i) {
+      if (is_frozen(i)) continue;
+      if (src < 0 || slot_load[i] > slot_load[src]) src = i;
+      if (dst < 0 || slot_load[i] < slot_load[dst]) dst = i;
+    }
+    double delta = slot_load[src] / avg;
+    if (delta <= theta || src == dst) break;
+
+    // Highest load among slots other than src and dst (for the δ' of a
+    // candidate move).
+    double max_other = 0.0;
+    for (int i = 0; i < num_slots; ++i) {
+      if (is_frozen(i) || i == src || i == dst) continue;
+      max_other = std::max(max_other, slot_load[i]);
+    }
+
+    // Pick the shard on src whose move to dst reduces δ the most.
+    int best_shard = -1;
+    double best_new_max = std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < assignment->size(); ++s) {
+      if ((*assignment)[s] != src) continue;
+      double w = shard_load[s];
+      if (w <= 0.0) continue;
+      double new_max =
+          std::max({max_other, slot_load[src] - w, slot_load[dst] + w});
+      if (new_max < best_new_max) {
+        best_new_max = new_max;
+        best_shard = static_cast<int>(s);
+      }
+    }
+    if (best_shard < 0) break;                    // src has no movable load.
+    if (best_new_max >= slot_load[src]) break;    // No move improves δ.
+
+    slot_load[src] -= shard_load[best_shard];
+    slot_load[dst] += shard_load[best_shard];
+    (*assignment)[best_shard] = dst;
+    moves.push_back(Move{best_shard, src, dst});
+  }
+  return moves;
+}
+
+std::vector<Move> PlanEvacuation(const std::vector<int>& shards,
+                                 const std::vector<double>& shard_load,
+                                 std::vector<double>* slot_load, int from_slot,
+                                 const std::vector<bool>& allowed) {
+  ELASTICUTOR_CHECK(slot_load != nullptr);
+  ELASTICUTOR_CHECK(slot_load->size() == allowed.size());
+  std::vector<int> order = shards;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return shard_load[a] > shard_load[b];  // Heaviest first (FFD).
+  });
+  std::vector<Move> moves;
+  moves.reserve(order.size());
+  for (int shard : order) {
+    int best = -1;
+    for (size_t i = 0; i < slot_load->size(); ++i) {
+      if (!allowed[i] || static_cast<int>(i) == from_slot) continue;
+      if (best < 0 || (*slot_load)[i] < (*slot_load)[best]) {
+        best = static_cast<int>(i);
+      }
+    }
+    ELASTICUTOR_CHECK_MSG(best >= 0, "no destination slot for evacuation");
+    (*slot_load)[best] += shard_load[shard];
+    moves.push_back(Move{shard, from_slot, best});
+  }
+  return moves;
+}
+
+}  // namespace balance
+}  // namespace elasticutor

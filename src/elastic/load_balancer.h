@@ -1,0 +1,47 @@
+// Shard-to-slot load balancing (§3.1). A "slot" is a task for the
+// intra-executor balancer, or an executor for the RC operator-level
+// repartitioner — the paper gives both the same heuristic, a variant of
+// First-Fit-Decreasing for the (NP-hard) multi-way partitioning problem:
+//
+//   while δ = max_load/avg_load > θ:
+//     among all moves of one shard from the most-loaded slot to the
+//     least-loaded slot, apply the one that reduces δ the most.
+//
+// The move count is what the heuristic minimizes implicitly: shards are only
+// ever moved off the most-loaded slot, and the loop stops as soon as the
+// imbalance target is met.
+#pragma once
+
+#include <vector>
+
+namespace elasticutor {
+namespace balance {
+
+struct Move {
+  int shard;
+  int from;
+  int to;
+};
+
+/// Plans moves until max/avg <= theta (or no move improves, or max_moves).
+/// `assignment` maps shard -> slot and is updated in place to the planned
+/// final assignment. Slots listed in `frozen` (same size as num_slots)
+/// neither give nor receive shards.
+std::vector<Move> PlanMoves(const std::vector<double>& shard_load,
+                            std::vector<int>* assignment, int num_slots,
+                            double theta, int max_moves,
+                            const std::vector<bool>* frozen = nullptr);
+
+/// Plans the evacuation of `shards` (e.g. of a task being removed):
+/// assigns each, heaviest first, to the least-loaded allowed slot.
+/// `slot_load` is updated in place. Returns shard -> destination slot pairs.
+std::vector<Move> PlanEvacuation(const std::vector<int>& shards,
+                                 const std::vector<double>& shard_load,
+                                 std::vector<double>* slot_load, int from_slot,
+                                 const std::vector<bool>& allowed);
+
+/// max/avg over slots; 1.0 when all loads are zero or there are no slots.
+double ImbalanceFactor(const std::vector<double>& slot_load);
+
+}  // namespace balance
+}  // namespace elasticutor

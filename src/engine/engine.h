@@ -1,0 +1,110 @@
+// Engine: top-level driver. Owns the simulator, network, cluster, runtime,
+// executors and the paradigm-specific controller; provides the run/measure
+// API used by examples, tests and benches.
+//
+//   Engine engine(topology, config);
+//   ELASTICUTOR_CHECK(engine.Setup().ok());
+//   engine.Start();
+//   engine.RunFor(Seconds(5));          // Warm-up.
+//   engine.ResetMetricsAfterWarmup();
+//   engine.RunFor(Seconds(20));         // Measured window.
+//   double tput = engine.MeasuredThroughput();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "engine/engine_config.h"
+#include "engine/metrics.h"
+#include "engine/runtime.h"
+#include "engine/spout.h"
+#include "engine/topology.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace elasticutor {
+
+class ElasticExecutor;
+class DynamicScheduler;
+class RcController;
+
+class Engine {
+ public:
+  Engine(Topology topology, EngineConfig config);
+  ~Engine();
+
+  /// Instantiates partitions, executors, state and the controller for the
+  /// configured paradigm.
+  Status Setup();
+
+  /// Starts sources, balancers and the scheduler/controller.
+  void Start();
+
+  void RunFor(SimDuration duration) {
+    sim_->RunUntil(sim_->now() + duration);
+  }
+  void RunUntil(SimTime t) { sim_->RunUntil(t); }
+
+  /// Clears metric counters; call at the end of the warm-up phase.
+  void ResetMetricsAfterWarmup();
+
+  /// Stops all sources (end of run; lets queues drain if run further).
+  void StopSources();
+
+  // ---- Measurement helpers ----
+  /// Mean sink throughput (tuples/s) since the last metrics reset.
+  double MeasuredThroughput() const;
+  /// Latency histogram over completed sink tuples since the last reset.
+  const Histogram& LatencyHistogram() const { return metrics_->latency(); }
+  int64_t order_violations() const;
+
+  // ---- Accessors ----
+  Simulator* sim() { return sim_.get(); }
+  Network* net() { return net_.get(); }
+  Runtime* runtime() { return runtime_.get(); }
+  EngineMetrics* metrics() { return metrics_.get(); }
+  const Cluster& cluster() const { return *cluster_; }
+  CoreLedger* ledger() { return ledger_.get(); }
+  const Topology& topology() const { return topology_; }
+  const EngineConfig& config() const { return config_; }
+  DynamicScheduler* scheduler() { return scheduler_.get(); }
+  RcController* rc_controller() { return rc_.get(); }
+
+  /// Elastic executors of an operator (elastic paradigm only).
+  std::vector<std::shared_ptr<ElasticExecutor>> elastic_executors(
+      OperatorId op) const;
+  std::vector<std::shared_ptr<SpoutExecutor>> source_executors(
+      OperatorId op) const;
+
+  /// Static-paradigm executor counts chosen for each operator (also RC's
+  /// starting point). Filled by Setup().
+  const std::vector<int>& provisioned_executors() const {
+    return provisioned_;
+  }
+
+ private:
+  Status SetupSources(OperatorId op, int* next_home_node);
+  Status SetupStaticLike(OperatorId op);
+  Status SetupElastic(OperatorId op, int* next_home_node);
+  std::vector<int> ComputeStaticProvisioning() const;
+
+  Topology topology_;
+  EngineConfig config_;
+
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<CoreLedger> ledger_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<EngineMetrics> metrics_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<DynamicScheduler> scheduler_;
+  std::unique_ptr<RcController> rc_;
+
+  std::vector<int> provisioned_;
+  int round_robin_node_ = 0;
+  SimTime metrics_reset_at_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,80 @@
+// Engine configuration: execution paradigm, cluster shape, queue bounds and
+// calibrated cost constants (DESIGN.md §5.6 documents the calibration).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "elastic/balancer_config.h"
+#include "net/network.h"
+#include "rc/rc_config.h"
+#include "scheduler/scheduler_config.h"
+#include "sim/time.h"
+
+namespace elasticutor {
+
+/// The three execution paradigms of Table 1.
+enum class Paradigm {
+  kStatic = 0,          // Fixed executors, one core each, static partitioning.
+  kResourceCentric = 1, // Dynamic operator-level key repartitioning.
+  kElastic = 2,         // Elasticutor: executor-centric core reassignment.
+};
+
+const char* ParadigmName(Paradigm p);
+
+/// State-access strategy of the elastic executor (ablation; §3.2 discussion).
+enum class StateBackend {
+  kSharedInProcess = 0, // Paper design: per-process store, shared by tasks.
+  kExternalStore = 1,   // RAMCloud-style external KV: per-access network cost.
+  kAlwaysMigrate = 2,   // Per-task private state: every reassignment migrates.
+};
+
+struct EngineConfig {
+  Paradigm paradigm = Paradigm::kElastic;
+
+  // ---- Cluster (paper testbed: 32 nodes x 8 cores, 1 Gbps) ----
+  int num_nodes = 32;
+  int cores_per_node = 8;
+  NetworkConfig net;
+
+  uint64_t seed = 42;
+
+  // ---- Queueing / back-pressure ----
+  /// Pending-queue capacity of one elastic-executor task. Kept small, like
+  /// Storm's spout max-pending bound: queue depth is what the labeling
+  /// tuple of a shard reassignment must drain behind (Fig 8's EC sync
+  /// time), and what bounds steady-state latency.
+  int task_queue_cap = 8;
+  /// Input-queue capacity of a static/RC single-threaded executor.
+  int executor_queue_cap = 256;
+  /// Retry delay when an emitter finds the target executor full or paused.
+  SimDuration emit_retry_ns = Micros(500);
+  /// Per-task bound on outputs not yet accepted downstream (the flow-control
+  /// window between a task and the executor's emitter daemon). Lets remote
+  /// tasks pipeline processing with output transfer while still propagating
+  /// back-pressure.
+  int task_output_credit = 64;
+
+  // ---- Service times ----
+  /// Exponentially distributed per-tuple CPU cost (matches the M/M/k model);
+  /// false = deterministic.
+  bool exponential_service = true;
+
+  // ---- Validation (tests) ----
+  /// Track per-key arrival/processing order and state conservation.
+  bool validate_key_order = false;
+
+  // ---- Elasticutor ----
+  SchedulerConfig scheduler;
+  BalancerConfig balancer;
+  StateBackend state_backend = StateBackend::kSharedInProcess;
+  /// Per state access extra latency under kExternalStore.
+  SimDuration external_store_access_ns = Micros(150);
+
+  // ---- RC ----
+  RcConfig rc;
+
+  int total_cores() const { return num_nodes * cores_per_node; }
+};
+
+}  // namespace elasticutor

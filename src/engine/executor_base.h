@@ -1,0 +1,69 @@
+// Common executor interface. Every paradigm instantiates operators as sets
+// of executors; the runtime routes tuples to an executor's home node and
+// calls OnTupleArrive there.
+#pragma once
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "engine/ids.h"
+#include "engine/metrics.h"
+#include "engine/tuple.h"
+
+namespace elasticutor {
+
+class Runtime;
+
+class ExecutorBase : public std::enable_shared_from_this<ExecutorBase> {
+ public:
+  ExecutorBase(Runtime* rt, OperatorId op, ExecutorIndex index, NodeId home)
+      : rt_(rt), op_(op), index_(index), home_node_(home) {}
+  virtual ~ExecutorBase() = default;
+
+  ExecutorBase(const ExecutorBase&) = delete;
+  ExecutorBase& operator=(const ExecutorBase&) = delete;
+
+  /// A tuple from upstream arrived at this executor's home node.
+  virtual void OnTupleArrive(Tuple t) = 0;
+
+  /// Back-pressure gate: senders check this before dispatching.
+  virtual bool CanAccept() const = 0;
+
+  /// Admission reservation: the runtime reserves a queue slot when it
+  /// dispatches a tuple and the executor consumes the reservation on
+  /// arrival. Without this, every tuple in network flight would bypass
+  /// CanAccept (check-then-send race) and queues would overshoot their
+  /// bound by the flight-time bandwidth-delay product.
+  void ReserveSlot() { ++reserved_; }
+  int64_t reserved() const { return reserved_; }
+
+  /// Tuples currently queued inside the executor.
+  virtual int64_t queued() const = 0;
+
+  /// Starts generation loops / periodic work (called once after wiring).
+  virtual void Start() {}
+
+  ExecutorId id() const { return MakeExecutorId(op_, index_); }
+  OperatorId op() const { return op_; }
+  ExecutorIndex index() const { return index_; }
+  NodeId home_node() const { return home_node_; }
+
+  ExecutorMetrics& metrics() { return metrics_; }
+  const ExecutorMetrics& metrics() const { return metrics_; }
+
+ protected:
+  void ConsumeReservation() {
+    if (reserved_ > 0) --reserved_;
+  }
+
+  Runtime* rt_;
+  OperatorId op_;
+  ExecutorIndex index_;
+  NodeId home_node_;
+  ExecutorMetrics metrics_;
+  int64_t reserved_ = 0;
+};
+
+using ExecutorPtr = std::shared_ptr<ExecutorBase>;
+
+}  // namespace elasticutor

@@ -1,0 +1,24 @@
+// Identifier types shared across the engine.
+#pragma once
+
+#include <cstdint>
+
+namespace elasticutor {
+
+using OperatorId = int32_t;   // Index of the operator in the topology.
+using ExecutorIndex = int32_t; // Index of an executor within its operator.
+
+/// Globally unique executor id (used as the core-ledger owner id).
+using ExecutorId = int64_t;
+
+constexpr ExecutorId MakeExecutorId(OperatorId op, ExecutorIndex index) {
+  return (static_cast<ExecutorId>(op) << 32) | static_cast<uint32_t>(index);
+}
+constexpr OperatorId OperatorOf(ExecutorId id) {
+  return static_cast<OperatorId>(id >> 32);
+}
+constexpr ExecutorIndex IndexOf(ExecutorId id) {
+  return static_cast<ExecutorIndex>(id & 0xffffffff);
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,13 @@
+#include "engine/metrics.h"
+
+namespace elasticutor {
+
+int64_t EngineMetrics::sink_count_in_window(SimTime from, SimTime to) const {
+  int64_t count = 0;
+  for (const auto& [start, value] : sink_throughput_.Bins()) {
+    if (start >= from && start < to) count += static_cast<int64_t>(value);
+  }
+  return count;
+}
+
+}  // namespace elasticutor

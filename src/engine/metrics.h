@@ -1,0 +1,129 @@
+// Measurement plumbing shared by all paradigms:
+//  * ExecutorMetrics — cumulative counters per executor; the scheduler and
+//    the RC controller snapshot and diff them each interval to estimate
+//    λ_j, µ_j and data intensity.
+//  * EngineMetrics — sink throughput/latency (totals, histograms, and per-
+//    second time series for the "instantaneous" figures) plus elasticity
+//    operation accounting (sync/migration time breakdowns of Fig 8).
+//  * OrderValidator — asserts the per-key processing-order invariant.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rate_meter.h"
+#include "engine/ids.h"
+#include "sim/time.h"
+
+namespace elasticutor {
+
+struct ExecutorMetrics {
+  // Data path (cumulative).
+  int64_t arrivals = 0;
+  int64_t processed = 0;
+  int64_t busy_ns = 0;          // Summed over all tasks/cores.
+  int64_t bytes_in = 0;
+  int64_t bytes_out = 0;
+
+  // Instantaneous.
+  int64_t queued = 0;           // Tuples waiting in all pending queues.
+
+  void Reset() {
+    arrivals = processed = busy_ns = bytes_in = bytes_out = 0;
+  }
+};
+
+/// One elasticity operation (shard reassignment / RC repartition) breakdown.
+struct ElasticityOp {
+  bool inter_node = false;
+  SimDuration sync_ns = 0;       // Pause + drain + routing update.
+  SimDuration migration_ns = 0;  // State transfer.
+  int64_t moved_bytes = 0;
+};
+
+class EngineMetrics {
+ public:
+  EngineMetrics()
+      : sink_throughput_(kNanosPerSecond), sink_latency_sum_(kNanosPerSecond),
+        sink_latency_count_(kNanosPerSecond) {}
+
+  /// Records the completion of a tuple at a sink operator.
+  void OnSinkTuple(SimTime now, SimTime created_at) {
+    ++sink_count_;
+    latency_.Record(now - created_at);
+    sink_throughput_.Add(now, 1.0);
+    sink_latency_sum_.Add(now, static_cast<double>(now - created_at));
+    sink_latency_count_.Add(now, 1.0);
+  }
+
+  void OnElasticityOp(const ElasticityOp& op) { ops_.push_back(op); }
+
+  int64_t sink_count() const { return sink_count_; }
+  const Histogram& latency() const { return latency_; }
+  const TimeSeries& sink_throughput_series() const { return sink_throughput_; }
+  const TimeSeries& latency_sum_series() const { return sink_latency_sum_; }
+  const TimeSeries& latency_count_series() const {
+    return sink_latency_count_;
+  }
+  const std::vector<ElasticityOp>& elasticity_ops() const { return ops_; }
+
+  /// Mean sink throughput (tuples/s) between two instants.
+  double MeanThroughput(SimTime from, SimTime to) const {
+    if (to <= from) return 0.0;
+    return static_cast<double>(sink_count_in_window(from, to)) /
+           ToSeconds(to - from);
+  }
+
+  int64_t sink_count_in_window(SimTime from, SimTime to) const;
+
+  /// Clears counters/histograms (benches call after warm-up). Time series
+  /// are kept (they are globally binned).
+  void ResetAfterWarmup() {
+    sink_count_ = 0;
+    latency_.Reset();
+    ops_.clear();
+  }
+
+ private:
+  int64_t sink_count_ = 0;
+  Histogram latency_;
+  TimeSeries sink_throughput_;
+  TimeSeries sink_latency_sum_;
+  TimeSeries sink_latency_count_;
+  std::vector<ElasticityOp> ops_;
+};
+
+/// Checks that tuples of the same key are processed in arrival order at each
+/// operator, across shard reassignments and repartitionings (§2.1's "basic
+/// requirement in stateful computation").
+class OrderValidator {
+ public:
+  /// Assigns the arrival sequence number for (op, key).
+  uint64_t OnArrive(OperatorId op, uint64_t key) {
+    return ++arrival_seq_[Slot(op, key)];
+  }
+
+  /// Validates processing order; increments `violations` on error.
+  void OnProcess(OperatorId op, uint64_t key, uint64_t seq) {
+    uint64_t& last = processed_seq_[Slot(op, key)];
+    if (seq != last + 1) {
+      ++violations_;
+    }
+    last = seq;
+  }
+
+  int64_t violations() const { return violations_; }
+
+ private:
+  static uint64_t Slot(OperatorId op, uint64_t key) {
+    return (static_cast<uint64_t>(op) << 48) ^ key;
+  }
+
+  std::unordered_map<uint64_t, uint64_t> arrival_seq_;
+  std::unordered_map<uint64_t, uint64_t> processed_seq_;
+  int64_t violations_ = 0;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,95 @@
+// Operator specification: the user-facing description of one vertex of the
+// topology (the analog of the paper's ElasticBolt). The same spec is
+// instantiated under every execution paradigm.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "engine/tuple.h"
+#include "sim/time.h"
+#include "state/state_store.h"
+
+namespace elasticutor {
+
+class EmitContext;
+
+/// User processing logic: consume a tuple, read/update the state of its key,
+/// emit output tuples. If absent, the engine applies `selectivity` copies of
+/// the input re-sized to `output_bytes`.
+using OperatorLogic =
+    std::function<void(const Tuple&, StateAccessor&, EmitContext*)>;
+
+/// Per-tuple CPU cost override; if absent, cost is `mean_cost_ns`
+/// (exponentially distributed unless the engine is configured for
+/// deterministic service times).
+using CostFn = std::function<SimDuration(const Tuple&, Rng*)>;
+
+/// Source (spout) behaviour for operators with `is_source`.
+struct SourceSpec {
+  enum class Mode {
+    kSaturation,  // Emit as fast as back-pressure allows (throughput tests).
+    kTrace,       // Poisson arrivals at rate_fn(t); backlog buffers excess.
+  };
+  Mode mode = Mode::kSaturation;
+
+  /// Produces the next tuple (key, size, payload). created_at is set by the
+  /// engine. Required for every source.
+  std::function<Tuple(Rng*, SimTime)> factory;
+
+  /// Aggregate arrival rate (tuples/s across all executors of the source) at
+  /// simulated time t. Required in kTrace mode.
+  std::function<double(SimTime)> rate_fn;
+
+  /// CPU time a source executor spends generating + emitting one tuple;
+  /// bounds the per-executor offered rate.
+  SimDuration gen_overhead_ns = Micros(10);
+};
+
+struct OperatorSpec {
+  std::string name;
+
+  // ---- Parallelism (paper: y executors per operator, z shards each) ----
+  int num_executors = 32;
+  int shards_per_executor = 256;
+
+  // ---- Static-paradigm provisioning ----
+  /// Number of single-core executors the static paradigm creates for this
+  /// operator (0 = auto: proportional to expected CPU share). RC starts from
+  /// the same count.
+  int static_executors = 0;
+
+  // ---- Cost model ----
+  SimDuration mean_cost_ns = Millis(1);
+  CostFn cost_fn;
+
+  // ---- Output ----
+  /// Expected output tuples per input when no logic is given.
+  double selectivity = 1.0;
+  int32_t output_bytes = 128;
+  OperatorLogic logic;
+
+  // ---- State ----
+  /// Opaque per-shard payload installed at start ("shard state size").
+  int64_t shard_state_bytes = 32 * kKiB;
+
+  // ---- Source ----
+  bool is_source = false;
+  SourceSpec source;
+
+  int total_shards() const { return num_executors * shards_per_executor; }
+};
+
+/// Handed to operator logic for emitting output tuples. The engine sets
+/// routing, timing and accounting; logic only chooses key/size/payload.
+class EmitContext {
+ public:
+  virtual ~EmitContext() = default;
+  virtual void Emit(uint64_t key, int32_t size_bytes,
+                    const TuplePayload& payload) = 0;
+};
+
+}  // namespace elasticutor

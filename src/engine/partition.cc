@@ -1,0 +1,58 @@
+#include "engine/partition.h"
+
+namespace elasticutor {
+
+OperatorPartition::OperatorPartition(int num_shards, int num_executors,
+                                     uint64_t salt)
+    : num_shards_(num_shards), num_executors_(num_executors), salt_(salt) {
+  ELASTICUTOR_CHECK(num_shards > 0);
+  ELASTICUTOR_CHECK(num_executors > 0);
+  ELASTICUTOR_CHECK(num_shards >= num_executors);
+  offered_.assign(num_shards, 0);
+  SetInterleavedMap();
+  version_ = 0;
+}
+
+Status OperatorPartition::SetMap(std::vector<ExecutorIndex> map,
+                                 int new_num_executors) {
+  if (static_cast<int>(map.size()) != num_shards_) {
+    return Status::InvalidArgument("shard map size mismatch");
+  }
+  for (ExecutorIndex e : map) {
+    if (e < 0 || e >= new_num_executors) {
+      return Status::InvalidArgument("shard map references invalid executor");
+    }
+  }
+  shard_to_executor_ = std::move(map);
+  num_executors_ = new_num_executors;
+  ++version_;
+  return Status::OK();
+}
+
+void OperatorPartition::SetBlockedMap(int shards_per_executor) {
+  ELASTICUTOR_CHECK(shards_per_executor > 0);
+  ELASTICUTOR_CHECK(num_shards_ == num_executors_ * shards_per_executor);
+  shard_to_executor_.resize(num_shards_);
+  for (int s = 0; s < num_shards_; ++s) {
+    shard_to_executor_[s] = s / shards_per_executor;
+  }
+  ++version_;
+}
+
+void OperatorPartition::SetInterleavedMap() {
+  shard_to_executor_.resize(num_shards_);
+  for (int s = 0; s < num_shards_; ++s) {
+    shard_to_executor_[s] = s % num_executors_;
+  }
+  ++version_;
+}
+
+std::vector<ShardId> OperatorPartition::ShardsOf(ExecutorIndex e) const {
+  std::vector<ShardId> shards;
+  for (int s = 0; s < num_shards_; ++s) {
+    if (shard_to_executor_[s] == e) shards.push_back(s);
+  }
+  return shards;
+}
+
+}  // namespace elasticutor

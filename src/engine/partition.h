@@ -1,0 +1,84 @@
+// Operator-level key partitioning shared by all paradigms.
+//
+// The key space of each operator is hashed into S = y·z shards. How shards
+// map to executors is the paradigm-defining choice (Table 1):
+//  * static      — fixed map, set at start;
+//  * RC          — dynamic map, updated by repartitioning under a global
+//                  pause of the operator;
+//  * Elasticutor — fixed blocked map (executor j owns shards [j·z, (j+1)·z));
+//                  elasticity happens inside the executor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "engine/ids.h"
+#include "state/state_store.h"
+
+namespace elasticutor {
+
+class OperatorPartition {
+ public:
+  /// `salt` decorrelates this operator's hashing from other operators'.
+  OperatorPartition(int num_shards, int num_executors, uint64_t salt);
+
+  ShardId ShardOf(uint64_t key) const {
+    return static_cast<ShardId>(HashKey(key, salt_) %
+                                static_cast<uint64_t>(num_shards_));
+  }
+
+  ExecutorIndex ExecutorOfShard(ShardId shard) const {
+    return shard_to_executor_.at(shard);
+  }
+  ExecutorIndex ExecutorOfKey(uint64_t key) const {
+    return ExecutorOfShard(ShardOf(key));
+  }
+
+  /// Installs a new shard→executor map (RC repartitioning). Size must equal
+  /// num_shards; bumps the routing-table version.
+  Status SetMap(std::vector<ExecutorIndex> map, int new_num_executors);
+
+  /// Blocked map used by Elasticutor: shard s → s / shards_per_executor.
+  void SetBlockedMap(int shards_per_executor);
+  /// Interleaved map used by the static paradigm: shard s → s mod y.
+  void SetInterleavedMap();
+
+  int num_shards() const { return num_shards_; }
+  int num_executors() const { return num_executors_; }
+  uint64_t version() const { return version_; }
+  const std::vector<ExecutorIndex>& map() const { return shard_to_executor_; }
+
+  /// Shards currently owned by an executor.
+  std::vector<ShardId> ShardsOf(ExecutorIndex e) const;
+
+  // ---- Pause flag (RC repartitioning / global sync) ----
+  bool paused() const { return paused_; }
+  void set_paused(bool paused) { paused_ = paused; }
+
+  // ---- Offered-load statistics: counted at the *first* emission attempt
+  // of each tuple (before back-pressure). Controllers must balance and
+  // provision on offered load: admitted arrivals are capped at a starved
+  // executor's capacity, so they can never reveal how many cores it
+  // actually needs, and processed counts equalize under saturation. ----
+  void CountOffered(ShardId shard) { ++offered_.at(shard); }
+  const std::vector<int64_t>& offered() const { return offered_; }
+  /// Sum of offered counts over a shard range (an elastic executor's slice).
+  int64_t OfferedInRange(ShardId first, int count) const {
+    int64_t total = 0;
+    for (int s = 0; s < count; ++s) total += offered_[first + s];
+    return total;
+  }
+
+ private:
+  int num_shards_;
+  int num_executors_;
+  uint64_t salt_;
+  uint64_t version_ = 0;
+  bool paused_ = false;
+  std::vector<ExecutorIndex> shard_to_executor_;
+  std::vector<int64_t> offered_;
+};
+
+}  // namespace elasticutor

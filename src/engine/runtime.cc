@@ -1,0 +1,101 @@
+#include "engine/runtime.h"
+
+namespace elasticutor {
+
+Runtime::Runtime(Simulator* sim, Network* net, const Topology* topology,
+                 const EngineConfig* config, EngineMetrics* metrics)
+    : sim_(sim),
+      net_(net),
+      topology_(topology),
+      config_(config),
+      metrics_(metrics),
+      validate_(config->validate_key_order),
+      rng_(config->seed, 0x5eed5eed) {
+  int n = topology_->num_operators();
+  partitions_.resize(n);
+  executors_.resize(n);
+  inflight_.assign(n, 0);
+}
+
+void Runtime::SetPartition(OperatorId op,
+                           std::unique_ptr<OperatorPartition> p) {
+  partitions_.at(op) = std::move(p);
+}
+
+void Runtime::SetExecutors(OperatorId op, std::vector<ExecutorPtr> executors) {
+  executors_.at(op) = std::move(executors);
+}
+
+bool Runtime::TryRoute(NodeId from, OperatorId to_op, const Tuple& t,
+                       ExecutorMetrics* emitter_metrics) {
+  OperatorPartition* part = partitions_.at(to_op).get();
+  if (part->paused()) return false;
+  ExecutorIndex ei = part->ExecutorOfKey(t.key);
+  ExecutorPtr target = executors_.at(to_op).at(ei);
+  if (!target->CanAccept()) return false;
+
+  target->ReserveSlot();  // Admission is decided here, not on arrival.
+  ++inflight_.at(to_op);
+  if (emitter_metrics != nullptr) {
+    emitter_metrics->bytes_out += t.size_bytes;
+  }
+  Tuple copy = t;
+  NodeId dst = target->home_node();  // Before the move (evaluation order).
+  net_->Send(from, dst, t.size_bytes, Purpose::kInterOperator,
+             [target = std::move(target), copy]() mutable {
+               target->OnTupleArrive(copy);
+             });
+  return true;
+}
+
+void Runtime::FlushBatchFrom(ExecutorPtr emitter,
+                             std::shared_ptr<std::vector<PendingEmit>> batch,
+                             size_t next, EventFn done) {
+  while (next < batch->size()) {
+    const PendingEmit& emit = (*batch)[next];
+    if (TryRoute(emitter->home_node(), emit.to_op, emit.tuple,
+                 &emitter->metrics())) {
+      ++next;
+      continue;
+    }
+    // Blocked: retry the remaining suffix later (jittered to avoid
+    // synchronized herds). The emitter stays alive via the captured
+    // shared_ptr.
+    SimDuration delay = static_cast<SimDuration>(
+        config_->emit_retry_ns * (0.5 + rng_.NextDouble()));
+    sim_->After(delay,
+                [this, emitter = std::move(emitter), batch = std::move(batch),
+                 next, done = std::move(done)]() mutable {
+                  FlushBatchFrom(std::move(emitter), std::move(batch), next,
+                                 std::move(done));
+                });
+    return;
+  }
+  if (done) done();
+}
+
+void Runtime::OnProcessed(OperatorId op, const Tuple& t) {
+  --inflight_.at(op);
+  if (validate_) {
+    validator_.OnProcess(op, t.key, t.arrival_seq);
+  }
+  if (topology_->is_sink(op)) {
+    metrics_->OnSinkTuple(sim_->now(), t.created_at);
+  }
+}
+
+void Runtime::StampArrival(OperatorId op, Tuple* t) {
+  if (validate_) {
+    t->arrival_seq = validator_.OnArrive(op, t->key);
+  }
+}
+
+void Runtime::ResetMetricsAfterWarmup() {
+  metrics_->ResetAfterWarmup();
+  net_->ResetCounters();
+  for (auto& execs : executors_) {
+    for (auto& e : execs) e->metrics().Reset();
+  }
+}
+
+}  // namespace elasticutor

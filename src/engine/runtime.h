@@ -1,0 +1,120 @@
+// Runtime: the shared hub all executors talk to. It owns per-operator
+// routing state (partition + executor set + in-flight counters) and
+// implements the inter-operator data path with back-pressure:
+//
+//   emitter --TryRoute--> [paused? full?] --Network::Send--> OnTupleArrive
+//
+// A blocked emitter retries after EngineConfig::emit_retry_ns; because a
+// task does not start its next input until its current outputs are flushed,
+// back-pressure propagates upstream to the spouts (bounded queues
+// everywhere => bounded latency, §5.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "engine/engine_config.h"
+#include "engine/executor_base.h"
+#include "engine/metrics.h"
+#include "engine/partition.h"
+#include "engine/topology.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace elasticutor {
+
+class Runtime {
+ public:
+  Runtime(Simulator* sim, Network* net, const Topology* topology,
+          const EngineConfig* config, EngineMetrics* metrics);
+
+  // ---- Wiring ----
+  void SetPartition(OperatorId op, std::unique_ptr<OperatorPartition> p);
+  OperatorPartition* partition(OperatorId op) {
+    return partitions_.at(op).get();
+  }
+  /// Installs/replaces the executor set of an operator (RC rescaling swaps
+  /// sets at a pause barrier).
+  void SetExecutors(OperatorId op, std::vector<ExecutorPtr> executors);
+  const std::vector<ExecutorPtr>& executors(OperatorId op) const {
+    return executors_.at(op);
+  }
+  ExecutorPtr executor(OperatorId op, ExecutorIndex index) const {
+    return executors_.at(op).at(index);
+  }
+
+  // ---- Data path ----
+  /// Attempts to deliver `t` to `to_op` (routing by key). Returns false if
+  /// the operator is paused or the target executor's queues are full.
+  /// On success the tuple is in flight and inflight(to_op) was incremented;
+  /// `emitter_metrics` (optional) gets bytes_out credit.
+  bool TryRoute(NodeId from, OperatorId to_op, const Tuple& t,
+                ExecutorMetrics* emitter_metrics);
+
+  struct PendingEmit {
+    OperatorId to_op;
+    Tuple tuple;
+  };
+  /// Drains `batch` in order (retrying while blocked), then runs `done`.
+  /// `emitter` is kept alive for the duration of the flush.
+  void FlushBatch(ExecutorPtr emitter,
+                  std::shared_ptr<std::vector<PendingEmit>> batch,
+                  EventFn done) {
+    FlushBatchFrom(std::move(emitter), std::move(batch), 0, std::move(done));
+  }
+
+  /// Records offered demand for `to_op` (called exactly once per tuple, at
+  /// its first emission attempt — before any back-pressure).
+  void CountOffered(OperatorId to_op, uint64_t key) {
+    OperatorPartition* part = partitions_.at(to_op).get();
+    part->CountOffered(part->ShardOf(key));
+  }
+
+  // ---- Processing bookkeeping ----
+  /// Called by an executor when a tuple has been fully processed.
+  void OnProcessed(OperatorId op, const Tuple& t);
+
+  /// Tuples dispatched toward `op` but not yet fully processed (in network +
+  /// queued + being processed). The RC drain barrier waits on this.
+  int64_t inflight(OperatorId op) const { return inflight_.at(op); }
+
+  // ---- Order validation (enabled by config.validate_key_order) ----
+  /// Assigns the arrival sequence number for a tuple entering `op`.
+  void StampArrival(OperatorId op, Tuple* t);
+  OrderValidator* validator() {
+    return validate_ ? &validator_ : nullptr;
+  }
+
+  // ---- Accessors ----
+  Simulator* sim() { return sim_; }
+  Network* net() { return net_; }
+  const Topology& topology() const { return *topology_; }
+  const EngineConfig& config() const { return *config_; }
+  EngineMetrics* metrics() { return metrics_; }
+  Rng* rng() { return &rng_; }
+
+  /// Resets executor + engine counters (after warm-up).
+  void ResetMetricsAfterWarmup();
+
+ private:
+  void FlushBatchFrom(ExecutorPtr emitter,
+                      std::shared_ptr<std::vector<PendingEmit>> batch,
+                      size_t next, EventFn done);
+
+  Simulator* sim_;
+  Network* net_;
+  const Topology* topology_;
+  const EngineConfig* config_;
+  EngineMetrics* metrics_;
+  bool validate_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<OperatorPartition>> partitions_;
+  std::vector<std::vector<ExecutorPtr>> executors_;
+  std::vector<int64_t> inflight_;
+  OrderValidator validator_;
+};
+
+}  // namespace elasticutor

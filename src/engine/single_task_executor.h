@@ -1,0 +1,96 @@
+// Single-threaded executor: the building block of the static and
+// resource-centric paradigms ("each executor consists of a single data
+// processing thread bound to an assigned CPU core", §2.2).
+//
+// It owns the state of the operator-level shards currently mapped to it; the
+// RC repartitioner moves shards (and their state) between executors of the
+// same operator under a global pause.
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "engine/executor_base.h"
+#include "engine/runtime.h"
+#include "state/state_store.h"
+
+namespace elasticutor {
+
+class SingleTaskExecutor : public ExecutorBase {
+ public:
+  SingleTaskExecutor(Runtime* rt, OperatorId op, ExecutorIndex index,
+                     NodeId home);
+
+  void OnTupleArrive(Tuple t) override;
+  bool CanAccept() const override;
+  int64_t queued() const override { return static_cast<int64_t>(queue_.size()); }
+
+  /// True when the input queue is empty and no tuple is being processed
+  /// (drain barrier of the RC repartitioning protocol).
+  bool idle() const { return !busy_ && queue_.empty(); }
+
+  ProcessStateStore* state_store() { return &store_; }
+
+  /// Per-shard processed-tuple counts since the last repartition (feeds the
+  /// RC controller's balance statistics).
+  const std::unordered_map<ShardId, int64_t>& shard_load() const {
+    return shard_load_;
+  }
+  void ResetShardLoad() { shard_load_.clear(); }
+
+ private:
+  void StartNext();
+  void OnProcessingComplete(Tuple t);
+
+  std::deque<Tuple> queue_;
+  bool busy_ = false;
+  ProcessStateStore store_;
+  std::unordered_map<ShardId, int64_t> shard_load_;
+  Rng service_rng_;
+};
+
+/// EmitContext that buffers outputs for Runtime::FlushBatch.
+class BatchEmitContext : public EmitContext {
+ public:
+  BatchEmitContext(Runtime* rt, OperatorId from_op, SimTime created_at)
+      : rt_(rt), created_at_(created_at) {
+    downstream_ = &rt->topology().downstream(from_op);
+  }
+
+  void Emit(uint64_t key, int32_t size_bytes,
+            const TuplePayload& payload) override {
+    Tuple out;
+    out.key = key;
+    out.size_bytes = size_bytes;
+    out.created_at = created_at_;
+    out.payload = payload;
+    for (OperatorId to : *downstream_) {
+      rt_->CountOffered(to, key);  // Demand signal, pre-back-pressure.
+      batch_->push_back(Runtime::PendingEmit{to, out});
+    }
+  }
+
+  std::shared_ptr<std::vector<Runtime::PendingEmit>> take_batch() {
+    return std::move(batch_);
+  }
+  bool empty() const { return batch_->empty(); }
+
+ private:
+  Runtime* rt_;
+  SimTime created_at_;
+  const std::vector<OperatorId>* downstream_;
+  std::shared_ptr<std::vector<Runtime::PendingEmit>> batch_ =
+      std::make_shared<std::vector<Runtime::PendingEmit>>();
+};
+
+/// Applies the operator's logic (or default selectivity-based emission) for
+/// one tuple. Shared by all executor implementations.
+void ApplyOperatorLogic(Runtime* rt, const OperatorSpec& spec, OperatorId op,
+                        const Tuple& t, ProcessStateStore* store,
+                        ShardId shard, BatchEmitContext* emit, Rng* rng);
+
+/// Samples the CPU cost of processing `t` under `spec`.
+SimDuration SampleCost(const OperatorSpec& spec, const EngineConfig& config,
+                       const Tuple& t, Rng* rng);
+
+}  // namespace elasticutor

@@ -1,0 +1,103 @@
+#include "engine/spout.h"
+
+namespace elasticutor {
+
+SpoutExecutor::SpoutExecutor(Runtime* rt, OperatorId op, ExecutorIndex index,
+                             NodeId home)
+    : ExecutorBase(rt, op, index, home),
+      rng_(rt->rng()->Fork(0x500 + MakeExecutorId(op, index))) {}
+
+void SpoutExecutor::OnTupleArrive(Tuple) {
+  ELASTICUTOR_CHECK_MSG(false, "source executor received an upstream tuple");
+}
+
+void SpoutExecutor::Start() {
+  const SourceSpec& src = rt_->topology().spec(op_).source;
+  if (src.mode == SourceSpec::Mode::kSaturation) {
+    rt_->sim()->After(0, [this]() { SaturationLoop(); });
+  } else {
+    ScheduleNextTraceArrival();
+  }
+}
+
+bool SpoutExecutor::TryEmitDownstream(const Tuple& t) {
+  // A keyed tuple goes to every downstream operator; all-or-nothing here is
+  // unnecessary because sources in this repo have exactly one downstream
+  // operator (checked by Engine at setup).
+  const auto& downstream = rt_->topology().downstream(op_);
+  return rt_->TryRoute(home_node_, downstream[0], t, &metrics_);
+}
+
+void SpoutExecutor::SaturationLoop() {
+  if (stopped_) return;
+  const SourceSpec& src = rt_->topology().spec(op_).source;
+  if (!held_.has_value()) {
+    held_ = src.factory(&rng_, rt_->sim()->now());
+    // Event time is the first emission attempt: back-pressure stalls (e.g.
+    // RC pause barriers) count toward latency, as in Storm's complete
+    // latency metric.
+    held_->created_at = rt_->sim()->now();
+    rt_->CountOffered(rt_->topology().downstream(op_)[0], held_->key);
+  }
+  // Head-of-line semantics (Storm spout): a blocked tuple is retried, not
+  // replaced — a saturated hot executor therefore throttles this spout.
+  if (TryEmitDownstream(*held_)) {
+    held_.reset();
+    ++emitted_;
+    ++metrics_.processed;
+    metrics_.busy_ns += src.gen_overhead_ns;
+    rt_->sim()->After(src.gen_overhead_ns, [this]() { SaturationLoop(); });
+  } else {
+    ++blocked_attempts_;
+    // Jittered back-off: synchronized retries would otherwise arrive in
+    // thundering herds that slam queues to their cap and drain them empty.
+    SimDuration delay = static_cast<SimDuration>(
+        rt_->config().emit_retry_ns * (0.5 + rng_.NextDouble()));
+    rt_->sim()->After(delay, [this]() { SaturationLoop(); });
+  }
+}
+
+void SpoutExecutor::ScheduleNextTraceArrival() {
+  if (stopped_) return;
+  const SourceSpec& src = rt_->topology().spec(op_).source;
+  int num_executors = static_cast<int>(rt_->executors(op_).size());
+  double rate = src.rate_fn(rt_->sim()->now()) / num_executors;
+  // Guard against zero-rate intervals: poll again shortly.
+  SimDuration gap = rate <= 1e-9
+                        ? Millis(100)
+                        : static_cast<SimDuration>(
+                              rng_.NextExponential(1e9 / rate));
+  rt_->sim()->After(gap, [this]() {
+    if (stopped_) return;
+    const SourceSpec& spec_src = rt_->topology().spec(op_).source;
+    Tuple t = spec_src.factory(&rng_, rt_->sim()->now());
+    t.created_at = rt_->sim()->now();  // Event time: latency includes backlog.
+    rt_->CountOffered(rt_->topology().downstream(op_)[0], t.key);
+    backlog_.push_back(t);
+    DrainBacklog();
+    ScheduleNextTraceArrival();
+  });
+}
+
+void SpoutExecutor::DrainBacklog() {
+  if (draining_) return;
+  while (!backlog_.empty()) {
+    if (TryEmitDownstream(backlog_.front())) {
+      backlog_.pop_front();
+      ++emitted_;
+      ++metrics_.processed;
+      continue;
+    }
+    // Blocked: retry later; `draining_` prevents stacking retry loops.
+    draining_ = true;
+    SimDuration delay = static_cast<SimDuration>(
+        rt_->config().emit_retry_ns * (0.5 + rng_.NextDouble()));
+    rt_->sim()->After(delay, [this]() {
+      draining_ = false;
+      DrainBacklog();
+    });
+    return;
+  }
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,55 @@
+// Source executors. Two modes (SourceSpec::Mode):
+//  * kSaturation — emit as fast as back-pressure allows; used for
+//    throughput-capacity experiments. The generation loop stalls (and
+//    retries) whenever the target executor is paused or full, which is
+//    exactly how a Storm spout with a max-pending bound behaves.
+//  * kTrace — tuples arrive by a Poisson process at rate_fn(t); arrivals
+//    that cannot be dispatched queue in an unbounded spout backlog, so
+//    measured latency includes the backlog delay (event-time latency).
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "engine/executor_base.h"
+#include "engine/runtime.h"
+
+namespace elasticutor {
+
+class SpoutExecutor : public ExecutorBase {
+ public:
+  SpoutExecutor(Runtime* rt, OperatorId op, ExecutorIndex index, NodeId home);
+
+  void Start() override;
+
+  // Sources receive no upstream tuples.
+  void OnTupleArrive(Tuple) override;
+  bool CanAccept() const override { return false; }
+  int64_t queued() const override {
+    return static_cast<int64_t>(backlog_.size());
+  }
+
+  /// Stops generating (end of a measured run).
+  void Stop() { stopped_ = true; }
+
+  int64_t emitted() const { return emitted_; }
+  /// Emission attempts rejected by back-pressure (diagnostics).
+  int64_t blocked_attempts() const { return blocked_attempts_; }
+
+ private:
+  void SaturationLoop();
+  void ScheduleNextTraceArrival();
+  void DrainBacklog();
+
+  bool TryEmitDownstream(const Tuple& t);
+
+  bool stopped_ = false;
+  bool draining_ = false;
+  int64_t emitted_ = 0;
+  int64_t blocked_attempts_ = 0;
+  std::optional<Tuple> held_;  // Saturation mode: blocked head-of-line tuple.
+  std::deque<Tuple> backlog_;  // Trace mode only.
+  Rng rng_;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,34 @@
+// Stream tuples. Tuples are small value types (copied into queues); the
+// payload is a fixed-size POD so millions of tuples per simulated second do
+// not allocate.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace elasticutor {
+
+/// Application payload: enough fields for the workloads in this repo (e.g.
+/// SSE orders carry price/volume/side/stock). Interpretation is up to the
+/// operator logic.
+struct TuplePayload {
+  double f0 = 0.0;
+  double f1 = 0.0;
+  int64_t i0 = 0;
+  int64_t i1 = 0;
+};
+
+struct Tuple {
+  uint64_t key = 0;
+  int32_t size_bytes = 128;
+  /// Root event time: set when the tuple (or its root ancestor) entered the
+  /// topology; inherited by derived tuples so sink latency is end-to-end.
+  SimTime created_at = 0;
+  /// Arrival sequence number assigned at the destination operator when order
+  /// validation is enabled; 0 otherwise.
+  uint64_t arrival_seq = 0;
+  TuplePayload payload;
+};
+
+}  // namespace elasticutor

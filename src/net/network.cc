@@ -1,0 +1,70 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+Network::Network(Simulator* sim, int num_nodes, NetworkConfig config)
+    : sim_(sim), config_(config), egress_free_at_(num_nodes, 0) {
+  ELASTICUTOR_CHECK(num_nodes > 0);
+  ELASTICUTOR_CHECK(config_.bandwidth_bytes_per_sec > 0);
+}
+
+void Network::Send(NodeId src, NodeId dst, int64_t bytes, Purpose purpose,
+                   EventFn deliver) {
+  ELASTICUTOR_CHECK(bytes >= 0);
+  ++messages_sent_;
+  if (src == dst) {
+    intra_bytes_[static_cast<int>(purpose)] += bytes;
+    sim_->After(config_.intra_node_ns,
+                [this, fn = std::move(deliver)]() mutable {
+                  ++messages_delivered_;
+                  fn();
+                });
+    return;
+  }
+  int64_t wire_bytes = bytes + config_.per_message_overhead_bytes;
+  inter_bytes_[static_cast<int>(purpose)] += wire_bytes;
+  double tx_seconds =
+      static_cast<double>(wire_bytes) / config_.bandwidth_bytes_per_sec;
+  SimDuration tx = static_cast<SimDuration>(tx_seconds * 1e9);
+  SimTime start = std::max(sim_->now(), egress_free_at_[src]);
+  SimTime tx_done = start + tx;
+  egress_free_at_[src] = tx_done;
+  SimTime arrive = tx_done + config_.propagation_ns;
+  sim_->At(arrive, [this, fn = std::move(deliver)]() mutable {
+    ++messages_delivered_;
+    fn();
+  });
+}
+
+void Network::Rpc(NodeId src, NodeId dst, int64_t req_bytes,
+                  int64_t resp_bytes, SimDuration handler_delay,
+                  EventFn at_dst, EventFn reply_at_src) {
+  Send(src, dst, req_bytes, Purpose::kControl,
+       [this, src, dst, resp_bytes, handler_delay, at_dst = std::move(at_dst),
+        reply = std::move(reply_at_src)]() mutable {
+         if (at_dst) at_dst();
+         sim_->After(handler_delay, [this, src, dst, resp_bytes,
+                                     reply = std::move(reply)]() mutable {
+           Send(dst, src, resp_bytes, Purpose::kControl, std::move(reply));
+         });
+       });
+}
+
+int64_t Network::total_inter_node_bytes() const {
+  int64_t total = 0;
+  for (int64_t b : inter_bytes_) total += b;
+  return total;
+}
+
+void Network::ResetCounters() {
+  inter_bytes_.fill(0);
+  intra_bytes_.fill(0);
+  messages_sent_ = 0;
+  messages_delivered_ = 0;
+}
+
+}  // namespace elasticutor

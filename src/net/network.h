@@ -1,0 +1,84 @@
+// Simulated cluster network. Each node has a full-duplex NIC whose egress is
+// modeled as a FIFO transmission queue with fixed bandwidth (1 Gbps default,
+// matching the paper's testbed); delivery adds a propagation delay.
+// Same-node delivery bypasses the NIC and costs only an IPC handoff.
+//
+// All bytes are attributed to a Purpose so experiments can report, e.g., the
+// "state migration rate" and "remote data transfer rate" of Table 2.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"  // NodeId.
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace elasticutor {
+
+enum class Purpose : int {
+  kInterOperator = 0,  // Tuples between operators (receiver->receiver).
+  kRemoteTask = 1,     // Main process <-> remote tasks of an elastic executor.
+  kStateMigration = 2, // Shard state blobs.
+  kControl = 3,        // Scheduler / repartitioning coordination.
+  kCount = 4,
+};
+
+struct NetworkConfig {
+  double bandwidth_bytes_per_sec = 125e6;  // 1 Gbps Ethernet.
+  SimDuration propagation_ns = Micros(200);
+  SimDuration intra_node_ns = Micros(30);  // In-process / loopback handoff.
+  int64_t per_message_overhead_bytes = 64; // Framing + headers.
+};
+
+class Network {
+ public:
+  Network(Simulator* sim, int num_nodes, NetworkConfig config);
+
+  /// Sends `bytes` from `src` to `dst`; `deliver` runs at the destination
+  /// when the message arrives. Per-(src,dst) FIFO ordering is guaranteed
+  /// (egress serialization is monotone), which the shard-reassignment
+  /// labeling protocol relies on.
+  void Send(NodeId src, NodeId dst, int64_t bytes, Purpose purpose,
+            EventFn deliver);
+
+  /// Request/response helper: `at_dst` runs when the request arrives (after
+  /// `handler_delay`), then a response of `resp_bytes` is sent back and
+  /// `reply_at_src` runs at the source.
+  void Rpc(NodeId src, NodeId dst, int64_t req_bytes, int64_t resp_bytes,
+           SimDuration handler_delay, EventFn at_dst, EventFn reply_at_src);
+
+  /// Inter-node bytes sent for a purpose (excludes same-node traffic).
+  int64_t inter_node_bytes(Purpose purpose) const {
+    return inter_bytes_[static_cast<int>(purpose)];
+  }
+  /// Same-node bytes for a purpose.
+  int64_t intra_node_bytes(Purpose purpose) const {
+    return intra_bytes_[static_cast<int>(purpose)];
+  }
+  int64_t total_inter_node_bytes() const;
+  int64_t messages_sent() const { return messages_sent_; }
+  int64_t messages_delivered() const { return messages_delivered_; }
+
+  /// Earliest time node's egress is free (diagnostics / tests).
+  SimTime egress_free_at(NodeId node) const { return egress_free_at_.at(node); }
+
+  const NetworkConfig& config() const { return config_; }
+  int num_nodes() const { return static_cast<int>(egress_free_at_.size()); }
+
+  /// Resets byte/message counters (not in-flight traffic). Benches call this
+  /// after warm-up.
+  void ResetCounters();
+
+ private:
+  Simulator* sim_;
+  NetworkConfig config_;
+  std::vector<SimTime> egress_free_at_;
+  std::array<int64_t, static_cast<int>(Purpose::kCount)> inter_bytes_{};
+  std::array<int64_t, static_cast<int>(Purpose::kCount)> intra_bytes_{};
+  int64_t messages_sent_ = 0;
+  int64_t messages_delivered_ = 0;
+};
+
+}  // namespace elasticutor

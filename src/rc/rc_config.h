@@ -1,0 +1,38 @@
+// Resource-centric (RC) baseline configuration. RC follows the paper's
+// description of prior work (Flux-style operator-level key repartitioning
+// with global synchronization), implemented — as in the paper's comparison —
+// with the same performance model, load-balancing heuristic, and
+// intra-process state sharing as Elasticutor.
+#pragma once
+
+#include "common/units.h"
+#include "sim/time.h"
+
+namespace elasticutor {
+
+struct RcConfig {
+  /// Master switch (benches probing single repartitions disable it).
+  bool enabled = true;
+
+  /// How often the RC controller checks balance / provisioning.
+  SimDuration interval_ns = Seconds(1);
+
+  /// Repartition when max/avg executor load exceeds this.
+  double imbalance_threshold = 1.2;
+
+  /// Coordination cost the controller pays per upstream executor in each
+  /// synchronization phase (pause and routing-update). Models the
+  /// ZooKeeper/nimbus-style round trips of operator-level repartitioning;
+  /// this is what makes RC synchronization grow with the number of upstream
+  /// executors (Fig 9a).
+  SimDuration coord_per_upstream_ns = Millis(4);
+
+  /// Latency of a single pause/resume control round trip.
+  SimDuration control_rtt_ns = Millis(1);
+
+  /// Whether the controller may also change the number of executors per
+  /// operator (operator scaling) using the shared performance model.
+  bool enable_rescale = true;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,107 @@
+// Resource-centric baseline (§2.2, evaluated throughout §5): elasticity via
+// dynamic operator-level key repartitioning. For a fair comparison — as in
+// the paper — RC shares Elasticutor's performance model (perf_model.h),
+// load-balancing heuristic (load_balancer.h) and intra-process state sharing
+// (same-node shard moves are free).
+//
+// What RC cannot share is Elasticutor's independence properties: every shard
+// move is an operator-level reassignment needing global synchronization
+// (§1): (a) pause all upstream executors, (b) drain all in-flight tuples of
+// the operator, (c) migrate the shard state, (d) update the routing tables
+// of all upstream executors. Moves execute sequentially, each paying the
+// full pause/drain/update cost — this is why RC's transient lasts 10-20 s
+// (Fig 7) and why its per-shard synchronization time is 2-3 orders of
+// magnitude above Elasticutor's (Fig 8/9a).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/rate_meter.h"
+#include "elastic/load_balancer.h"
+#include "engine/runtime.h"
+#include "engine/single_task_executor.h"
+#include "scheduler/perf_model.h"
+
+namespace elasticutor {
+
+class RcController {
+ public:
+  RcController(Runtime* rt, const Cluster* cluster, CoreLedger* ledger,
+               std::vector<OperatorId> managed_ops);
+
+  void Start();
+
+  /// One controller cycle: refresh per-operator demand estimates, then — if
+  /// no repartition is running — trigger at most one repartition (rescale or
+  /// rebalance) for the most imbalanced/mis-provisioned operator.
+  void RunOnce();
+
+  bool repartition_in_progress() const { return active_ != nullptr; }
+  int64_t repartitions_started() const { return repartitions_started_; }
+  int64_t shard_moves_done() const { return shard_moves_done_; }
+
+  /// Immediately repartitions `op` toward balance (test/bench hook);
+  /// `new_count` of 0 keeps the executor count.
+  Status TriggerRepartition(OperatorId op, int new_count = 0);
+
+  /// Test/bench hook: repartition with exactly one shard move (shard ->
+  /// executor `to`). Pays the full synchronization protocol of one
+  /// operator-level reassignment — the Fig 8/9 probe.
+  Status ProbeMoveShard(OperatorId op, ShardId shard, ExecutorIndex to);
+
+ private:
+  struct OpState {
+    OperatorId op;
+    int64_t prev_arrivals = 0;
+    int64_t prev_processed = 0;
+    int64_t prev_busy_ns = 0;
+    Ewma lambda;
+    Ewma mu;
+    // Offered load per shard over the last interval (diff of the routing
+    // tables' counters); what repartitioning balances on.
+    std::vector<int64_t> prev_routed;
+    std::vector<double> interval_load;
+  };
+
+  /// One in-flight repartition: a single global synchronization barrier
+  /// covering a batch of shard moves — pause all upstream executors, drain
+  /// all in-flight tuples, migrate the moved shards' state in parallel,
+  /// update every upstream routing table, resume. (The Fig 8/9 probes
+  /// trigger single-move batches, whose cost is the full barrier.)
+  struct Repartition {
+    OperatorId op = -1;
+    std::vector<balance::Move> moves;
+    int final_count = 0;              // Executor count after completion.
+    SimTime start = 0;
+    SimTime drain_done = 0;
+    int pending_migrations = 0;
+    // Per-move migration timing (filled as transfers complete).
+    std::vector<SimDuration> migration_ns;
+    std::vector<int64_t> migrated_bytes;
+    std::vector<bool> inter_node;
+  };
+
+  std::shared_ptr<SingleTaskExecutor> exec(OperatorId op,
+                                           ExecutorIndex index) const;
+  void MeasureInterval(SimDuration dt);
+  Status StartRepartition(OperatorId op, int new_count);
+  void DrainPoll();
+  void MigrateBatch();
+  void UpdateRoutingAndResume();
+  void FinishRepartition();
+  SimDuration SyncCoordinationDelay(OperatorId op) const;
+
+  Runtime* rt_;
+  const Cluster* cluster_;
+  CoreLedger* ledger_;
+  std::vector<OpState> ops_;
+  std::unique_ptr<Repartition> active_;
+
+  int64_t repartitions_started_ = 0;
+  int64_t shard_moves_done_ = 0;
+  SimTime last_run_ = 0;
+};
+
+}  // namespace elasticutor

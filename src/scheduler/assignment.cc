@@ -1,0 +1,208 @@
+#include "scheduler/assignment.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct WorkingState {
+  std::vector<std::vector<int>> x;  // [node][executor].
+  std::vector<int> total;           // X_j.
+  std::vector<int> free_cores;      // Per node.
+};
+
+double CostAlloc(const AssignmentInput& in, const WorkingState& w, int node,
+                 int j) {
+  int xj = w.total[j];
+  if (xj <= 0) return 0.0;
+  return in.state_bytes[j] * (xj - w.x[node][j]) /
+         (static_cast<double>(xj) * (xj + 1));
+}
+
+double CostDealloc(const AssignmentInput& in, const WorkingState& w, int node,
+                   int j) {
+  int xj = w.total[j];
+  if (xj <= 1) return kInf;  // Would drop the executor to zero cores.
+  return in.state_bytes[j] * (xj - w.x[node][j]) /
+         (static_cast<double>(xj) * (xj - 1));
+}
+
+}  // namespace
+
+double MigrationCostBytes(const AssignmentInput& in,
+                          const std::vector<std::vector<int>>& x) {
+  const int n = static_cast<int>(in.node_capacity.size());
+  const int m = static_cast<int>(in.target.size());
+  double cost = 0.0;
+  for (int j = 0; j < m; ++j) {
+    int old_total = 0, new_total = 0;
+    for (int i = 0; i < n; ++i) {
+      old_total += in.current[i][j];
+      new_total += x[i][j];
+    }
+    if (old_total == 0 || new_total == 0) continue;
+    for (int i = 0; i < n; ++i) {
+      double before = in.state_bytes[j] * in.current[i][j] / old_total;
+      double after = in.state_bytes[j] * x[i][j] / new_total;
+      cost += std::max(0.0, before - after);
+    }
+  }
+  return cost;
+}
+
+AssignmentOutput SolveAssignmentOnce(const AssignmentInput& in, double phi) {
+  const int n = static_cast<int>(in.node_capacity.size());
+  const int m = static_cast<int>(in.target.size());
+  ELASTICUTOR_CHECK(static_cast<int>(in.current.size()) == n);
+
+  WorkingState w;
+  w.x = in.current;
+  w.total.assign(m, 0);
+  w.free_cores.assign(n, 0);
+  for (int i = 0; i < n; ++i) {
+    int used = 0;
+    for (int j = 0; j < m; ++j) used += w.x[i][j];
+    w.free_cores[i] = in.node_capacity[i] - used;
+    ELASTICUTOR_CHECK_MSG(w.free_cores[i] >= 0, "node over capacity");
+  }
+  for (int j = 0; j < m; ++j) {
+    for (int i = 0; i < n; ++i) w.total[j] += w.x[i][j];
+  }
+
+  auto over_provisioned = [&](int j) { return w.total[j] > in.target[j]; };
+  auto intensive = [&](int j) { return in.data_intensity[j] > phi; };
+
+  // Under-provisioned executors, most data-intensive first.
+  std::vector<int> under;
+  for (int j = 0; j < m; ++j) {
+    if (w.total[j] < in.target[j]) under.push_back(j);
+  }
+  std::sort(under.begin(), under.end(), [&](int a, int b) {
+    return in.data_intensity[a] > in.data_intensity[b];
+  });
+
+  AssignmentOutput out;
+  for (int j : under) {
+    while (w.total[j] < in.target[j]) {
+      if (intensive(j)) {
+        // Locality constraint: only cores on the home node.
+        int i = in.home[j];
+        if (w.free_cores[i] > 0) {
+          --w.free_cores[i];
+        } else {
+          int donor = -1;
+          double best = kInf;
+          for (int cand = 0; cand < m; ++cand) {
+            if (cand == j || !over_provisioned(cand) || w.x[i][cand] <= 0) {
+              continue;
+            }
+            double cost = CostDealloc(in, w, i, cand);
+            if (cost < best) {
+              best = cost;
+              donor = cand;
+            }
+          }
+          if (donor < 0) return out;  // FAIL at this φ.
+          --w.x[i][donor];
+          --w.total[donor];
+        }
+        ++w.x[i][j];
+        ++w.total[j];
+      } else {
+        // Any node: cheapest dealloc+alloc pair (free cores cost only C+).
+        int best_node = -1, donor = -1;
+        double best = kInf;
+        for (int i = 0; i < n; ++i) {
+          if (w.free_cores[i] > 0) {
+            double cost = CostAlloc(in, w, i, j);
+            if (cost < best) {
+              best = cost;
+              best_node = i;
+              donor = -1;
+            }
+          }
+          for (int cand = 0; cand < m; ++cand) {
+            if (cand == j || !over_provisioned(cand) || w.x[i][cand] <= 0) {
+              continue;
+            }
+            double cost = CostDealloc(in, w, i, cand) + CostAlloc(in, w, i, j);
+            if (cost < best) {
+              best = cost;
+              best_node = i;
+              donor = cand;
+            }
+          }
+        }
+        if (best_node < 0) return out;  // FAIL at this φ.
+        if (donor >= 0) {
+          --w.x[best_node][donor];
+          --w.total[donor];
+        } else {
+          --w.free_cores[best_node];
+        }
+        ++w.x[best_node][j];
+        ++w.total[j];
+      }
+    }
+  }
+
+  out.feasible = true;
+  out.x = std::move(w.x);
+  out.phi_used = phi;
+  out.migration_cost_bytes = MigrationCostBytes(in, out.x);
+  return out;
+}
+
+AssignmentOutput SolveAssignment(const AssignmentInput& in) {
+  int total_target = std::accumulate(in.target.begin(), in.target.end(), 0);
+  int total_capacity =
+      std::accumulate(in.node_capacity.begin(), in.node_capacity.end(), 0);
+  if (total_target > total_capacity) {
+    return AssignmentOutput{};  // Structurally infeasible.
+  }
+  double phi = in.phi;
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    AssignmentOutput out = SolveAssignmentOnce(in, phi);
+    if (out.feasible) return out;
+    phi *= 2.0;
+  }
+  return SolveAssignmentOnce(in, kInf);
+}
+
+AssignmentOutput NaiveAssignment(const AssignmentInput& in, uint64_t salt) {
+  const int n = static_cast<int>(in.node_capacity.size());
+  const int m = static_cast<int>(in.target.size());
+  AssignmentOutput out;
+  out.x.assign(n, std::vector<int>(m, 0));
+  std::vector<int> free_cores = in.node_capacity;
+  int cursor = static_cast<int>(salt % static_cast<uint64_t>(n));
+  for (int j = 0; j < m; ++j) {
+    // First-fit from a rotating cursor, oblivious to home nodes and the
+    // existing placement — an executor's only task can end up remote from
+    // its receiver/emitter, which is exactly the locality failure the
+    // optimized Algorithm 1 avoids.
+    int need = in.target[j];
+    for (int step = 0; step < n && need > 0; ++step) {
+      int i = (cursor + step) % n;
+      int take = std::min(need, free_cores[i]);
+      free_cores[i] -= take;
+      out.x[i][j] += take;
+      need -= take;
+    }
+    cursor = (cursor + 1) % n;
+    if (need > 0) return AssignmentOutput{};  // Out of capacity.
+  }
+  out.feasible = true;
+  out.phi_used = 0.0;
+  out.migration_cost_bytes = MigrationCostBytes(in, out.x);
+  return out;
+}
+
+}  // namespace elasticutor

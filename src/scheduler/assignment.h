@@ -1,0 +1,62 @@
+// CPU-to-executor assignment (§4.2, Algorithm 1).
+//
+// Given per-executor core targets k_j (from the performance model), the
+// existing assignment X̃ and per-node capacities c_i, find a new assignment
+// X minimizing the state-migration cost
+//
+//   C(X|X̃) = Σ_j Σ_i max(0, s_j·x̃_ij/X̃_j − s_j·x_ij/X_j)
+//
+// subject to (a) node capacity, (b) X_j ≥ k_j, and (c) computation locality:
+// executors whose per-core data intensity exceeds φ accept only cores on
+// their local node. The greedy uses the marginal costs
+//
+//   C⁺_ij(X) = s_j (X_j − x_ij) / (X_j (X_j+1))   — allocating on node i
+//   C⁻_ij(X) = s_j (X_j − x_ij) / (X_j (X_j−1))   — deallocating from node i
+//
+// and processes under-provisioned executors in descending data intensity.
+// If no feasible assignment exists at φ, the caller doubles φ and retries
+// (SolveAssignment automates the doubling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace elasticutor {
+
+struct AssignmentInput {
+  std::vector<int> node_capacity;          // c_i.
+  std::vector<int> home;                   // I(j), node of the main process.
+  std::vector<int> target;                 // k_j (each >= 1).
+  std::vector<double> state_bytes;         // s_j.
+  std::vector<double> data_intensity;      // Bytes/s per core.
+  std::vector<std::vector<int>> current;   // x̃[node][executor].
+  double phi = 512.0 * 1024.0;             // Initial φ̃.
+};
+
+struct AssignmentOutput {
+  bool feasible = false;
+  std::vector<std::vector<int>> x;         // x[node][executor].
+  double phi_used = 0.0;                   // φ of the feasible solution.
+  double migration_cost_bytes = 0.0;       // C(X|X̃).
+};
+
+/// One run of Algorithm 1 at a fixed φ.
+AssignmentOutput SolveAssignmentOnce(const AssignmentInput& in, double phi);
+
+/// Algorithm 1 with the paper's φ-doubling loop. Always terminates: with
+/// φ = ∞ the locality constraint vanishes and a solution exists whenever
+/// Σ k_j ≤ Σ c_i.
+AssignmentOutput SolveAssignment(const AssignmentInput& in);
+
+/// naive-EC baseline: first-fit packing of k_j cores over nodes, ignoring
+/// the current assignment, state sizes and data intensity. `salt` rotates
+/// the packing order between invocations (the point of naive-EC is that
+/// placement is recomputed obliviously each cycle, so cores — and the state
+/// behind them — wander between nodes).
+AssignmentOutput NaiveAssignment(const AssignmentInput& in, uint64_t salt = 0);
+
+/// C(X|X̃) between two assignments.
+double MigrationCostBytes(const AssignmentInput& in,
+                          const std::vector<std::vector<int>>& x);
+
+}  // namespace elasticutor

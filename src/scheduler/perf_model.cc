@@ -1,0 +1,169 @@
+#include "scheduler/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+double ErlangC(int k, double lambda, double mu) {
+  ELASTICUTOR_CHECK(k > 0 && mu > 0);
+  double a = lambda / mu;  // Offered load (Erlangs).
+  double rho = a / k;
+  ELASTICUTOR_CHECK_MSG(rho < 1.0, "ErlangC requires a stable queue");
+  // Iterative form avoids factorial overflow: term_i = a^i/i!.
+  double sum = 1.0;   // i = 0 term.
+  double term = 1.0;
+  for (int i = 1; i < k; ++i) {
+    term *= a / i;
+    sum += term;
+  }
+  double term_k = term * a / k;  // a^k / k!.
+  double numerator = term_k / (1.0 - rho);
+  return numerator / (sum + numerator);
+}
+
+double MmkSojournSeconds(int k, double lambda, double mu) {
+  if (k <= 0 || mu <= 0) return kInf;
+  if (lambda <= 0) return 1.0 / mu;
+  if (k * mu <= lambda) return kInf;
+  double c = ErlangC(k, lambda, mu);
+  double wait = c / (k * mu - lambda);
+  return wait + 1.0 / mu;
+}
+
+double JacksonLatencySeconds(const std::vector<ExecutorDemand>& demands,
+                             const std::vector<int>& k, double lambda0) {
+  ELASTICUTOR_CHECK(demands.size() == k.size());
+  if (lambda0 <= 0) return 0.0;
+  double total = 0.0;
+  for (size_t j = 0; j < demands.size(); ++j) {
+    double t = MmkSojournSeconds(k[j], demands[j].lambda, demands[j].mu);
+    if (t == kInf) return kInf;
+    total += demands[j].lambda * t;
+  }
+  return total / lambda0;
+}
+
+AllocationResult AllocateCores(const std::vector<ExecutorDemand>& demands,
+                               int total_cores, double latency_target_s,
+                               bool allocate_all) {
+  const int m = static_cast<int>(demands.size());
+  AllocationResult result;
+  result.cores.assign(m, 1);
+  if (m == 0) return result;
+
+  double lambda0 = 0.0;
+  for (const auto& d : demands) lambda0 = std::max(lambda0, d.lambda);
+  // λ0 is the topology input rate; using the max executor rate is a safe
+  // stand-in when the caller does not track source rates — it only scales
+  // E[T] uniformly and does not change the argmax structure of the greedy.
+
+  // Minimal stable allocation: k_j = floor(λ_j/µ_j) + 1.
+  int used = 0;
+  for (int j = 0; j < m; ++j) {
+    int k = static_cast<int>(std::floor(demands[j].lambda /
+                                        std::max(demands[j].mu, 1e-9))) +
+            1;
+    result.cores[j] = std::max(1, k);
+    used += result.cores[j];
+  }
+  // If the minimal allocation is infeasible, shave from the most
+  // over-allocated executors (keeping each >= 1).
+  while (used > total_cores) {
+    int victim = -1;
+    double best_slack = -kInf;
+    for (int j = 0; j < m; ++j) {
+      if (result.cores[j] <= 1) continue;
+      double slack = result.cores[j] -
+                     demands[j].lambda / std::max(demands[j].mu, 1e-9);
+      if (slack > best_slack) {
+        best_slack = slack;
+        victim = j;
+      }
+    }
+    if (victim < 0) break;  // Everything at 1 core; nothing to shave.
+    --result.cores[victim];
+    --used;
+  }
+
+  // Incremental greedy: E[T] = Σ contrib_j / λ0 where contrib_j = λ_j·T_j.
+  // Granting a core to j changes only contrib_j, so we track per-executor
+  // contributions and marginal gains instead of recomputing the whole sum.
+  const double l0 = std::max(lambda0, 1e-9);
+  std::vector<double> contrib(m), gain(m);
+  auto term = [&](int j, int k) {
+    double t = MmkSojournSeconds(k, demands[j].lambda, demands[j].mu);
+    return t == kInf ? kInf : demands[j].lambda * t;
+  };
+  auto gain_of = [&](int j, int k) {
+    double cur = contrib[j];
+    double next = term(j, k + 1);
+    if (cur == kInf && next == kInf) {
+      // Still unstable after one more core: granting is progress anyway;
+      // prioritize by demand so the most overloaded executor recovers first.
+      return 1e18 * (1.0 + demands[j].lambda);
+    }
+    if (cur == kInf) return kInf;
+    return cur - next;
+  };
+  double total_contrib = 0.0;
+  for (int j = 0; j < m; ++j) {
+    contrib[j] = term(j, result.cores[j]);
+    total_contrib += contrib[j];
+    gain[j] = gain_of(j, result.cores[j]);
+  }
+  double current = total_contrib / l0;
+  while (used < total_cores && current > latency_target_s) {
+    int best = -1;
+    for (int j = 0; j < m; ++j) {
+      if (gain[j] > 0 && (best < 0 || gain[j] > gain[best])) best = j;
+    }
+    if (best < 0) break;  // No grant helps (already latency-optimal).
+    ++result.cores[best];
+    ++used;
+    double old_contrib = contrib[best];
+    contrib[best] = term(best, result.cores[best]);
+    if (old_contrib == kInf || contrib[best] == kInf) {
+      // Rebuild the sum when infinities are involved.
+      total_contrib = 0.0;
+      for (int j = 0; j < m; ++j) total_contrib += contrib[j];
+    } else {
+      total_contrib += contrib[best] - old_contrib;
+    }
+    gain[best] = gain_of(best, result.cores[best]);
+    current = total_contrib / l0;
+  }
+  result.target_met = current <= latency_target_s;
+
+  if (allocate_all) {
+    // Spread leftovers to the busiest executors (per-core utilization).
+    int fallback = 0;
+    while (used < total_cores) {
+      int best = -1;
+      double best_util = 0.0;
+      for (int j = 0; j < m; ++j) {
+        double util = std::max(demands[j].lambda, 0.0) /
+                      (std::max(demands[j].mu, 1e-9) * result.cores[j]);
+        if (best < 0 || util > best_util) {
+          best_util = util;
+          best = j;
+        }
+      }
+      if (best < 0) best = fallback++ % m;  // All idle: round-robin.
+      ++result.cores[best];
+      ++used;
+    }
+    current = JacksonLatencySeconds(demands, result.cores, l0);
+  }
+  result.expected_latency_s = current;
+  return result;
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,51 @@
+// Queueing-network performance model (§4.1). Each executor j is an M/M/k_j
+// queue; the topology is a Jackson network, so the mean end-to-end latency is
+//
+//   E[T](k) = (1/λ0) · Σ_j λ_j · E[T_j](k_j),
+//
+// with E[T_j] from the Erlang-C formula. The greedy allocator initializes
+// k_j = ⌊λ_j/µ_j⌋ + 1 (minimal stable allocation) and repeatedly grants one
+// core to the executor whose grant decreases E[T] the most, until the target
+// T_max is met or cores run out — the DRS algorithm, shown optimal in
+// [Fu et al., ICDCS'15].
+#pragma once
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace elasticutor {
+
+/// Measured demand of one executor.
+struct ExecutorDemand {
+  double lambda = 0.0;  // Arrival rate, tuples/s (incl. backlog pressure).
+  double mu = 1.0;      // Per-core service rate, tuples/s.
+};
+
+/// Erlang-C: probability that an arrival to an M/M/k queue waits.
+/// Requires rho = lambda/(k*mu) < 1.
+double ErlangC(int k, double lambda, double mu);
+
+/// Mean sojourn time (seconds) of an M/M/k queue; +inf if unstable (k*mu <=
+/// lambda) or k <= 0.
+double MmkSojournSeconds(int k, double lambda, double mu);
+
+/// Jackson-network mean latency (seconds) for an allocation k.
+double JacksonLatencySeconds(const std::vector<ExecutorDemand>& demands,
+                             const std::vector<int>& k, double lambda0);
+
+struct AllocationResult {
+  std::vector<int> cores;       // k_j, one per executor; each >= 1.
+  double expected_latency_s = 0;
+  bool target_met = false;
+};
+
+/// Greedy core allocation. `total_cores` bounds Σk. If `allocate_all` is
+/// set, cores left over after meeting `latency_target` are distributed to
+/// the executors with the highest per-core utilization (work-conserving
+/// mode for saturation experiments).
+AllocationResult AllocateCores(const std::vector<ExecutorDemand>& demands,
+                               int total_cores, double latency_target_s,
+                               bool allocate_all);
+
+}  // namespace elasticutor

@@ -1,0 +1,267 @@
+#include "scheduler/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace elasticutor {
+
+DynamicScheduler::DynamicScheduler(
+    Runtime* rt, const Cluster* cluster, CoreLedger* ledger,
+    std::vector<std::shared_ptr<ElasticExecutor>> executors)
+    : rt_(rt), cluster_(cluster), ledger_(ledger) {
+  const SchedulerConfig& cfg = rt_->config().scheduler;
+  states_.reserve(executors.size());
+  for (auto& ex : executors) {
+    ExecutorState state;
+    state.executor = std::move(ex);
+    state.lambda = Ewma(cfg.metric_alpha);
+    state.mu = Ewma(cfg.metric_alpha);
+    state.intensity = Ewma(cfg.metric_alpha);
+    // Seed µ from the operator's declared mean cost so the first cycles have
+    // a sane service-rate estimate.
+    const OperatorSpec& spec = rt_->topology().spec(state.executor->op());
+    state.mu.Add(1e9 / static_cast<double>(std::max<SimDuration>(
+                           spec.mean_cost_ns, 1)));
+    states_.push_back(std::move(state));
+  }
+}
+
+void DynamicScheduler::Start() {
+  SimDuration interval = rt_->config().scheduler.interval_ns;
+  last_run_ = rt_->sim()->now();
+  rt_->sim()->Periodic(rt_->sim()->now() + interval, interval,
+                       [this](SimTime) {
+                         RunOnce();
+                         return true;
+                       });
+}
+
+void DynamicScheduler::MeasureInterval(SimDuration dt) {
+  double dt_s = std::max(ToSeconds(dt), 1e-6);
+  for (auto& s : states_) {
+    const ExecutorMetrics& m = s.executor->metrics();
+    int64_t offered_now = s.executor->offered_count();
+    // Counters may have been reset (warm-up boundary); clamp diffs.
+    int64_t offered = std::max<int64_t>(0, offered_now - s.prev_offered);
+    int64_t processed = std::max<int64_t>(0, m.processed - s.prev_processed);
+    int64_t busy = std::max<int64_t>(0, m.busy_ns - s.prev_busy_ns);
+    int64_t bytes =
+        std::max<int64_t>(0, (m.bytes_in + m.bytes_out) - s.prev_bytes);
+    s.prev_offered = offered_now;
+    s.prev_processed = m.processed;
+    s.prev_busy_ns = m.busy_ns;
+    s.prev_bytes = m.bytes_in + m.bytes_out;
+
+    // Demand = offered load (pre-back-pressure): admitted arrivals are
+    // capped at a starved executor's capacity and would hide its need.
+    s.lambda.Add(static_cast<double>(offered) / dt_s);
+    if (processed > 0 && busy > 0) {
+      s.mu.Add(static_cast<double>(processed) / (ToSeconds(busy)));
+    }
+    int cores = std::max(1, s.executor->num_tasks());
+    s.last_util = static_cast<double>(busy) /
+                  (static_cast<double>(cores) * static_cast<double>(dt));
+    s.intensity.Add(static_cast<double>(bytes) / dt_s / cores);
+  }
+}
+
+std::vector<int> DynamicScheduler::ComputeTargets() {
+  const SchedulerConfig& cfg = rt_->config().scheduler;
+  std::vector<ExecutorDemand> demands(states_.size());
+  for (size_t j = 0; j < states_.size(); ++j) {
+    demands[j].lambda = states_[j].lambda.value();
+    demands[j].mu = std::max(states_[j].mu.value(), 1e-6);
+  }
+  AllocationResult alloc =
+      AllocateCores(demands, cluster_->total_cores(),
+                    ToSeconds(cfg.latency_target_ns), cfg.allocate_all_cores);
+  return alloc.cores;
+}
+
+void DynamicScheduler::RunOnce() {
+  SimTime now = rt_->sim()->now();
+  SimDuration dt = now - last_run_;
+  last_run_ = now;
+  if (dt <= 0) dt = rt_->config().scheduler.interval_ns;
+  MeasureInterval(dt);
+
+  const SchedulerConfig& cfg = rt_->config().scheduler;
+  auto wall_start = std::chrono::steady_clock::now();
+
+  std::vector<int> targets = ComputeTargets();
+  // Deadband: a ±1-core difference is within measurement noise; chasing it
+  // would churn shards every cycle. Exception: an executor running at its
+  // capacity ceiling gets its +1 — pinning it would cap the whole pipeline
+  // at min_j(µ_j·k_j / demand-share_j).
+  for (size_t j = 0; j < states_.size(); ++j) {
+    int current = states_[j].executor->num_tasks();
+    bool starved = states_[j].last_util > 0.95 && targets[j] > current;
+    if (!starved && std::abs(targets[j] - current) <= 1) {
+      targets[j] = std::max(1, current);
+    }
+  }
+  if (rt_->config().scheduler.allocate_all_cores) {
+    // The deadband must not strand capacity: hand leftover cores to the
+    // executors with the highest per-core utilization.
+    int total_target = 0;
+    for (int t : targets) total_target += t;
+    while (total_target < cluster_->total_cores()) {
+      int best = -1;
+      double best_util = -1.0;
+      for (size_t j = 0; j < states_.size(); ++j) {
+        double util = std::max(states_[j].lambda.value(), 0.0) /
+                      (std::max(states_[j].mu.value(), 1e-9) * targets[j]);
+        if (util > best_util) {
+          best_util = util;
+          best = static_cast<int>(j);
+        }
+      }
+      ++targets[best];
+      ++total_target;
+    }
+  }
+
+  // Build the assignment problem from the *actual* current distribution.
+  AssignmentInput in;
+  in.node_capacity.resize(cluster_->num_nodes());
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    in.node_capacity[i] = cluster_->cores(i);
+  }
+  const int m = static_cast<int>(states_.size());
+  in.home.resize(m);
+  in.target = targets;
+  in.state_bytes.resize(m);
+  in.data_intensity.resize(m);
+  in.current.assign(cluster_->num_nodes(), std::vector<int>(m, 0));
+  in.phi = cfg.phi_bytes_per_sec;
+  for (int j = 0; j < m; ++j) {
+    const auto& s = states_[j];
+    in.home[j] = s.executor->home_node();
+    in.state_bytes[j] = static_cast<double>(s.executor->state_bytes());
+    in.data_intensity[j] = s.intensity.value();
+    for (const auto& [node, count] : s.executor->core_distribution()) {
+      in.current[node][j] = count;
+    }
+    // Executors mid-transition keep their current allocation this round.
+    if (s.executor->transition_pending()) {
+      int current_total = 0;
+      for (int i = 0; i < cluster_->num_nodes(); ++i) {
+        current_total += in.current[i][j];
+      }
+      in.target[j] = std::max(1, current_total);
+    }
+  }
+  // The pin-to-current overrides can push Σ targets over capacity; shave the
+  // largest non-pinned targets until the problem is structurally feasible.
+  {
+    int total_target = 0;
+    for (int j = 0; j < m; ++j) total_target += in.target[j];
+    while (total_target > cluster_->total_cores()) {
+      int victim = -1;
+      for (int j = 0; j < m; ++j) {
+        if (states_[j].executor->transition_pending() || in.target[j] <= 1) {
+          continue;
+        }
+        if (victim < 0 || in.target[j] > in.target[victim]) victim = j;
+      }
+      if (victim < 0) break;
+      --in.target[victim];
+      --total_target;
+    }
+  }
+
+  AssignmentOutput out =
+      cfg.naive_assignment
+          ? NaiveAssignment(in, static_cast<uint64_t>(cycles_ / 8))
+          : SolveAssignment(in);
+
+  auto wall_end = std::chrono::steady_clock::now();
+  scheduling_wall_ms_total_ +=
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  ++cycles_;
+
+  if (!out.feasible) {
+    ELOG_WARN << "scheduler: no feasible assignment this cycle";
+    return;
+  }
+  last_phi_used_ = out.phi_used;
+  last_migration_cost_ = out.migration_cost_bytes;
+  ExecuteDiff(out.x);
+}
+
+void DynamicScheduler::ExecuteDiff(const std::vector<std::vector<int>>& x) {
+  const int n = cluster_->num_nodes();
+  const int m = static_cast<int>(states_.size());
+  pending_adds_.clear();  // Drop stale intents from the previous cycle.
+
+  // Deltas per (node, executor) from the live distribution.
+  std::vector<std::vector<int>> delta(n, std::vector<int>(m, 0));
+  for (int j = 0; j < m; ++j) {
+    auto dist = states_[j].executor->core_distribution();
+    for (int i = 0; i < n; ++i) {
+      int current = 0;
+      auto it = dist.find(i);
+      if (it != dist.end()) current = it->second;
+      delta[i][j] = x[i][j] - current;
+    }
+  }
+
+  // Queue additions; issue at most one removal per executor per cycle (the
+  // executor serializes transitions anyway), then satisfy additions as cores
+  // free up.
+  std::vector<bool> removal_issued(m, false);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      for (int a = 0; a < delta[i][j]; ++a) {
+        pending_adds_[i].push_back(j);
+      }
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (delta[i][j] >= 0 || removal_issued[j]) continue;
+      if (states_[j].executor->transition_pending()) continue;
+      NodeId node = i;
+      auto& s = states_[j];
+      Status st = s.executor->RemoveCore(node, [this, node, j]() {
+        // Core physically free once the task drained.
+        int core = ledger_->ReleaseOneOf(node, states_[j].executor->id());
+        ELASTICUTOR_CHECK_MSG(core >= 0, "ledger out of sync on removal");
+        TryDrainPendingAdds(node);
+      });
+      if (st.ok()) {
+        removal_issued[j] = true;
+        ++core_moves_issued_;
+      }
+    }
+  }
+  // Satisfy whatever fits in the currently free cores; the rest chain on
+  // removal completions (and are discarded at the next cycle, which
+  // recomputes the diff from fresh state).
+  for (int i = 0; i < n; ++i) TryDrainPendingAdds(i);
+}
+
+void DynamicScheduler::TryDrainPendingAdds(NodeId node) {
+  auto it = pending_adds_.find(node);
+  if (it == pending_adds_.end()) return;
+  auto& adds = it->second;
+  while (!adds.empty() && ledger_->FreeOn(node) > 0) {
+    int j = adds.front();
+    adds.erase(adds.begin());
+    auto& s = states_[j];
+    int core = ledger_->Acquire(node, s.executor->id());
+    ELASTICUTOR_CHECK(core >= 0);
+    Status st = s.executor->AddCore(node);
+    if (!st.ok()) {
+      ledger_->Release(node, core);
+      continue;
+    }
+    ++core_moves_issued_;
+    // React immediately: pull load onto the new task.
+    s.executor->RunBalanceRound();
+  }
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,40 @@
+// Dynamic-scheduler configuration (§4). Kept dependency-free so that
+// engine_config.h can embed it.
+#pragma once
+
+#include "common/units.h"
+#include "sim/time.h"
+
+namespace elasticutor {
+
+struct SchedulerConfig {
+  /// Master switch (benches probing manual core placement disable it).
+  bool enabled = true;
+
+  /// How often the scheduler recomputes allocation and assignment.
+  SimDuration interval_ns = Seconds(1);
+
+  /// User-specified latency target T_max for the Jackson-network model.
+  SimDuration latency_target_ns = Millis(50);
+
+  /// Initial data-intensity threshold φ̃ (bytes/s per core) above which an
+  /// executor is constrained to local cores. Doubles until Algorithm 1
+  /// finds a feasible assignment. Paper default: 512 KB/s.
+  double phi_bytes_per_sec = 512.0 * 1024.0;
+
+  /// EWMA smoothing for measured λ/µ/data-intensity.
+  double metric_alpha = 0.5;
+
+  /// If true, disable the migration-cost and locality optimizations of
+  /// Algorithm 1 (the paper's "naive-EC" baseline): the assignment is
+  /// recomputed from scratch each round, ignoring the existing placement and
+  /// data intensity.
+  bool naive_assignment = false;
+
+  /// Work-conserving mode: after meeting the latency target, spread the
+  /// remaining free cores over executors proportional to load (used in
+  /// saturation/throughput experiments so all cores contribute).
+  bool allocate_all_cores = true;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,48 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+EventId EventQueue::Push(SimTime time, EventFn fn) {
+  EventId id = next_id_++;
+  heap_.push_back(Node{time, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), NodeGreater{});
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) { cancelled_.push_back(id); }
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && !cancelled_.empty()) {
+    EventId top = heap_.front().id;
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), top);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), NodeGreater{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() {
+  SkipCancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::PeekTime() {
+  SkipCancelled();
+  return heap_.empty() ? kSimTimeMax : heap_.front().time;
+}
+
+EventQueue::Entry EventQueue::Pop() {
+  SkipCancelled();
+  ELASTICUTOR_CHECK_MSG(!heap_.empty(), "Pop on empty event queue");
+  std::pop_heap(heap_.begin(), heap_.end(), NodeGreater{});
+  Node node = std::move(heap_.back());
+  heap_.pop_back();
+  return Entry{node.time, node.id, std::move(node.fn)};
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,64 @@
+// Pending-event set of the discrete-event simulator: a binary min-heap
+// ordered by (time, sequence). The sequence number makes simultaneous events
+// fire in schedule order, which keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace elasticutor {
+
+using EventFn = std::function<void()>;
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Adds an event; returns an id usable with Cancel().
+  EventId Push(SimTime time, EventFn fn);
+
+  /// Lazily cancels a pending event. Cancelled events are skipped on pop.
+  /// Returns false if the id was already executed/cancelled (best effort:
+  /// ids of executed events are not tracked, cancelling them is a no-op).
+  void Cancel(EventId id);
+
+  bool empty();
+
+  /// Time of the earliest live event; kSimTimeMax if empty.
+  SimTime PeekTime();
+
+  /// Removes and returns the earliest live event.
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Entry Pop();
+
+  size_t size_with_cancelled() const { return heap_.size(); }
+
+ private:
+  struct Node {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  struct NodeGreater {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void SkipCancelled();
+
+  std::vector<Node> heap_;
+  std::vector<EventId> cancelled_;  // Sorted lazily; usually tiny.
+  EventId next_id_ = 1;
+};
+
+}  // namespace elasticutor

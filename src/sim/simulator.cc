@@ -1,0 +1,52 @@
+#include "sim/simulator.h"
+
+#include <memory>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+EventId Simulator::At(SimTime at, EventFn fn) {
+  ELASTICUTOR_CHECK_MSG(at >= now_, "scheduling into the past");
+  return queue_.Push(at, std::move(fn));
+}
+
+EventId Simulator::After(SimDuration delay, EventFn fn) {
+  if (delay < 0) delay = 0;
+  return queue_.Push(now_ + delay, std::move(fn));
+}
+
+uint64_t Simulator::RunUntil(SimTime until) {
+  uint64_t executed = 0;
+  while (!queue_.empty()) {
+    if (queue_.PeekTime() > until) break;
+    EventQueue::Entry entry = queue_.Pop();
+    now_ = entry.time;
+    entry.fn();
+    ++executed;
+    ++events_executed_;
+  }
+  if (now_ < until && until != kSimTimeMax) now_ = until;
+  return executed;
+}
+
+void Simulator::Periodic(SimTime start, SimDuration period,
+                         std::function<bool(SimTime)> fn) {
+  ELASTICUTOR_CHECK_MSG(period > 0, "periodic period must be positive");
+  // The simulator owns periodic tasks; the tick closure holds only a raw
+  // pointer (no reference cycle). Tasks live until the simulator dies.
+  auto task = std::make_shared<PeriodicTask>();
+  task->fn = std::move(fn);
+  task->period = period;
+  Simulator* sim = this;
+  PeriodicTask* raw = task.get();
+  task->tick = [sim, raw]() {
+    if (raw->fn(sim->now())) {
+      sim->After(raw->period, raw->tick);
+    }
+  };
+  periodic_tasks_.push_back(std::move(task));
+  At(start, raw->tick);
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,60 @@
+// Single-threaded deterministic discrete-event simulator. All components of
+// the simulated cluster (NICs, tasks, schedulers, spouts) schedule callbacks
+// here; Run() drives simulated time forward.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace elasticutor {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules fn at absolute time `at` (must be >= now).
+  EventId At(SimTime at, EventFn fn);
+
+  /// Schedules fn after `delay` ns (clamped at >= 0).
+  EventId After(SimDuration delay, EventFn fn);
+
+  void Cancel(EventId id) { queue_.Cancel(id); }
+
+  /// Runs until the event queue is drained or `until` is reached, whichever
+  /// comes first. Events exactly at `until` are executed. Returns the number
+  /// of events executed.
+  uint64_t RunUntil(SimTime until);
+
+  /// Drains all events (use with care: periodic processes never drain).
+  uint64_t RunAll() { return RunUntil(kSimTimeMax); }
+
+  /// Registers a periodic callback firing every `period` ns starting at
+  /// `start`. The callback may return false to stop recurring.
+  void Periodic(SimTime start, SimDuration period,
+                std::function<bool(SimTime)> fn);
+
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct PeriodicTask {
+    std::function<bool(SimTime)> fn;
+    SimDuration period = 0;
+    std::function<void()> tick;
+  };
+
+  EventQueue queue_;
+  SimTime now_ = 0;
+  uint64_t events_executed_ = 0;
+  std::vector<std::shared_ptr<PeriodicTask>> periodic_tasks_;
+};
+
+}  // namespace elasticutor

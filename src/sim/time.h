@@ -1,0 +1,16 @@
+// Simulated time. One type alias keeps intent clear at call sites; all
+// simulated timestamps and durations are int64 nanoseconds.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace elasticutor {
+
+using SimTime = int64_t;      // Absolute simulated time, ns since start.
+using SimDuration = int64_t;  // Simulated duration, ns.
+
+constexpr SimTime kSimTimeMax = INT64_MAX;
+
+}  // namespace elasticutor

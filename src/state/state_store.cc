@@ -1,0 +1,51 @@
+#include "state/state_store.h"
+
+namespace elasticutor {
+
+Status ProcessStateStore::CreateShard(ShardId shard, int64_t base_bytes) {
+  if (shards_.contains(shard)) {
+    return Status::AlreadyExists("shard " + std::to_string(shard));
+  }
+  ShardState state;
+  state.base_bytes = base_bytes;
+  shards_.emplace(shard, std::move(state));
+  return Status::OK();
+}
+
+Result<ShardState> ProcessStateStore::ExtractShard(ShardId shard) {
+  auto it = shards_.find(shard);
+  if (it == shards_.end()) {
+    return Status::NotFound("shard " + std::to_string(shard));
+  }
+  ShardState state = std::move(it->second);
+  shards_.erase(it);
+  return state;
+}
+
+Status ProcessStateStore::InstallShard(ShardId shard, ShardState state) {
+  if (shards_.contains(shard)) {
+    return Status::AlreadyExists("shard " + std::to_string(shard));
+  }
+  shards_.emplace(shard, std::move(state));
+  return Status::OK();
+}
+
+int64_t ProcessStateStore::ShardBytes(ShardId shard) const {
+  auto it = shards_.find(shard);
+  return it == shards_.end() ? 0 : it->second.bytes();
+}
+
+int64_t ProcessStateStore::TotalBytes() const {
+  int64_t total = 0;
+  for (const auto& [id, state] : shards_) total += state.bytes();
+  return total;
+}
+
+ShardState* ProcessStateStore::GetShard(ShardId shard) {
+  auto it = shards_.find(shard);
+  ELASTICUTOR_CHECK_MSG(it != shards_.end(),
+                        "state access to absent shard (routing bug?)");
+  return &it->second;
+}
+
+}  // namespace elasticutor

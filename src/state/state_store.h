@@ -1,0 +1,105 @@
+// Per-process shard state store — the "lightweight in-memory key-value
+// store" of §3.2. Each elastic-executor process (main or remote) owns one
+// ProcessStateStore; tasks in the same process share it, so reassigning a
+// shard between two tasks of the same process needs no state migration
+// (intra-process state sharing). Cross-process reassignment extracts the
+// shard as a blob, ships it over the simulated network, and installs it at
+// the destination.
+//
+// State has two components per shard:
+//  * base_bytes — the configured synthetic shard payload (the paper's "shard
+//    state size", 32 KB by default), representing opaque operator state;
+//  * user entries — real typed per-key values operator logic reads/writes
+//    through StateAccessor (e.g. the SSE order books), with an estimated
+//    byte footprint that contributes to migration cost.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+using ShardId = int32_t;
+using StateKey = uint64_t;
+
+/// One shard's state: opaque payload plus typed per-key user entries.
+struct ShardState {
+  int64_t base_bytes = 0;
+  int64_t user_bytes = 0;
+  std::unordered_map<StateKey, std::any> entries;
+
+  int64_t bytes() const { return base_bytes + user_bytes; }
+};
+
+class ProcessStateStore {
+ public:
+  ProcessStateStore() = default;
+
+  /// Creates an empty shard with the given opaque payload size. Fails if the
+  /// shard already exists.
+  Status CreateShard(ShardId shard, int64_t base_bytes);
+
+  bool HasShard(ShardId shard) const { return shards_.contains(shard); }
+
+  /// Removes and returns a shard blob for migration.
+  Result<ShardState> ExtractShard(ShardId shard);
+
+  /// Installs a migrated shard blob. Fails if the shard already exists.
+  Status InstallShard(ShardId shard, ShardState state);
+
+  /// Size in bytes of one shard (0 if absent).
+  int64_t ShardBytes(ShardId shard) const;
+
+  /// Total bytes across all shards in this process.
+  int64_t TotalBytes() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Mutable access for StateAccessor; shard must exist.
+  ShardState* GetShard(ShardId shard);
+
+ private:
+  std::unordered_map<ShardId, ShardState> shards_;
+};
+
+/// Handle through which operator logic reads and updates the state of the
+/// key it is currently processing ("state access interface ... on a per-key
+/// basis", §3.2).
+class StateAccessor {
+ public:
+  StateAccessor(ProcessStateStore* store, ShardId shard, StateKey key)
+      : shard_state_(store->GetShard(shard)), key_(key) {}
+
+  /// Returns the typed state for the current key, default-constructing it on
+  /// first access. `approx_bytes` feeds the migration-cost estimate.
+  template <typename T>
+  T* GetOrCreate(int64_t approx_bytes = static_cast<int64_t>(sizeof(T))) {
+    auto it = shard_state_->entries.find(key_);
+    if (it == shard_state_->entries.end()) {
+      it = shard_state_->entries.emplace(key_, T{}).first;
+      shard_state_->user_bytes += approx_bytes + kEntryOverheadBytes;
+    }
+    T* value = std::any_cast<T>(&it->second);
+    ELASTICUTOR_CHECK_MSG(value != nullptr, "state type mismatch for key");
+    return value;
+  }
+
+  /// Records growth of the current key's state (e.g. an order book gaining
+  /// a resting order).
+  void AddBytes(int64_t delta) { shard_state_->user_bytes += delta; }
+
+  StateKey key() const { return key_; }
+
+  static constexpr int64_t kEntryOverheadBytes = 48;
+
+ private:
+  ShardState* shard_state_;
+  StateKey key_;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,48 @@
+#include "workload/keyspace.h"
+
+#include <numeric>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace elasticutor {
+
+DynamicKeySpace::DynamicKeySpace(int num_keys, double zipf_skew, uint64_t seed)
+    : zipf_(num_keys, zipf_skew), shuffle_rng_(seed, 0x5EED0) {
+  ELASTICUTOR_CHECK(num_keys > 0);
+  perm_.resize(num_keys);
+  std::iota(perm_.begin(), perm_.end(), 0);
+  std::vector<double> weights = ZipfWeights(num_keys, zipf_skew);
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  rank_prob_.resize(num_keys);
+  for (int i = 0; i < num_keys; ++i) rank_prob_[i] = weights[i] / total;
+}
+
+void DynamicKeySpace::Shuffle() {
+  // Fisher-Yates on the rank->key permutation.
+  for (size_t i = perm_.size() - 1; i > 0; --i) {
+    size_t j = shuffle_rng_.NextBounded(static_cast<uint32_t>(i + 1));
+    std::swap(perm_[i], perm_[j]);
+  }
+  ++shuffles_;
+}
+
+void DynamicKeySpace::StartShuffling(Simulator* sim,
+                                     double omega_per_minute) {
+  if (omega_per_minute <= 0) return;
+  SimDuration period =
+      static_cast<SimDuration>(60.0 * kNanosPerSecond / omega_per_minute);
+  sim->Periodic(period, period, [this](SimTime) {
+    Shuffle();
+    return true;
+  });
+}
+
+double DynamicKeySpace::KeyProbability(uint64_t key) const {
+  for (size_t rank = 0; rank < perm_.size(); ++rank) {
+    if (perm_[rank] == key) return rank_prob_[rank];
+  }
+  return 0.0;
+}
+
+}  // namespace elasticutor

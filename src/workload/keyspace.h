@@ -1,0 +1,46 @@
+// Dynamic key space of the micro-benchmark (§5.1): `num_keys` distinct keys
+// whose frequencies follow a Zipf distribution; "to emulate workload
+// dynamics, we shuffle the frequencies of tuple keys by applying a random
+// permutation ω times per minute".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "sim/simulator.h"
+
+namespace elasticutor {
+
+class DynamicKeySpace {
+ public:
+  DynamicKeySpace(int num_keys, double zipf_skew, uint64_t seed);
+
+  /// Samples a key according to the current rank->key permutation.
+  uint64_t SampleKey(Rng* rng) const {
+    return perm_[zipf_.Sample(rng)];
+  }
+
+  /// Applies one random permutation of key frequencies.
+  void Shuffle();
+
+  /// Schedules `omega` shuffles per minute on the simulator (0 = static).
+  void StartShuffling(Simulator* sim, double omega_per_minute);
+
+  int num_keys() const { return static_cast<int>(perm_.size()); }
+  int64_t shuffles_applied() const { return shuffles_; }
+
+  /// Probability of `key` under the current permutation (tests).
+  double KeyProbability(uint64_t key) const;
+
+ private:
+  ZipfSampler zipf_;
+  std::vector<uint64_t> perm_;       // rank -> key.
+  std::vector<double> rank_prob_;    // rank -> probability.
+  Rng shuffle_rng_;
+  int64_t shuffles_ = 0;
+};
+
+}  // namespace elasticutor

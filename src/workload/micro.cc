@@ -1,0 +1,54 @@
+#include "workload/micro.h"
+
+namespace elasticutor {
+
+Result<MicroWorkload> BuildMicroWorkload(const MicroOptions& options,
+                                         uint64_t seed) {
+  MicroWorkload workload;
+  workload.options = options;
+  workload.keys = std::make_shared<DynamicKeySpace>(
+      options.num_keys, options.zipf_skew, seed);
+
+  TopologyBuilder builder;
+
+  OperatorSpec generator;
+  generator.name = "generator";
+  generator.is_source = true;
+  generator.num_executors = options.generator_executors;
+  generator.shards_per_executor = 1;
+  generator.selectivity = 1.0;
+  generator.output_bytes = options.tuple_bytes;
+  generator.source.mode = options.mode;
+  generator.source.gen_overhead_ns = options.gen_overhead_ns;
+  auto keys = workload.keys;
+  int32_t tuple_bytes = options.tuple_bytes;
+  generator.source.factory = [keys, tuple_bytes](Rng* rng, SimTime) {
+    Tuple t;
+    t.key = keys->SampleKey(rng);
+    t.size_bytes = tuple_bytes;
+    return t;
+  };
+  if (options.mode == SourceSpec::Mode::kTrace) {
+    double rate = options.trace_rate_per_sec;
+    generator.source.rate_fn = [rate](SimTime) { return rate; };
+  }
+  workload.generator = builder.AddOperator(std::move(generator));
+
+  OperatorSpec calculator;
+  calculator.name = "calculator";
+  calculator.num_executors = options.calculator_executors;
+  calculator.shards_per_executor = options.shards_per_executor;
+  calculator.mean_cost_ns = options.calc_cost_ns;
+  calculator.selectivity = 0.0;  // Sink: no outputs.
+  calculator.shard_state_bytes = options.shard_state_bytes;
+  workload.calculator = builder.AddOperator(std::move(calculator));
+
+  ELASTICUTOR_RETURN_NOT_OK(
+      builder.Connect(workload.generator, workload.calculator));
+  Result<Topology> topology = builder.Build();
+  if (!topology.ok()) return topology.status();
+  workload.topology = std::move(topology).value();
+  return workload;
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,55 @@
+// The micro-benchmarking topology of Fig 5: generator -> calculator, with
+// full control over workload characteristics (tuple size, per-tuple CPU
+// cost, key distribution, shard state size, dynamics ω).
+#pragma once
+
+#include <memory>
+
+#include "common/status.h"
+#include "engine/engine.h"
+#include "engine/topology.h"
+#include "workload/keyspace.h"
+
+namespace elasticutor {
+
+struct MicroOptions {
+  // Key space (§5.1 defaults).
+  int num_keys = 10000;
+  double zipf_skew = 0.5;
+  double shuffles_per_minute = 0.0;  // ω.
+
+  // Tuples.
+  int32_t tuple_bytes = 128;
+  SimDuration calc_cost_ns = Millis(1);
+
+  // State.
+  int64_t shard_state_bytes = 32 * kKiB;
+
+  // Parallelism: y executors, z shards each (paper defaults).
+  int generator_executors = 32;
+  int calculator_executors = 32;  // y.
+  int shards_per_executor = 256;  // z.
+
+  // Source behaviour.
+  SourceSpec::Mode mode = SourceSpec::Mode::kSaturation;
+  double trace_rate_per_sec = 100000.0;  // kTrace only.
+  SimDuration gen_overhead_ns = Micros(10);
+};
+
+struct MicroWorkload {
+  Topology topology;
+  std::shared_ptr<DynamicKeySpace> keys;
+  OperatorId generator = -1;
+  OperatorId calculator = -1;
+  MicroOptions options;
+
+  /// Call after the Engine exists to activate ω shuffling.
+  void InstallDynamics(Engine* engine) const {
+    keys->StartShuffling(engine->sim(), options.shuffles_per_minute);
+  }
+};
+
+Result<MicroWorkload> BuildMicroWorkload(const MicroOptions& options,
+                                         uint64_t seed);
+
+}  // namespace elasticutor

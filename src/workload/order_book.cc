@@ -1,0 +1,37 @@
+#include "workload/order_book.h"
+
+namespace elasticutor {
+
+int64_t OrderBook::Execute(Side side, int64_t price, int64_t volume,
+                           std::vector<Trade>* trades) {
+  int64_t traded = 0;
+  if (side == Side::kBuy) {
+    // Match against asks priced at or below the bid.
+    while (volume > 0 && !asks_.empty()) {
+      auto best = asks_.begin();
+      if (best->first > price) break;
+      int64_t take = std::min(volume, best->second);
+      trades->push_back(Trade{best->first, take});
+      traded += take;
+      volume -= take;
+      best->second -= take;
+      if (best->second == 0) asks_.erase(best);
+    }
+    if (volume > 0) bids_[price] += volume;
+  } else {
+    while (volume > 0 && !bids_.empty()) {
+      auto best = std::prev(bids_.end());
+      if (best->first < price) break;
+      int64_t take = std::min(volume, best->second);
+      trades->push_back(Trade{best->first, take});
+      traded += take;
+      volume -= take;
+      best->second -= take;
+      if (best->second == 0) bids_.erase(best);
+    }
+    if (volume > 0) asks_[price] += volume;
+  }
+  return traded;
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,55 @@
+// Limit order book with price-time priority, aggregated per price level —
+// the per-stock state of the SSE transactor operator (§5.4: "executes [an
+// order] against the outstanding orders and determines the quantities traded
+// and the cash transfers made").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace elasticutor {
+
+struct Trade {
+  int64_t price = 0;   // Ticks.
+  int64_t volume = 0;  // Shares.
+};
+
+class OrderBook {
+ public:
+  enum class Side { kBuy = 0, kSell = 1 };
+
+  OrderBook() = default;
+
+  /// Executes a limit order: matches against the opposite side while the
+  /// price crosses, appending trades to `trades`; any remainder rests in the
+  /// book. Returns total traded volume.
+  int64_t Execute(Side side, int64_t price, int64_t volume,
+                  std::vector<Trade>* trades);
+
+  int64_t best_bid() const { return bids_.empty() ? 0 : bids_.rbegin()->first; }
+  int64_t best_ask() const { return asks_.empty() ? 0 : asks_.begin()->first; }
+  int64_t bid_depth() const { return depth(bids_); }
+  int64_t ask_depth() const { return depth(asks_); }
+  size_t price_levels() const { return bids_.size() + asks_.size(); }
+
+  /// Approximate in-memory footprint, for state-size accounting.
+  int64_t ApproxBytes() const {
+    return static_cast<int64_t>(price_levels()) * kBytesPerLevel;
+  }
+
+  static constexpr int64_t kBytesPerLevel = 48;
+
+ private:
+  static int64_t depth(const std::map<int64_t, int64_t>& side) {
+    int64_t total = 0;
+    for (const auto& [price, volume] : side) total += volume;
+    return total;
+  }
+
+  std::map<int64_t, int64_t> bids_;  // price -> resting volume.
+  std::map<int64_t, int64_t> asks_;
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,261 @@
+#include "workload/sse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/order_book.h"
+
+namespace elasticutor {
+
+namespace {
+
+// Payload conventions.
+//  Order:  f0 = price (ticks), i0 = volume, i1 = side (0 buy / 1 sell).
+//  Record: f0 = trade price,   i0 = traded volume.
+
+Tuple MakeOrder(SseTraceModel* trace, Rng* rng, SimTime now,
+                int32_t order_bytes) {
+  Tuple t;
+  int stock = trace->SampleStock(rng, now);
+  t.key = static_cast<uint64_t>(stock);
+  t.size_bytes = order_bytes;
+  // Price around a per-stock anchor with small noise; tight spreads make
+  // most orders marketable (≈70% match).
+  double anchor = 1000.0 + (stock % 997);
+  double noise = rng->NextGaussian(0.0, 2.0);
+  bool buy = rng->NextBool(0.5);
+  t.payload.f0 = std::max(1.0, anchor + noise + (buy ? 0.8 : -0.8));
+  t.payload.i0 = 100 * (1 + static_cast<int64_t>(rng->NextBounded(20)));
+  t.payload.i1 = buy ? 0 : 1;
+  return t;
+}
+
+/// Transactor: runs the matching engine against the per-stock order book and
+/// emits one transaction record per trade (volume-weighted into one record
+/// when an order crosses several price levels).
+OperatorLogic TransactorLogic(int32_t record_bytes) {
+  return [record_bytes](const Tuple& t, StateAccessor& state,
+                        EmitContext* emit) {
+    OrderBook* book = state.GetOrCreate<OrderBook>();
+    int64_t levels_before = static_cast<int64_t>(book->price_levels());
+    std::vector<Trade> trades;
+    auto side = t.payload.i1 == 0 ? OrderBook::Side::kBuy
+                                  : OrderBook::Side::kSell;
+    int64_t traded = book->Execute(
+        side, static_cast<int64_t>(t.payload.f0), t.payload.i0, &trades);
+    int64_t levels_after = static_cast<int64_t>(book->price_levels());
+    state.AddBytes((levels_after - levels_before) * OrderBook::kBytesPerLevel);
+    if (traded > 0) {
+      double notional = 0.0;
+      for (const Trade& trade : trades) {
+        notional += static_cast<double>(trade.price) *
+                    static_cast<double>(trade.volume);
+      }
+      TuplePayload record;
+      record.f0 = notional / static_cast<double>(traded);  // VWAP price.
+      record.i0 = traded;
+      emit->Emit(t.key, record_bytes, record);
+    }
+  };
+}
+
+struct MovingAvgState {
+  double avg = 0.0;
+};
+struct IndexState {
+  double last_price = 0.0;
+};
+struct VolumeState {
+  int64_t total_volume = 0;
+  int64_t trades = 0;
+};
+struct VwapState {
+  double notional = 0.0;
+  int64_t volume = 0;
+};
+struct HighLowState {
+  double high = 0.0;
+  double low = 0.0;
+};
+struct TurnoverState {
+  double turnover = 0.0;
+};
+struct AlarmState {
+  double threshold = 0.0;
+};
+struct SpikeState {
+  double ewma = 0.0;
+};
+struct BreakerState {
+  double reference = 0.0;
+  bool halted = false;
+};
+struct FraudState {
+  int64_t large_orders = 0;
+  int64_t total_orders = 0;
+};
+struct WashState {
+  double last_price = 0.0;
+  int64_t repeats = 0;
+};
+
+OperatorLogic MovingAverageLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    auto* s = state.GetOrCreate<MovingAvgState>();
+    s->avg = s->avg == 0.0 ? t.payload.f0 : 0.95 * s->avg + 0.05 * t.payload.f0;
+  };
+}
+OperatorLogic CompositeIndexLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    state.GetOrCreate<IndexState>()->last_price = t.payload.f0;
+  };
+}
+OperatorLogic VolumeStatsLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    auto* s = state.GetOrCreate<VolumeState>();
+    s->total_volume += t.payload.i0;
+    ++s->trades;
+  };
+}
+OperatorLogic VwapLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    auto* s = state.GetOrCreate<VwapState>();
+    s->notional += t.payload.f0 * static_cast<double>(t.payload.i0);
+    s->volume += t.payload.i0;
+  };
+}
+OperatorLogic HighLowLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    auto* s = state.GetOrCreate<HighLowState>();
+    if (s->low == 0.0 || t.payload.f0 < s->low) s->low = t.payload.f0;
+    if (t.payload.f0 > s->high) s->high = t.payload.f0;
+  };
+}
+OperatorLogic TurnoverLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    state.GetOrCreate<TurnoverState>()->turnover +=
+        t.payload.f0 * static_cast<double>(t.payload.i0);
+  };
+}
+OperatorLogic PriceAlarmLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    auto* s = state.GetOrCreate<AlarmState>();
+    if (s->threshold == 0.0) s->threshold = t.payload.f0 * 1.1;
+    if (t.payload.f0 > s->threshold) s->threshold = t.payload.f0 * 1.1;
+  };
+}
+OperatorLogic SpikeDetectorLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    auto* s = state.GetOrCreate<SpikeState>();
+    s->ewma = s->ewma == 0.0 ? t.payload.f0 : 0.9 * s->ewma + 0.1 * t.payload.f0;
+  };
+}
+OperatorLogic CircuitBreakerLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    auto* s = state.GetOrCreate<BreakerState>();
+    if (s->reference == 0.0) s->reference = t.payload.f0;
+    s->halted = std::abs(t.payload.f0 - s->reference) > 0.1 * s->reference;
+  };
+}
+OperatorLogic FraudDetectorLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    auto* s = state.GetOrCreate<FraudState>();
+    ++s->total_orders;
+    if (t.payload.i0 >= 1800) ++s->large_orders;
+  };
+}
+OperatorLogic WashTradeLogic() {
+  return [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    auto* s = state.GetOrCreate<WashState>();
+    if (t.payload.f0 == s->last_price) {
+      ++s->repeats;
+    } else {
+      s->repeats = 0;
+      s->last_price = t.payload.f0;
+    }
+  };
+}
+
+}  // namespace
+
+Result<SseWorkload> BuildSseWorkload(const SseOptions& options,
+                                     uint64_t seed) {
+  SseWorkload workload;
+  workload.options = options;
+  workload.trace = std::make_shared<SseTraceModel>(options.trace, seed);
+
+  TopologyBuilder builder;
+
+  OperatorSpec orders;
+  orders.name = "orders";
+  orders.is_source = true;
+  orders.num_executors = options.source_executors;
+  orders.shards_per_executor = 1;
+  orders.selectivity = 1.0;
+  orders.output_bytes = options.order_bytes;
+  orders.source.mode = options.mode;
+  auto trace = workload.trace;
+  int32_t order_bytes = options.order_bytes;
+  orders.source.factory = [trace, order_bytes](Rng* rng, SimTime now) {
+    return MakeOrder(trace.get(), rng, now, order_bytes);
+  };
+  if (options.mode == SourceSpec::Mode::kTrace) {
+    orders.source.rate_fn = [trace](SimTime t) {
+      return trace->CachedAggregateRate(t);
+    };
+  }
+  workload.orders = builder.AddOperator(std::move(orders));
+
+  OperatorSpec transactor;
+  transactor.name = "transactor";
+  transactor.num_executors = options.executors_per_operator;
+  transactor.shards_per_executor = options.shards_per_executor;
+  transactor.mean_cost_ns = options.transactor_cost_ns;
+  transactor.selectivity = options.match_selectivity;
+  transactor.output_bytes = options.record_bytes;
+  transactor.shard_state_bytes = options.shard_state_bytes;
+  transactor.logic = TransactorLogic(options.record_bytes);
+  workload.transactor = builder.AddOperator(std::move(transactor));
+  ELASTICUTOR_RETURN_NOT_OK(
+      builder.Connect(workload.orders, workload.transactor));
+
+  struct Downstream {
+    const char* name;
+    OperatorLogic logic;
+    bool is_event;
+  };
+  std::vector<Downstream> downstream;
+  downstream.push_back({"moving_average", MovingAverageLogic(), false});
+  downstream.push_back({"composite_index", CompositeIndexLogic(), false});
+  downstream.push_back({"volume_stats", VolumeStatsLogic(), false});
+  downstream.push_back({"vwap", VwapLogic(), false});
+  downstream.push_back({"high_low", HighLowLogic(), false});
+  downstream.push_back({"turnover", TurnoverLogic(), false});
+  downstream.push_back({"price_alarm", PriceAlarmLogic(), true});
+  downstream.push_back({"spike_detector", SpikeDetectorLogic(), true});
+  downstream.push_back({"circuit_breaker", CircuitBreakerLogic(), true});
+  downstream.push_back({"fraud_detector", FraudDetectorLogic(), true});
+  downstream.push_back({"wash_trade", WashTradeLogic(), true});
+
+  for (auto& d : downstream) {
+    OperatorSpec spec;
+    spec.name = d.name;
+    spec.num_executors = options.executors_per_operator;
+    spec.shards_per_executor = options.shards_per_executor;
+    spec.mean_cost_ns =
+        d.is_event ? options.event_cost_ns : options.stats_cost_ns;
+    spec.selectivity = 0.0;  // Sinks.
+    spec.shard_state_bytes = options.shard_state_bytes / 4;
+    spec.logic = std::move(d.logic);
+    OperatorId id = builder.AddOperator(std::move(spec));
+    ELASTICUTOR_RETURN_NOT_OK(builder.Connect(workload.transactor, id));
+    (d.is_event ? workload.event_ops : workload.stats_ops).push_back(id);
+  }
+
+  Result<Topology> topology = builder.Build();
+  if (!topology.ok()) return topology.status();
+  workload.topology = std::move(topology).value();
+  return workload;
+}
+
+}  // namespace elasticutor

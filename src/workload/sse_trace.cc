@@ -1,0 +1,184 @@
+#include "workload/sse_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+namespace {
+constexpr double kPi = 3.141592653589793;
+}
+
+SseTraceModel::SseTraceModel(const SseTraceOptions& options, uint64_t seed)
+    : options_(options) {
+  ELASTICUTOR_CHECK(options.num_stocks > 0);
+  base_weight_ = ZipfWeights(options.num_stocks, options.popularity_skew);
+  double total = std::accumulate(base_weight_.begin(), base_weight_.end(), 0.0);
+  for (double& w : base_weight_) w /= total;
+
+  Rng rng(seed, 0x55E);
+  // Surge schedule over the horizon (Poisson spawning). A surge makes one
+  // stock trade `factor` times its base rate for its duration.
+  SimTime t = 0;
+  while (t < options.horizon_ns) {
+    t += static_cast<SimDuration>(rng.NextExponential(
+        static_cast<double>(options.surge_every_ns)));
+    if (t >= options.horizon_ns) break;
+    Surge surge;
+    surge.stock = static_cast<int>(
+        rng.NextBounded(static_cast<uint32_t>(options.num_stocks)));
+    SimDuration len = options.surge_min_len_ns +
+                      static_cast<SimDuration>(
+                          rng.NextDouble() *
+                          static_cast<double>(options.surge_max_len_ns -
+                                              options.surge_min_len_ns));
+    surge.start = t;
+    surge.end = t + len;
+    surge.factor = options.surge_factor_min +
+                   rng.NextDouble() *
+                       (options.surge_factor_max - options.surge_factor_min);
+    surges_.push_back(surge);
+  }
+  std::sort(surges_.begin(), surges_.end(),
+            [](const Surge& a, const Surge& b) { return a.start < b.start; });
+
+  // Popularity drift: periodic batches of random weight swaps.
+  for (SimTime at = options.drift_every_ns; at < options.horizon_ns;
+       at += options.drift_every_ns) {
+    for (int i = 0; i < options.drift_swaps; ++i) {
+      Swap swap;
+      swap.at = at;
+      swap.a = static_cast<int>(
+          rng.NextBounded(static_cast<uint32_t>(options.num_stocks)));
+      swap.b = static_cast<int>(
+          rng.NextBounded(static_cast<uint32_t>(options.num_stocks)));
+      swaps_.push_back(swap);
+    }
+  }
+  current_weight_ = base_weight_;  // Incremental state starts at t = 0.
+}
+
+double SseTraceModel::WeightAt(int stock, SimTime t) const {
+  // Analytical path (plots/tests), O(#swaps). The incremental state applies
+  // swaps to the weight ARRAY in chronological order; expressing the result
+  // as a permutation of indices means composing the swaps in REVERSE order:
+  // current[x] = base[swap_1(swap_2(...swap_k(x)))].
+  size_t last = 0;
+  while (last < swaps_.size() && swaps_[last].at <= t) ++last;
+  int index = stock;
+  for (size_t i = last; i-- > 0;) {
+    if (swaps_[i].a == index) {
+      index = swaps_[i].b;
+    } else if (swaps_[i].b == index) {
+      index = swaps_[i].a;
+    }
+  }
+  return base_weight_[index];
+}
+
+double SseTraceModel::SurgeFactor(int stock, SimTime t) const {
+  double factor = 1.0;
+  for (const Surge& surge : surges_) {
+    if (surge.start > t) break;
+    if (surge.stock == stock && t < surge.end) factor *= surge.factor;
+  }
+  return factor;
+}
+
+double SseTraceModel::Wave(SimTime t) const {
+  return 1.0 + options_.wave_amplitude *
+                   std::sin(2.0 * kPi * static_cast<double>(t) /
+                            static_cast<double>(options_.wave_period_ns));
+}
+
+double SseTraceModel::AggregateRate(SimTime t) const {
+  // Surge factors on the same stock combine multiplicatively (matching
+  // SurgeFactor and the sampler weights), so accumulate per surging stock.
+  double sum = 0.0;
+  std::vector<int> seen;
+  for (const Surge& surge : surges_) {
+    if (surge.start > t) break;
+    if (t >= surge.end) continue;
+    if (std::find(seen.begin(), seen.end(), surge.stock) != seen.end()) {
+      continue;
+    }
+    seen.push_back(surge.stock);
+    sum += WeightAt(surge.stock, t) * (SurgeFactor(surge.stock, t) - 1.0);
+  }
+  return options_.base_rate_per_sec * Wave(t) * (1.0 + sum);
+}
+
+double SseTraceModel::StockRate(int stock, SimTime t) const {
+  return options_.base_rate_per_sec * Wave(t) * WeightAt(stock, t) *
+         SurgeFactor(stock, t);
+}
+
+void SseTraceModel::AdvanceTo(SimTime t) {
+  // Monotonic incremental state: apply drift swaps that became effective.
+  while (swap_cursor_ < swaps_.size() && swaps_[swap_cursor_].at <= t) {
+    const Swap& swap = swaps_[swap_cursor_];
+    std::swap(current_weight_[swap.a], current_weight_[swap.b]);
+    ++swap_cursor_;
+  }
+}
+
+void SseTraceModel::RebuildSampler(SimTime t) {
+  AdvanceTo(t);
+  std::vector<double> weights = current_weight_;
+  double sum = 0.0;
+  for (const Surge& surge : surges_) {
+    if (surge.start > t) break;
+    if (t < surge.end) {
+      weights[surge.stock] *= surge.factor;
+    }
+  }
+  for (double w : weights) sum += w;
+  sampler_ = std::make_unique<AliasSampler>(weights);
+  cached_weight_sum_ = sum;
+  sampler_built_at_ = t;
+
+  // Valid until the next regime boundary.
+  SimTime next = kSimTimeMax;
+  for (const Surge& surge : surges_) {
+    if (surge.start > t) {
+      next = std::min(next, surge.start);
+      break;
+    }
+  }
+  for (const Surge& surge : surges_) {
+    if (surge.start > t) break;
+    if (surge.end > t) next = std::min(next, surge.end);
+  }
+  if (swap_cursor_ < swaps_.size()) {
+    next = std::min(next, swaps_[swap_cursor_].at);
+  }
+  sampler_valid_until_ = next;
+}
+
+double SseTraceModel::CachedAggregateRate(SimTime t) {
+  if (!sampler_ || t >= sampler_valid_until_) RebuildSampler(t);
+  // Σ weights == 1 without surges; surges add on top.
+  return options_.base_rate_per_sec * Wave(t) * cached_weight_sum_;
+}
+
+int SseTraceModel::SampleStock(Rng* rng, SimTime t) {
+  if (!sampler_ || t >= sampler_valid_until_) RebuildSampler(t);
+  return static_cast<int>(sampler_->Sample(rng));
+}
+
+std::vector<int> SseTraceModel::TopStocks(int k) const {
+  std::vector<int> stocks(num_stocks());
+  std::iota(stocks.begin(), stocks.end(), 0);
+  std::partial_sort(stocks.begin(),
+                    stocks.begin() + std::min<size_t>(k, stocks.size()),
+                    stocks.end(), [this](int a, int b) {
+                      return base_weight_[a] > base_weight_[b];
+                    });
+  stocks.resize(std::min<size_t>(k, stocks.size()));
+  return stocks;
+}
+
+}  // namespace elasticutor

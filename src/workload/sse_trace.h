@@ -1,0 +1,107 @@
+// Synthetic SSE order-flow model (substitute for the proprietary Shanghai
+// Stock Exchange trace; see DESIGN.md §2). Reproduces the trace's relevant
+// dynamics:
+//  * heavy-tailed stock popularity (Zipf),
+//  * slow aggregate-rate modulation (session waves),
+//  * flash surges: random stocks temporarily trade 5-20x their base rate
+//    (Fig 15's spiky per-stock arrival curves),
+//  * popularity drift: the hot set rotates over time.
+//
+// The model is a pure function of (options, seed, t): surge and drift
+// schedules are precomputed at construction, so every run is reproducible
+// and rates can be queried analytically (used to print Fig 15).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "common/zipf.h"
+#include "sim/time.h"
+
+namespace elasticutor {
+
+struct SseTraceOptions {
+  int num_stocks = 2000;
+  /// Stock popularity tail. 0.45 keeps the hottest stock under ~1% of the
+  /// order flow, matching real exchange concentration — a heavier tail
+  /// would pin throughput to one key's serial-processing bound long before
+  /// the cluster saturates.
+  double popularity_skew = 0.45;
+  double base_rate_per_sec = 120000.0;  // Aggregate orders/s baseline.
+  double wave_amplitude = 0.25;          // Slow sinusoidal modulation.
+  SimDuration wave_period_ns = Seconds(300);
+  // Flash surges.
+  SimDuration surge_every_ns = Seconds(15);   // Mean spawn interval.
+  SimDuration surge_min_len_ns = Seconds(10);
+  SimDuration surge_max_len_ns = Seconds(40);
+  double surge_factor_min = 5.0;
+  double surge_factor_max = 20.0;
+  // Popularity drift: random popularity swaps.
+  SimDuration drift_every_ns = Seconds(30);
+  int drift_swaps = 40;
+  // Precomputed schedule horizon.
+  SimDuration horizon_ns = Seconds(3600);
+};
+
+class SseTraceModel {
+ public:
+  SseTraceModel(const SseTraceOptions& options, uint64_t seed);
+
+  /// Aggregate arrival rate (orders/s) at time t. Analytical (O(#events)):
+  /// use for plots and tests.
+  double AggregateRate(SimTime t) const;
+
+  /// Arrival rate of one stock at time t (analytical).
+  double StockRate(int stock, SimTime t) const;
+
+  /// O(1) amortized aggregate rate for the hot spout path. Time must be
+  /// non-decreasing across calls (the simulator guarantees this).
+  double CachedAggregateRate(SimTime t);
+
+  /// Samples the stock of the next order arriving at time t. Time must be
+  /// non-decreasing across calls.
+  int SampleStock(Rng* rng, SimTime t);
+
+  /// `k` most popular stocks over the whole horizon (for Fig 15).
+  std::vector<int> TopStocks(int k) const;
+
+  int num_stocks() const { return static_cast<int>(base_weight_.size()); }
+
+ private:
+  struct Surge {
+    int stock;
+    SimTime start;
+    SimTime end;
+    double factor;
+  };
+  struct Swap {
+    SimTime at;
+    int a;
+    int b;
+  };
+
+  /// Popularity weight of a stock at t (after drift swaps), not including
+  /// wave/surge factors.
+  double WeightAt(int stock, SimTime t) const;
+  double SurgeFactor(int stock, SimTime t) const;
+  double Wave(SimTime t) const;
+  void AdvanceTo(SimTime t);
+  void RebuildSampler(SimTime t);
+
+  SseTraceOptions options_;
+  std::vector<double> base_weight_;      // After all swaps <= 0 (initial).
+  std::vector<Surge> surges_;            // Sorted by start.
+  std::vector<Swap> swaps_;              // Sorted by time.
+
+  // Lazy sampling cache, rebuilt when the regime changes (monotonic time).
+  std::unique_ptr<AliasSampler> sampler_;
+  SimTime sampler_built_at_ = -1;
+  SimTime sampler_valid_until_ = -1;
+  double cached_weight_sum_ = 1.0;
+  std::vector<double> current_weight_;   // Drift-adjusted weights at cursor.
+  size_t swap_cursor_ = 0;
+};
+
+}  // namespace elasticutor

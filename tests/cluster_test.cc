@@ -1,0 +1,67 @@
+// Unit tests for the cluster model and core ledger.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace elasticutor {
+namespace {
+
+TEST(ClusterTest, HomogeneousShape) {
+  Cluster c(32, 8);
+  EXPECT_EQ(c.num_nodes(), 32);
+  EXPECT_EQ(c.cores(0), 8);
+  EXPECT_EQ(c.total_cores(), 256);
+}
+
+TEST(ClusterTest, HeterogeneousShape) {
+  Cluster c({4, 8, 16});
+  EXPECT_EQ(c.num_nodes(), 3);
+  EXPECT_EQ(c.total_cores(), 28);
+  EXPECT_EQ(c.cores(2), 16);
+}
+
+TEST(CoreLedgerTest, AcquireUntilFull) {
+  Cluster c(1, 4);
+  CoreLedger ledger(c);
+  EXPECT_GE(ledger.Acquire(0, 100), 0);
+  EXPECT_GE(ledger.Acquire(0, 100), 0);
+  EXPECT_GE(ledger.Acquire(0, 200), 0);
+  EXPECT_GE(ledger.Acquire(0, 200), 0);
+  EXPECT_EQ(ledger.Acquire(0, 300), -1);  // Full.
+  EXPECT_EQ(ledger.FreeOn(0), 0);
+  EXPECT_EQ(ledger.CountOwnedBy(100), 2);
+  EXPECT_EQ(ledger.CountOwnedBy(200, 0), 2);
+}
+
+TEST(CoreLedgerTest, ReleaseMakesCoreAvailable) {
+  Cluster c(2, 2);
+  CoreLedger ledger(c);
+  int core = ledger.Acquire(1, 7);
+  ASSERT_GE(core, 0);
+  EXPECT_EQ(ledger.OwnerOf(1, core), 7);
+  ledger.Release(1, core);
+  EXPECT_EQ(ledger.OwnerOf(1, core), CoreLedger::kFreeCore);
+  EXPECT_EQ(ledger.FreeOn(1), 2);
+}
+
+TEST(CoreLedgerTest, ReleaseOneOfFindsOwner) {
+  Cluster c(1, 3);
+  CoreLedger ledger(c);
+  ledger.Acquire(0, 5);
+  ledger.Acquire(0, 6);
+  EXPECT_GE(ledger.ReleaseOneOf(0, 5), 0);
+  EXPECT_EQ(ledger.ReleaseOneOf(0, 5), -1);  // No more cores owned by 5.
+  EXPECT_EQ(ledger.CountOwnedBy(6), 1);
+}
+
+TEST(CoreLedgerTest, TotalFreeTracksAcrossNodes) {
+  Cluster c(3, 2);
+  CoreLedger ledger(c);
+  EXPECT_EQ(ledger.TotalFree(), 6);
+  ledger.Acquire(0, 1);
+  ledger.Acquire(2, 1);
+  EXPECT_EQ(ledger.TotalFree(), 4);
+}
+
+}  // namespace
+}  // namespace elasticutor

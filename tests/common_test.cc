@@ -1,0 +1,230 @@
+// Unit tests for src/common: Status/Result, RNG, Zipf/alias sampling,
+// histogram quantiles, rate meters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/histogram.h"
+#include "common/random.h"
+#include "common/rate_meter.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "common/zipf.h"
+
+namespace elasticutor {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CarriesCodeAndMessage) {
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    ELASTICUTOR_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(9), 7);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(9), 9);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123, 7), b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(123, 7), b(123, 8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(10);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(42);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  EXPECT_NE(child1.NextU64(), child2.NextU64());
+}
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  AliasSampler sampler(weights);
+  Rng rng(1);
+  std::vector<int> counts(4, 0);
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(&rng)];
+  for (int i = 0; i < 4; ++i) {
+    double expected = weights[i] / 10.0;
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), expected, 0.01)
+        << "bucket " << i;
+  }
+}
+
+TEST(AliasSamplerTest, SingleBucket) {
+  AliasSampler sampler({3.0});
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(&rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  AliasSampler sampler({0.0, 1.0, 0.0});
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(sampler.Sample(&rng), 1u);
+}
+
+TEST(ZipfTest, RankOneMostFrequent) {
+  ZipfSampler zipf(1000, 0.5);
+  Rng rng(4);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Sample(&rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[500]);
+}
+
+TEST(ZipfTest, WeightsFollowPowerLaw) {
+  auto w = ZipfWeights(100, 1.0);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+  EXPECT_NEAR(w[1], 0.5, 1e-12);
+  EXPECT_NEAR(w[9], 0.1, 1e-12);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.P99(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, ExactSmallValues) {
+  Histogram h;
+  for (int i = 1; i <= 10; ++i) h.Record(i);
+  EXPECT_EQ(h.count(), 10);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 10);
+  EXPECT_NEAR(h.mean(), 5.5, 1e-9);
+  EXPECT_EQ(h.Quantile(0.0), 1);
+  EXPECT_EQ(h.Quantile(1.0), 10);
+}
+
+TEST(HistogramTest, QuantileResolutionWithinBucketError) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    h.Record(static_cast<int64_t>(rng.NextExponential(1e6)));
+  }
+  // p50 of Exp(1e6) is ln(2)*1e6 ≈ 693147; log-bucketed resolution ~1.6%.
+  EXPECT_NEAR(static_cast<double>(h.P50()), 693147.0, 693147.0 * 0.05);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.Record(100);
+  b.Record(1000000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 1000000);
+}
+
+TEST(HistogramTest, LargeValuesDoNotOverflow) {
+  Histogram h;
+  h.Record(INT64_MAX / 2);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_GT(h.Quantile(0.5), 0);
+}
+
+TEST(SlidingWindowMeterTest, CountsWithinWindow) {
+  SlidingWindowMeter meter(Seconds(1));
+  meter.Add(0, 10);
+  meter.Add(Millis(500), 10);
+  EXPECT_DOUBLE_EQ(meter.RatePerSec(Millis(900)), 20.0);
+  // First sample (t=0) falls out of the window ending at 1.1s.
+  EXPECT_DOUBLE_EQ(meter.RatePerSec(Millis(1100)), 10.0);
+  EXPECT_EQ(meter.total(), 20);
+}
+
+TEST(EwmaTest, ConvergesToConstant) {
+  Ewma e(0.5);
+  for (int i = 0; i < 32; ++i) e.Add(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-9);
+}
+
+TEST(EwmaTest, FirstSampleInitializes) {
+  Ewma e(0.1);
+  e.Add(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(TimeSeriesTest, BinsValues) {
+  TimeSeries ts(Seconds(1));
+  ts.Add(Millis(100), 1);
+  ts.Add(Millis(900), 1);
+  ts.Add(Millis(1500), 1);
+  auto bins = ts.Bins();
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(bins[1].second, 1.0);
+}
+
+TEST(UnitsTest, Conversions) {
+  EXPECT_EQ(Seconds(2), 2000000000);
+  EXPECT_EQ(Millis(3), 3000000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(7)), 7.0);
+  EXPECT_EQ(MillisF(0.5), 500000);
+}
+
+}  // namespace
+}  // namespace elasticutor

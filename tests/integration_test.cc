@@ -1,0 +1,217 @@
+// Cross-module integration and property tests: the correctness invariants
+// of DESIGN.md §7, swept across paradigms and dynamics with parameterized
+// suites.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "elasticutor/elasticutor.h"
+
+namespace elasticutor {
+namespace {
+
+// ---- Property: per-key order + conservation under (paradigm, omega) ----
+
+using Sweep = std::tuple<Paradigm, double>;
+
+class OrderInvariantTest : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(OrderInvariantTest, NoReorderingNoLoss) {
+  auto [paradigm, omega] = GetParam();
+  MicroOptions options;
+  options.num_keys = 2048;
+  options.generator_executors = 4;
+  options.calculator_executors = 4;
+  options.shards_per_executor = 32;
+  options.shuffles_per_minute = omega;
+  options.mode = SourceSpec::Mode::kTrace;
+  options.trace_rate_per_sec = 8000.0;
+  auto workload = BuildMicroWorkload(options, 123);
+  ASSERT_TRUE(workload.ok());
+
+  EngineConfig config;
+  config.paradigm = paradigm;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  config.validate_key_order = true;
+  // Faster controllers so elasticity actually triggers inside the window.
+  config.scheduler.interval_ns = Millis(500);
+  config.rc.interval_ns = Millis(500);
+  Engine engine(workload->topology, config);
+  ASSERT_TRUE(engine.Setup().ok());
+  workload->InstallDynamics(&engine);
+  engine.Start();
+  engine.RunFor(Seconds(10));
+  engine.StopSources();
+  engine.RunFor(Seconds(5));  // Drain.
+
+  EXPECT_EQ(engine.order_violations(), 0);
+  // Conservation: every emitted tuple was processed (drained system).
+  int64_t emitted = 0;
+  for (const auto& sp : engine.source_executors(workload->generator)) {
+    emitted += sp->emitted();
+  }
+  EXPECT_EQ(engine.metrics()->sink_count(), emitted);
+  for (OperatorId op = 0; op < engine.topology().num_operators(); ++op) {
+    EXPECT_EQ(engine.runtime()->inflight(op), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParadigmOmegaSweep, OrderInvariantTest,
+    ::testing::Combine(::testing::Values(Paradigm::kStatic,
+                                         Paradigm::kResourceCentric,
+                                         Paradigm::kElastic),
+                       ::testing::Values(0.0, 8.0, 30.0)));
+
+// ---- Property: state backends keep the same invariants ----
+
+class BackendInvariantTest : public ::testing::TestWithParam<StateBackend> {};
+
+TEST_P(BackendInvariantTest, OrderAndDrainHold) {
+  MicroOptions options;
+  options.num_keys = 1024;
+  options.generator_executors = 2;
+  options.calculator_executors = 4;
+  options.shards_per_executor = 16;
+  options.shuffles_per_minute = 20.0;
+  options.mode = SourceSpec::Mode::kTrace;
+  options.trace_rate_per_sec = 4000.0;
+  auto workload = BuildMicroWorkload(options, 5);
+  ASSERT_TRUE(workload.ok());
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  config.validate_key_order = true;
+  config.state_backend = GetParam();
+  Engine engine(workload->topology, config);
+  ASSERT_TRUE(engine.Setup().ok());
+  workload->InstallDynamics(&engine);
+  engine.Start();
+  engine.RunFor(Seconds(8));
+  engine.StopSources();
+  engine.RunFor(Seconds(4));
+  EXPECT_EQ(engine.order_violations(), 0);
+  EXPECT_GT(engine.metrics()->sink_count(), 10000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BackendInvariantTest,
+                         ::testing::Values(StateBackend::kSharedInProcess,
+                                           StateBackend::kAlwaysMigrate,
+                                           StateBackend::kExternalStore));
+
+// ---- Property: shard granularity sweep keeps invariants ----
+
+class ShardGranularityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ShardGranularityTest, BalancesAndPreservesOrder) {
+  MicroOptions options;
+  options.num_keys = 1024;
+  options.generator_executors = 2;
+  options.calculator_executors = 2;
+  options.shards_per_executor = GetParam();
+  options.mode = SourceSpec::Mode::kTrace;
+  options.trace_rate_per_sec = 6000.0;
+  auto workload = BuildMicroWorkload(options, 31);
+  ASSERT_TRUE(workload.ok());
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.num_nodes = 2;
+  config.cores_per_node = 8;
+  config.validate_key_order = true;
+  Engine engine(workload->topology, config);
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+  engine.RunFor(Seconds(6));
+  EXPECT_EQ(engine.order_violations(), 0);
+  EXPECT_GT(engine.metrics()->sink_count(), 10000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularity, ShardGranularityTest,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+// ---- Network conservation across a full engine run ----
+
+TEST(ConservationTest, NetworkMessagesAllDelivered) {
+  MicroOptions options;
+  options.generator_executors = 4;
+  options.calculator_executors = 4;
+  options.shards_per_executor = 16;
+  options.mode = SourceSpec::Mode::kTrace;
+  options.trace_rate_per_sec = 10000.0;
+  auto workload = BuildMicroWorkload(options, 77);
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  Engine engine(workload->topology, config);
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+  engine.RunFor(Seconds(5));
+  engine.StopSources();
+  engine.RunFor(Seconds(3));
+  EXPECT_EQ(engine.net()->messages_sent(), engine.net()->messages_delivered());
+}
+
+// ---- SSE end-to-end across paradigms ----
+
+class SseSmokeTest : public ::testing::TestWithParam<Paradigm> {};
+
+TEST_P(SseSmokeTest, RunsAndMatchesOrders) {
+  SseOptions options;
+  options.executors_per_operator = 2;
+  options.shards_per_executor = 8;
+  options.source_executors = 2;
+  options.trace.num_stocks = 200;
+  options.trace.base_rate_per_sec = 3000.0;
+  auto workload = BuildSseWorkload(options, 9);
+  ASSERT_TRUE(workload.ok());
+  EngineConfig config;
+  config.paradigm = GetParam();
+  config.num_nodes = 4;
+  config.cores_per_node = 8;
+  config.validate_key_order = true;
+  Engine engine(workload->topology, config);
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+  engine.RunFor(Seconds(6));
+  EXPECT_EQ(engine.order_violations(), 0);
+  // The matching engine produced transaction records that reached the 11
+  // analytics sinks.
+  EXPECT_GT(engine.metrics()->sink_count(), 5000);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParadigms, SseSmokeTest,
+                         ::testing::Values(Paradigm::kStatic,
+                                           Paradigm::kResourceCentric,
+                                           Paradigm::kElastic));
+
+// ---- Determinism of the full stack ----
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalResults) {
+  auto run = []() {
+    MicroOptions options;
+    options.generator_executors = 2;
+    options.calculator_executors = 2;
+    options.shards_per_executor = 16;
+    options.shuffles_per_minute = 10.0;
+    auto workload = BuildMicroWorkload(options, 1234);
+    EngineConfig config;
+    config.paradigm = Paradigm::kElastic;
+    config.num_nodes = 2;
+    config.cores_per_node = 4;
+    Engine engine(workload->topology, config);
+    ELASTICUTOR_CHECK(engine.Setup().ok());
+    workload->InstallDynamics(&engine);
+    engine.Start();
+    engine.RunFor(Seconds(5));
+    return std::make_tuple(engine.metrics()->sink_count(),
+                           engine.sim()->events_executed(),
+                           engine.net()->total_inter_node_bytes());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace elasticutor

@@ -1,0 +1,143 @@
+// Unit tests for the network model: latency composition, bandwidth
+// serialization, FIFO ordering, byte accounting, RPC round trips.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace elasticutor {
+namespace {
+
+NetworkConfig TestConfig() {
+  NetworkConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s: easy arithmetic.
+  cfg.propagation_ns = Micros(100);
+  cfg.intra_node_ns = Micros(10);
+  cfg.per_message_overhead_bytes = 0;
+  return cfg;
+}
+
+TEST(NetworkTest, IntraNodeUsesHandoffLatencyOnly) {
+  Simulator sim;
+  Network net(&sim, 2, TestConfig());
+  SimTime delivered = -1;
+  net.Send(0, 0, 1 << 20, Purpose::kInterOperator,
+           [&]() { delivered = sim.now(); });
+  sim.RunAll();
+  EXPECT_EQ(delivered, Micros(10));  // No bandwidth cost on-node.
+  EXPECT_EQ(net.inter_node_bytes(Purpose::kInterOperator), 0);
+  EXPECT_EQ(net.intra_node_bytes(Purpose::kInterOperator), 1 << 20);
+}
+
+TEST(NetworkTest, TransmissionPlusPropagation) {
+  Simulator sim;
+  Network net(&sim, 2, TestConfig());
+  SimTime delivered = -1;
+  // 1000 bytes at 1 MB/s = 1 ms transmission.
+  net.Send(0, 1, 1000, Purpose::kInterOperator,
+           [&]() { delivered = sim.now(); });
+  sim.RunAll();
+  EXPECT_EQ(delivered, Millis(1) + Micros(100));
+}
+
+TEST(NetworkTest, EgressSerializesMessages) {
+  Simulator sim;
+  Network net(&sim, 3, TestConfig());
+  std::vector<SimTime> deliveries;
+  net.Send(0, 1, 1000, Purpose::kInterOperator,
+           [&]() { deliveries.push_back(sim.now()); });
+  net.Send(0, 2, 1000, Purpose::kInterOperator,
+           [&]() { deliveries.push_back(sim.now()); });
+  sim.RunAll();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], Millis(1) + Micros(100));
+  EXPECT_EQ(deliveries[1], Millis(2) + Micros(100));  // Queued behind first.
+}
+
+TEST(NetworkTest, PerDestinationFifo) {
+  Simulator sim;
+  Network net(&sim, 2, TestConfig());
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) {
+    net.Send(0, 1, 100 + i, Purpose::kRemoteTask,
+             [&order, i]() { order.push_back(i); });
+  }
+  sim.RunAll();
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(NetworkTest, DistinctSourcesDoNotSerialize) {
+  Simulator sim;
+  Network net(&sim, 3, TestConfig());
+  std::vector<SimTime> deliveries(2);
+  net.Send(0, 2, 1000, Purpose::kInterOperator,
+           [&]() { deliveries[0] = sim.now(); });
+  net.Send(1, 2, 1000, Purpose::kInterOperator,
+           [&]() { deliveries[1] = sim.now(); });
+  sim.RunAll();
+  EXPECT_EQ(deliveries[0], deliveries[1]);  // Parallel egress.
+}
+
+TEST(NetworkTest, PurposeAccountingSeparated) {
+  Simulator sim;
+  Network net(&sim, 2, TestConfig());
+  net.Send(0, 1, 100, Purpose::kInterOperator, []() {});
+  net.Send(0, 1, 200, Purpose::kStateMigration, []() {});
+  net.Send(0, 1, 300, Purpose::kRemoteTask, []() {});
+  sim.RunAll();
+  EXPECT_EQ(net.inter_node_bytes(Purpose::kInterOperator), 100);
+  EXPECT_EQ(net.inter_node_bytes(Purpose::kStateMigration), 200);
+  EXPECT_EQ(net.inter_node_bytes(Purpose::kRemoteTask), 300);
+  EXPECT_EQ(net.total_inter_node_bytes(), 600);
+}
+
+TEST(NetworkTest, MessageOverheadCounted) {
+  Simulator sim;
+  NetworkConfig cfg = TestConfig();
+  cfg.per_message_overhead_bytes = 64;
+  Network net(&sim, 2, cfg);
+  net.Send(0, 1, 100, Purpose::kInterOperator, []() {});
+  sim.RunAll();
+  EXPECT_EQ(net.inter_node_bytes(Purpose::kInterOperator), 164);
+}
+
+TEST(NetworkTest, AllMessagesDelivered) {
+  Simulator sim;
+  Network net(&sim, 4, TestConfig());
+  int delivered = 0;
+  for (int i = 0; i < 100; ++i) {
+    net.Send(i % 4, (i + 1) % 4, 50, Purpose::kControl,
+             [&]() { ++delivered; });
+  }
+  sim.RunAll();
+  EXPECT_EQ(delivered, 100);
+  EXPECT_EQ(net.messages_sent(), 100);
+  EXPECT_EQ(net.messages_delivered(), 100);
+}
+
+TEST(NetworkTest, RpcRoundTrip) {
+  Simulator sim;
+  Network net(&sim, 2, TestConfig());
+  SimTime request_seen = -1, reply_seen = -1;
+  net.Rpc(0, 1, 100, 100, Millis(2),
+          [&]() { request_seen = sim.now(); },
+          [&]() { reply_seen = sim.now(); });
+  sim.RunAll();
+  // Request: 0.1 ms tx + 0.1 ms prop; handler 2 ms; reply same path.
+  EXPECT_EQ(request_seen, Micros(100) + Micros(100));
+  EXPECT_EQ(reply_seen, request_seen + Millis(2) + Micros(100) + Micros(100));
+}
+
+TEST(NetworkTest, ResetCountersClearsBytes) {
+  Simulator sim;
+  Network net(&sim, 2, TestConfig());
+  net.Send(0, 1, 100, Purpose::kInterOperator, []() {});
+  sim.RunAll();
+  net.ResetCounters();
+  EXPECT_EQ(net.total_inter_node_bytes(), 0);
+  EXPECT_EQ(net.messages_sent(), 0);
+}
+
+}  // namespace
+}  // namespace elasticutor

@@ -1,0 +1,259 @@
+// Tests for the performance model (Erlang-C / Jackson / greedy allocation)
+// and the CPU-to-executor assignment (Algorithm 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "elasticutor/elasticutor.h"
+
+namespace elasticutor {
+namespace {
+
+// ---- Erlang-C / M/M/k ----
+
+TEST(PerfModelTest, ErlangCMatchesMm1) {
+  // For k = 1 the waiting probability equals the utilization ρ.
+  EXPECT_NEAR(ErlangC(1, 500.0, 1000.0), 0.5, 1e-9);
+  EXPECT_NEAR(ErlangC(1, 900.0, 1000.0), 0.9, 1e-9);
+}
+
+TEST(PerfModelTest, Mm1SojournClosedForm) {
+  // M/M/1: T = 1/(µ-λ).
+  EXPECT_NEAR(MmkSojournSeconds(1, 500.0, 1000.0), 1.0 / 500.0, 1e-9);
+  EXPECT_NEAR(MmkSojournSeconds(1, 900.0, 1000.0), 1.0 / 100.0, 1e-9);
+}
+
+TEST(PerfModelTest, UnstableQueueIsInfinite) {
+  EXPECT_TRUE(std::isinf(MmkSojournSeconds(1, 1200.0, 1000.0)));
+  EXPECT_TRUE(std::isinf(MmkSojournSeconds(2, 2000.0, 1000.0)));
+}
+
+TEST(PerfModelTest, MoreServersReduceSojourn) {
+  double t2 = MmkSojournSeconds(2, 1500.0, 1000.0);
+  double t3 = MmkSojournSeconds(3, 1500.0, 1000.0);
+  double t8 = MmkSojournSeconds(8, 1500.0, 1000.0);
+  EXPECT_GT(t2, t3);
+  EXPECT_GT(t3, t8);
+  // Converges to the pure service time 1/µ.
+  EXPECT_NEAR(t8, 1e-3, 2e-4);
+}
+
+TEST(PerfModelTest, JacksonWeightsByArrivalRate) {
+  std::vector<ExecutorDemand> demands = {{900.0, 1000.0}, {100.0, 1000.0}};
+  std::vector<int> k = {1, 1};
+  double t = JacksonLatencySeconds(demands, k, 1000.0);
+  // (900·T1 + 100·T2)/1000 with T1 = 1/100, T2 = 1/900.
+  EXPECT_NEAR(t, (900.0 / 100.0 + 100.0 / 900.0) / 1000.0, 1e-9);
+}
+
+// ---- Greedy allocation ----
+
+TEST(AllocationTest, MinimalStableAllocation) {
+  std::vector<ExecutorDemand> demands = {{2500.0, 1000.0}, {500.0, 1000.0}};
+  auto result = AllocateCores(demands, 100, /*target=*/1e9, false);
+  EXPECT_EQ(result.cores[0], 3);  // floor(2.5)+1.
+  EXPECT_EQ(result.cores[1], 1);
+}
+
+TEST(AllocationTest, MeetsLatencyTarget) {
+  // Jackson E[T] here is T1 + T2 >= 2/µ = 2 ms; ask for 2.2 ms which needs
+  // extra cores beyond the minimal stable allocation.
+  std::vector<ExecutorDemand> demands = {{3500.0, 1000.0}, {3500.0, 1000.0}};
+  auto result = AllocateCores(demands, 64, /*target=*/0.0022, false);
+  EXPECT_TRUE(result.target_met);
+  EXPECT_LE(result.expected_latency_s, 0.0022);
+  int used = result.cores[0] + result.cores[1];
+  EXPECT_LE(used, 64);
+  EXPECT_GT(used, 8);  // Needs more than the minimal stable allocation.
+}
+
+TEST(AllocationTest, GreedyPrefersHigherGain) {
+  // One hot executor, three idle: extra cores go to the hot one first.
+  std::vector<ExecutorDemand> demands = {
+      {5000.0, 1000.0}, {100.0, 1000.0}, {100.0, 1000.0}, {100.0, 1000.0}};
+  auto result = AllocateCores(demands, 12, 0.0011, false);
+  EXPECT_GT(result.cores[0], result.cores[1]);
+}
+
+TEST(AllocationTest, AllocateAllUsesEveryCore) {
+  std::vector<ExecutorDemand> demands(8, ExecutorDemand{1000.0, 1000.0});
+  auto result = AllocateCores(demands, 64, 0.002, true);
+  EXPECT_EQ(std::accumulate(result.cores.begin(), result.cores.end(), 0), 64);
+}
+
+TEST(AllocationTest, CapacityShortfallShavesGracefully) {
+  std::vector<ExecutorDemand> demands(8, ExecutorDemand{9000.0, 1000.0});
+  auto result = AllocateCores(demands, 16, 0.002, false);
+  int used = std::accumulate(result.cores.begin(), result.cores.end(), 0);
+  EXPECT_LE(used, 16);
+  for (int k : result.cores) EXPECT_GE(k, 1);
+}
+
+// ---- Algorithm 1 (assignment) ----
+
+AssignmentInput BaseInput(int nodes, int executors) {
+  AssignmentInput in;
+  in.node_capacity.assign(nodes, 8);
+  in.home.resize(executors);
+  in.target.assign(executors, 1);
+  in.state_bytes.assign(executors, 8e6);
+  in.data_intensity.assign(executors, 0.0);
+  in.current.assign(nodes, std::vector<int>(executors, 0));
+  for (int j = 0; j < executors; ++j) {
+    in.home[j] = j % nodes;
+    in.current[j % nodes][j] = 1;
+  }
+  return in;
+}
+
+TEST(AssignmentTest, NoChangeWhenTargetsMatch) {
+  AssignmentInput in = BaseInput(4, 8);
+  auto out = SolveAssignment(in);
+  ASSERT_TRUE(out.feasible);
+  EXPECT_EQ(out.x, in.current);
+  EXPECT_DOUBLE_EQ(out.migration_cost_bytes, 0.0);
+}
+
+TEST(AssignmentTest, SatisfiesTargetsAndCapacity) {
+  AssignmentInput in = BaseInput(4, 8);
+  in.target = {5, 1, 1, 1, 5, 1, 1, 1};
+  auto out = SolveAssignment(in);
+  ASSERT_TRUE(out.feasible);
+  for (int j = 0; j < 8; ++j) {
+    int total = 0;
+    for (int i = 0; i < 4; ++i) total += out.x[i][j];
+    EXPECT_GE(total, in.target[j]) << "executor " << j;
+  }
+  for (int i = 0; i < 4; ++i) {
+    int used = 0;
+    for (int j = 0; j < 8; ++j) used += out.x[i][j];
+    EXPECT_LE(used, in.node_capacity[i]) << "node " << i;
+  }
+}
+
+TEST(AssignmentTest, DataIntensiveExecutorStaysLocal) {
+  AssignmentInput in = BaseInput(4, 8);
+  in.target[0] = 6;
+  in.data_intensity[0] = 10e6;  // Above φ = 512 KB/s.
+  auto out = SolveAssignment(in);
+  ASSERT_TRUE(out.feasible);
+  // All 6 cores of executor 0 on its home node (node 0).
+  EXPECT_EQ(out.x[in.home[0]][0], 6);
+}
+
+TEST(AssignmentTest, PhiDoublesWhenLocalityInfeasible) {
+  AssignmentInput in = BaseInput(2, 4);  // 2 nodes x 8 cores.
+  // Both data-intensive executors home on node 0 and each wants 6 cores:
+  // together infeasible locally (12 > 8), so φ must double until one is
+  // allowed remote cores.
+  in.home = {0, 0, 1, 1};
+  in.current.assign(2, std::vector<int>(4, 0));
+  in.current[0][0] = in.current[0][1] = 1;
+  in.current[1][2] = in.current[1][3] = 1;
+  in.target = {6, 6, 1, 1};
+  in.data_intensity = {10e6, 9e6, 0, 0};
+  auto out = SolveAssignment(in);
+  ASSERT_TRUE(out.feasible);
+  EXPECT_GT(out.phi_used, in.phi);
+}
+
+TEST(AssignmentTest, InfeasibleWhenOverCapacity) {
+  AssignmentInput in = BaseInput(2, 4);
+  in.target = {8, 8, 8, 8};  // 32 > 16 cores.
+  auto out = SolveAssignment(in);
+  EXPECT_FALSE(out.feasible);
+}
+
+TEST(AssignmentTest, PrefersCheapDonors) {
+  AssignmentInput in = BaseInput(2, 3);
+  // Executor 2 is over-provisioned with cores on both nodes; executor 0
+  // needs one more. Cheapest donor core should leave migration cost ~0 when
+  // a free core exists.
+  in.current.assign(2, std::vector<int>(3, 0));
+  in.current[0][0] = 1;
+  in.current[0][1] = 1;
+  in.current[1][2] = 2;
+  in.target = {2, 1, 2};
+  auto out = SolveAssignment(in);
+  ASSERT_TRUE(out.feasible);
+  // Free cores exist (16 capacity, 4 used): no deallocation needed and the
+  // new core lands with minimal cost.
+  EXPECT_DOUBLE_EQ(out.migration_cost_bytes, 0.0);
+}
+
+TEST(AssignmentTest, MigrationCostAccountsProportionalState) {
+  AssignmentInput in = BaseInput(2, 1);
+  in.current.assign(2, std::vector<int>(1, 0));
+  in.current[0][0] = 2;  // 2 cores on node 0, state 8 MB.
+  in.target = {2};
+  // Force a move by making node 0 too small for an added executor... here
+  // just verify the cost function directly: moving half the cores moves
+  // half the state.
+  std::vector<std::vector<int>> x = {{1}, {1}};
+  EXPECT_NEAR(MigrationCostBytes(in, x), 4e6, 1.0);
+}
+
+TEST(AssignmentTest, NaiveIgnoresCurrentPlacement) {
+  AssignmentInput in = BaseInput(4, 8);
+  in.target.assign(8, 3);
+  auto naive = NaiveAssignment(in);
+  ASSERT_TRUE(naive.feasible);
+  auto optimized = SolveAssignment(in);
+  ASSERT_TRUE(optimized.feasible);
+  EXPECT_GE(naive.migration_cost_bytes, optimized.migration_cost_bytes);
+}
+
+// ---- End-to-end scheduler behavior ----
+
+TEST(DynamicSchedulerTest, ShiftsCoresTowardLoad) {
+  // Two-operator micro topology; all keys concentrated on a tiny hot set so
+  // one elastic executor carries most load — it must end with most cores.
+  TopologyBuilder builder;
+  OperatorSpec source;
+  source.name = "src";
+  source.is_source = true;
+  source.num_executors = 2;
+  source.shards_per_executor = 1;
+  source.source.mode = SourceSpec::Mode::kSaturation;
+  source.source.factory = [](Rng* rng, SimTime) {
+    Tuple t;
+    // 80% of traffic on keys 0..3, the rest uniform over 4096.
+    t.key = rng->NextBool(0.8) ? rng->NextBounded(4)
+                               : rng->NextBounded(4096);
+    t.size_bytes = 128;
+    return t;
+  };
+  OperatorId src = builder.AddOperator(std::move(source));
+  OperatorSpec work;
+  work.name = "work";
+  work.num_executors = 4;
+  work.shards_per_executor = 32;
+  work.mean_cost_ns = Millis(1);
+  work.selectivity = 0.0;
+  OperatorId w = builder.AddOperator(std::move(work));
+  ASSERT_TRUE(builder.Connect(src, w).ok());
+  Topology topology = std::move(builder.Build()).value();
+
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  Engine engine(topology, config);
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+  engine.RunFor(Seconds(8));
+
+  auto execs = engine.elastic_executors(w);
+  int max_cores = 0, total = 0;
+  for (const auto& ex : execs) {
+    max_cores = std::max(max_cores, ex->num_tasks());
+    total += ex->num_tasks();
+  }
+  EXPECT_GT(max_cores, total / 4) << "hot executor should hold extra cores";
+  EXPECT_GT(engine.scheduler()->cycles(), 0);
+  EXPECT_GT(engine.scheduler()->avg_scheduling_wall_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace elasticutor

@@ -1,0 +1,118 @@
+// Unit tests for the discrete-event simulator: ordering, determinism,
+// cancellation, periodic processes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace elasticutor {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, [&]() { order.push_back(3); });
+  q.Push(10, [&]() { order.push_back(1); });
+  q.Push(20, [&]() { order.push_back(2); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SimultaneousEventsFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.Push(5, [&order, i]() { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, CancelSkipsEvent) {
+  EventQueue q;
+  bool ran = false;
+  EventId id = q.Push(10, [&]() { ran = true; });
+  q.Push(20, []() {});
+  q.Cancel(id);
+  EXPECT_EQ(q.PeekTime(), 20);
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(10, [&]() { ++fired; });
+  sim.At(20, [&]() { ++fired; });
+  sim.At(30, [&]() { ++fired; });
+  sim.RunUntil(20);
+  EXPECT_EQ(fired, 2);  // Events at exactly `until` run.
+  EXPECT_EQ(sim.now(), 20);
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.At(100, [&]() {
+    sim.After(50, [&]() { seen = sim.now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimulatorTest, NestedSchedulingWorks) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) sim.After(10, recurse);
+  };
+  sim.After(0, recurse);
+  sim.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(SimulatorTest, PeriodicFiresUntilStopped) {
+  Simulator sim;
+  int count = 0;
+  sim.Periodic(10, 10, [&](SimTime) { return ++count < 4; });
+  sim.RunUntil(1000);
+  EXPECT_EQ(count, 4);
+}
+
+TEST(SimulatorTest, PeriodicTimesAreExact) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.Periodic(5, 7, [&](SimTime t) {
+    times.push_back(t);
+    return times.size() < 3;
+  });
+  sim.RunAll();
+  EXPECT_EQ(times, (std::vector<SimTime>{5, 12, 19}));
+}
+
+TEST(SimulatorTest, DeterministicEventCount) {
+  auto run = []() {
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i) {
+      sim.After(i * 3 % 17, [&]() { ++fired; });
+    }
+    sim.RunAll();
+    return sim.events_executed();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+}  // namespace
+}  // namespace elasticutor

@@ -1,0 +1,93 @@
+// Unit tests for the per-process state store and StateAccessor.
+#include <gtest/gtest.h>
+
+#include "state/state_store.h"
+
+namespace elasticutor {
+namespace {
+
+TEST(StateStoreTest, CreateAndAccount) {
+  ProcessStateStore store;
+  ASSERT_TRUE(store.CreateShard(1, 32768).ok());
+  EXPECT_TRUE(store.HasShard(1));
+  EXPECT_EQ(store.ShardBytes(1), 32768);
+  EXPECT_EQ(store.TotalBytes(), 32768);
+  EXPECT_EQ(store.num_shards(), 1u);
+}
+
+TEST(StateStoreTest, DuplicateCreateFails) {
+  ProcessStateStore store;
+  ASSERT_TRUE(store.CreateShard(1, 10).ok());
+  EXPECT_EQ(store.CreateShard(1, 10).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StateStoreTest, ExtractRemovesShard) {
+  ProcessStateStore store;
+  ASSERT_TRUE(store.CreateShard(2, 100).ok());
+  Result<ShardState> blob = store.ExtractShard(2);
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob->base_bytes, 100);
+  EXPECT_FALSE(store.HasShard(2));
+  EXPECT_EQ(store.ExtractShard(2).status().code(), StatusCode::kNotFound);
+}
+
+TEST(StateStoreTest, MigrationPreservesContents) {
+  ProcessStateStore src, dst;
+  ASSERT_TRUE(src.CreateShard(3, 1000).ok());
+  {
+    StateAccessor accessor(&src, 3, /*key=*/42);
+    *accessor.GetOrCreate<int64_t>() = 7;
+  }
+  ShardState blob = std::move(src.ExtractShard(3)).value();
+  ASSERT_TRUE(dst.InstallShard(3, std::move(blob)).ok());
+  StateAccessor accessor(&dst, 3, 42);
+  EXPECT_EQ(*accessor.GetOrCreate<int64_t>(), 7);
+}
+
+TEST(StateAccessorTest, PerKeyIsolation) {
+  ProcessStateStore store;
+  ASSERT_TRUE(store.CreateShard(0, 0).ok());
+  {
+    StateAccessor a(&store, 0, 1);
+    *a.GetOrCreate<int64_t>() = 10;
+  }
+  {
+    StateAccessor b(&store, 0, 2);
+    EXPECT_EQ(*b.GetOrCreate<int64_t>(), 0);  // Fresh state for key 2.
+  }
+  {
+    StateAccessor a(&store, 0, 1);
+    EXPECT_EQ(*a.GetOrCreate<int64_t>(), 10);
+  }
+}
+
+TEST(StateAccessorTest, UserBytesGrowWithEntries) {
+  ProcessStateStore store;
+  ASSERT_TRUE(store.CreateShard(0, 0).ok());
+  int64_t before = store.ShardBytes(0);
+  for (uint64_t k = 0; k < 10; ++k) {
+    StateAccessor a(&store, 0, k);
+    a.GetOrCreate<int64_t>();
+  }
+  EXPECT_GT(store.ShardBytes(0), before);
+  // Re-access does not double count.
+  int64_t after = store.ShardBytes(0);
+  for (uint64_t k = 0; k < 10; ++k) {
+    StateAccessor a(&store, 0, k);
+    a.GetOrCreate<int64_t>();
+  }
+  EXPECT_EQ(store.ShardBytes(0), after);
+}
+
+TEST(StateAccessorTest, AddBytesAdjustsFootprint) {
+  ProcessStateStore store;
+  ASSERT_TRUE(store.CreateShard(0, 0).ok());
+  StateAccessor a(&store, 0, 5);
+  a.GetOrCreate<int64_t>();
+  int64_t before = store.ShardBytes(0);
+  a.AddBytes(512);
+  EXPECT_EQ(store.ShardBytes(0), before + 512);
+}
+
+}  // namespace
+}  // namespace elasticutor

@@ -1,0 +1,193 @@
+// Tests for the workload generators: dynamic key space, micro topology,
+// the SSE trace model and the order book.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "elasticutor/elasticutor.h"
+
+namespace elasticutor {
+namespace {
+
+TEST(KeySpaceTest, SamplesFollowZipfBeforeShuffle) {
+  DynamicKeySpace keys(1000, 1.0, 7);
+  // Rank 0 maps to key 0 before any shuffle; it should dominate.
+  Rng rng(1);
+  std::vector<int> counts(1000, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[keys.SampleKey(&rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[100]);
+}
+
+TEST(KeySpaceTest, ShuffleMovesHotKey) {
+  DynamicKeySpace keys(1000, 1.0, 7);
+  double p_before = keys.KeyProbability(0);
+  keys.Shuffle();
+  // With 1000 keys the chance key 0 keeps rank 0 is ~0.1%.
+  EXPECT_NE(p_before, keys.KeyProbability(0));
+  EXPECT_EQ(keys.shuffles_applied(), 1);
+}
+
+TEST(KeySpaceTest, ProbabilitiesSumToOne) {
+  DynamicKeySpace keys(128, 0.5, 3);
+  double total = 0;
+  for (int k = 0; k < 128; ++k) total += keys.KeyProbability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(KeySpaceTest, PeriodicShuffleOnSimulator) {
+  DynamicKeySpace keys(64, 0.5, 3);
+  Simulator sim;
+  keys.StartShuffling(&sim, 6.0);  // Every 10 s.
+  sim.RunUntil(Seconds(35));
+  EXPECT_EQ(keys.shuffles_applied(), 3);
+}
+
+TEST(MicroWorkloadTest, BuildsTwoOperatorTopology) {
+  MicroOptions options;
+  auto w = BuildMicroWorkload(options, 1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->topology.num_operators(), 2);
+  EXPECT_TRUE(w->topology.spec(w->generator).is_source);
+  EXPECT_TRUE(w->topology.is_sink(w->calculator));
+  EXPECT_EQ(w->topology.spec(w->calculator).total_shards(), 32 * 256);
+}
+
+TEST(SseTraceTest, AggregateMatchesStockSum) {
+  SseTraceOptions options;
+  options.num_stocks = 100;
+  SseTraceModel trace(options, 5);
+  for (SimTime t : {Seconds(0), Seconds(100), Seconds(500)}) {
+    double sum = 0;
+    for (int s = 0; s < 100; ++s) sum += trace.StockRate(s, t);
+    EXPECT_NEAR(sum, trace.AggregateRate(t), trace.AggregateRate(t) * 1e-6);
+  }
+}
+
+TEST(SseTraceTest, CachedRateMatchesAnalytical) {
+  SseTraceOptions options;
+  options.num_stocks = 200;
+  SseTraceModel trace(options, 5);
+  for (int t = 0; t < 300; t += 7) {
+    EXPECT_NEAR(trace.CachedAggregateRate(Seconds(t)),
+                trace.AggregateRate(Seconds(t)),
+                trace.AggregateRate(Seconds(t)) * 1e-9)
+        << "t=" << t;
+  }
+}
+
+TEST(SseTraceTest, SurgesRaiseStockRate) {
+  SseTraceOptions options;
+  options.num_stocks = 500;
+  SseTraceModel trace(options, 11);
+  // Find some time where some stock is surging (factor >= 5 guaranteed by
+  // construction): max over stocks of rate/base should exceed 4 somewhere.
+  bool surge_seen = false;
+  for (int t = 0; t < 600 && !surge_seen; t += 5) {
+    for (int s = 0; s < 500; ++s) {
+      double base = trace.StockRate(s, Seconds(1));
+      double now = trace.StockRate(s, Seconds(t));
+      if (base > 0 && now / base > 4.0) {
+        surge_seen = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(surge_seen);
+}
+
+TEST(SseTraceTest, SamplingMatchesRates) {
+  SseTraceOptions options;
+  options.num_stocks = 50;
+  options.popularity_skew = 1.0;
+  SseTraceModel trace(options, 3);
+  Rng rng(9);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[trace.SampleStock(&rng, Seconds(1))];
+  double total_rate = trace.AggregateRate(Seconds(1));
+  for (int s = 0; s < 5; ++s) {
+    double expected = trace.StockRate(s, Seconds(1)) / total_rate;
+    EXPECT_NEAR(counts[s] / static_cast<double>(n), expected,
+                0.01 + expected * 0.1)
+        << "stock " << s;
+  }
+}
+
+TEST(SseWorkloadTest, BuildsFig14Topology) {
+  SseOptions options;
+  auto w = BuildSseWorkload(options, 1);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->topology.num_operators(), 13);  // src + transactor + 11.
+  EXPECT_EQ(w->stats_ops.size(), 6u);
+  EXPECT_EQ(w->event_ops.size(), 5u);
+  EXPECT_EQ(w->topology.downstream(w->transactor).size(), 11u);
+  EXPECT_EQ(w->topology.upstream(w->transactor).size(), 1u);
+}
+
+// ---- Order book ----
+
+TEST(OrderBookTest, RestingOrderNoTrade) {
+  OrderBook book;
+  std::vector<Trade> trades;
+  EXPECT_EQ(book.Execute(OrderBook::Side::kBuy, 100, 500, &trades), 0);
+  EXPECT_TRUE(trades.empty());
+  EXPECT_EQ(book.best_bid(), 100);
+  EXPECT_EQ(book.bid_depth(), 500);
+}
+
+TEST(OrderBookTest, CrossingOrdersTrade) {
+  OrderBook book;
+  std::vector<Trade> trades;
+  book.Execute(OrderBook::Side::kSell, 101, 300, &trades);
+  int64_t traded = book.Execute(OrderBook::Side::kBuy, 101, 200, &trades);
+  EXPECT_EQ(traded, 200);
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_EQ(trades[0].price, 101);
+  EXPECT_EQ(trades[0].volume, 200);
+  EXPECT_EQ(book.ask_depth(), 100);  // Remainder rests.
+}
+
+TEST(OrderBookTest, WalksMultipleLevels) {
+  OrderBook book;
+  std::vector<Trade> trades;
+  book.Execute(OrderBook::Side::kSell, 100, 100, &trades);
+  book.Execute(OrderBook::Side::kSell, 101, 100, &trades);
+  book.Execute(OrderBook::Side::kSell, 102, 100, &trades);
+  trades.clear();
+  int64_t traded = book.Execute(OrderBook::Side::kBuy, 101, 250, &trades);
+  EXPECT_EQ(traded, 200);  // 100@100 + 100@101; 102 not crossed.
+  EXPECT_EQ(trades.size(), 2u);
+  EXPECT_EQ(book.bid_depth(), 50);  // Remainder rests at 101.
+  EXPECT_EQ(book.best_ask(), 102);
+}
+
+TEST(OrderBookTest, PriceImprovementGoesToResting) {
+  OrderBook book;
+  std::vector<Trade> trades;
+  book.Execute(OrderBook::Side::kSell, 99, 100, &trades);
+  book.Execute(OrderBook::Side::kBuy, 105, 100, &trades);
+  ASSERT_EQ(trades.size(), 1u);
+  EXPECT_EQ(trades[0].price, 99);  // Trades at the resting price.
+}
+
+TEST(OrderBookTest, DepthConservation) {
+  OrderBook book;
+  Rng rng(4);
+  std::vector<Trade> trades;
+  int64_t placed = 0, traded = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto side =
+        rng.NextBool(0.5) ? OrderBook::Side::kBuy : OrderBook::Side::kSell;
+    int64_t price = 1000 + static_cast<int64_t>(rng.NextGaussian(0, 4));
+    int64_t volume = 100;
+    placed += volume;
+    trades.clear();
+    traded += 2 * book.Execute(side, price, volume, &trades);
+  }
+  // Every traded share consumes one resting and one incoming share.
+  EXPECT_EQ(book.bid_depth() + book.ask_depth(), placed - traded);
+}
+
+}  // namespace
+}  // namespace elasticutor
