@@ -7,7 +7,8 @@
 using namespace elasticutor;
 using namespace elasticutor::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Ablation: intra-executor balancer",
          "θ sensitivity and balancing off");
 

@@ -8,7 +8,8 @@
 using namespace elasticutor;
 using namespace elasticutor::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Ablation: locality threshold φ",
          "remote traffic and throughput vs φ̃");
 

@@ -13,7 +13,8 @@
 using namespace elasticutor;
 using namespace elasticutor::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Ablation: state backend",
          "intra-process sharing vs always-migrate vs external store");
 

@@ -8,7 +8,8 @@
 using namespace elasticutor;
 using namespace elasticutor::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 6", "throughput & mean latency vs workload dynamics ω");
 
   TablePrinter table({"omega", "paradigm", "tput(tup/s)", "mean_lat_ms",

@@ -7,7 +7,8 @@
 using namespace elasticutor;
 using namespace elasticutor::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 7", "instantaneous throughput over time, ω = 2");
 
   const SimDuration total = Scaled(Seconds(95));

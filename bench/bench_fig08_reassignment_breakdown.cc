@@ -46,7 +46,8 @@ MicroOptions ProbeOptions() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 8",
          "per-shard reassignment time breakdown (sync vs migration)");
   TablePrinter table({"paradigm", "locality", "sync_ms", "migration_ms",

@@ -112,7 +112,8 @@ Avg RcProbe(const MicroOptions& options, bool inter, int probes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 9", "(a) sync vs upstream executors; (b) migration vs "
                      "state size");
 

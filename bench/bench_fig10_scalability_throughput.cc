@@ -26,7 +26,8 @@ MicroOptions Base() {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 10", "single-executor scale-out: throughput vs cores");
 
   std::printf("\n(a) varying computation cost (tuple size 128 B)\n");

@@ -22,7 +22,8 @@ MicroOptions Base() {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 11", "single-executor scale-out: p99 latency vs cores");
 
   std::printf("\n(a) varying computation cost (tuple size 128 B), p99 ms\n");

@@ -40,7 +40,8 @@ void Sweep(double omega) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 12",
          "single-executor scale-out vs shard state size, ω = 2 and 16");
   Sweep(2.0);

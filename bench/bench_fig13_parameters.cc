@@ -63,7 +63,8 @@ void Panel(const char* title, const MicroOptions& base) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 13", "throughput vs #executors (y) and #shards (z)");
 
   MicroOptions def;

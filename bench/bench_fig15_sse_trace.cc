@@ -7,7 +7,8 @@
 using namespace elasticutor;
 using namespace elasticutor::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 15", "arrival rates of the 5 most popular stocks");
 
   SseTraceOptions options;

@@ -22,7 +22,8 @@ struct Mode {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Figure 16", "SSE application: throughput & latency over time");
 
   // 16 nodes keeps the bench quick; capacity ~= 100k orders/s, trace pushes

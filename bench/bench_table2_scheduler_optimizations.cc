@@ -8,7 +8,8 @@
 using namespace elasticutor;
 using namespace elasticutor::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Table 2", "naive-EC vs Elasticutor: migration & remote traffic");
 
   TablePrinter table({"metric", "naive-EC", "elasticutor"});

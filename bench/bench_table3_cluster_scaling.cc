@@ -8,7 +8,8 @@
 using namespace elasticutor;
 using namespace elasticutor::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
   Banner("Table 3", "Elasticutor throughput & scheduling time vs cluster "
                     "size");
 

@@ -3,9 +3,114 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace elasticutor {
 namespace bench {
+
+namespace {
+
+// JSON sink state: armed by BenchInit (--json) or ELASTICUTOR_BENCH_JSON,
+// flushed atexit so every bench gets serialization without per-bench code.
+struct JsonSink {
+  std::string path;
+  std::string experiment;  // Set by Banner().
+  std::vector<std::string> records;
+
+  void Flush() {
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write JSON to %s\n", path.c_str());
+      return;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records.size(); ++i) {
+      std::fputs(records[i].c_str(), f);
+      std::fputs(i + 1 < records.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+};
+
+JsonSink& Sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+void FlushJsonAtExit() { Sink().Flush(); }
+
+void ArmJson(std::string path) {
+  bool first = Sink().path.empty();
+  Sink().path = std::move(path);
+  if (first) std::atexit(FlushJsonAtExit);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Emits a cell as a JSON number when it parses fully as one (the harness
+// formats numbers via Fmt/FmtInt, so "12.50" round-trips), else as a string.
+// Only plain decimal/scientific spellings qualify — strtod also accepts
+// "inf", "nan" and hex floats, none of which are valid JSON.
+std::string JsonValue(const std::string& cell) {
+  if (!cell.empty() &&
+      cell.find_first_not_of("0123456789+-.eE") == std::string::npos) {
+    char* end = nullptr;
+    std::strtod(cell.c_str(), &end);
+    if (end != nullptr && *end == '\0' && end != cell.c_str()) return cell;
+  }
+  return "\"" + JsonEscape(cell) + "\"";
+}
+
+void RecordRow(const std::vector<std::string>& headers,
+               const std::vector<std::string>& cells) {
+  JsonSink& sink = Sink();
+  if (sink.path.empty()) return;
+  std::string rec = "  {\"experiment\": \"" + JsonEscape(sink.experiment) +
+                    "\"";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::string key = i < headers.size() ? headers[i]
+                                         : "col" + std::to_string(i);
+    rec += ", \"" + JsonEscape(key) + "\": " + JsonValue(cells[i]);
+  }
+  rec += "}";
+  sink.records.push_back(std::move(rec));
+}
+
+}  // namespace
+
+void BenchInit(int argc, char** argv) {
+  const char* env = std::getenv("ELASTICUTOR_BENCH_JSON");
+  std::string path = env != nullptr ? env : "";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      path = argv[i + 1];
+      break;
+    }
+  }
+  if (!path.empty()) ArmJson(std::move(path));
+}
 
 double TimeScale() {
   static double scale = []() {
@@ -64,13 +169,23 @@ ExperimentResult RunAndMeasure(Engine* engine, SimDuration warmup,
 TablePrinter::TablePrinter(std::vector<std::string> headers, int width)
     : headers_(std::move(headers)), width_(width) {}
 
+namespace {
+// Column width for one cell: wide cells get two trailing spaces instead of
+// overflowing into the neighbor (e.g. 16-char "resource-centric" in a
+// 12-wide column).
+int CellWidth(int width, const std::string& cell) {
+  return std::max(width, static_cast<int>(cell.size()) + 2);
+}
+}  // namespace
+
 void TablePrinter::PrintHeader() const {
   for (const auto& h : headers_) {
-    std::printf("%-*s", width_, h.c_str());
+    std::printf("%-*s", CellWidth(width_, h), h.c_str());
   }
   std::printf("\n");
-  for (size_t i = 0; i < headers_.size(); ++i) {
-    for (int c = 0; c < width_ - 2; ++c) std::printf("-");
+  for (const auto& h : headers_) {
+    int w = CellWidth(width_, h);
+    for (int c = 0; c < w - 2; ++c) std::printf("-");
     std::printf("  ");
   }
   std::printf("\n");
@@ -78,10 +193,11 @@ void TablePrinter::PrintHeader() const {
 
 void TablePrinter::PrintRow(const std::vector<std::string>& cells) const {
   for (const auto& c : cells) {
-    std::printf("%-*s", width_, c.c_str());
+    std::printf("%-*s", CellWidth(width_, c), c.c_str());
   }
   std::printf("\n");
   std::fflush(stdout);
+  RecordRow(headers_, cells);
 }
 
 std::string Fmt(double value, int precision) {
@@ -93,6 +209,7 @@ std::string Fmt(double value, int precision) {
 std::string FmtInt(int64_t value) { return std::to_string(value); }
 
 void Banner(const std::string& experiment, const std::string& description) {
+  Sink().experiment = experiment;
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", experiment.c_str(), description.c_str());
   if (TimeScale() != 1.0) {

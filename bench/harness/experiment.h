@@ -15,6 +15,14 @@
 namespace elasticutor {
 namespace bench {
 
+/// Parses harness flags and enables machine-readable output. Call first in
+/// main(). Recognized: `--json <path>` — serialize every table row printed by
+/// this process to `path` as a JSON array of objects (one object per row,
+/// keyed by column header). The ELASTICUTOR_BENCH_JSON environment variable
+/// is an equivalent no-flag spelling; the flag wins when both are set.
+/// Unknown arguments are left untouched for the bench's own parsing.
+void BenchInit(int argc, char** argv);
+
 /// Multiplier from ELASTICUTOR_BENCH_SCALE (clamped to [0.05, 100]).
 double TimeScale();
 
@@ -47,7 +55,10 @@ ExperimentResult RunAndMeasure(Engine* engine, SimDuration warmup,
 /// started at ResetMetricsAfterWarmup().
 ExperimentResult Snapshot(Engine* engine, SimDuration measured);
 
-/// Fixed-width table output.
+/// Fixed-width table output. Cells wider than the column get padded to
+/// cell.size() + 2 instead of silently running into the next column. When a
+/// JSON sink is armed (see BenchInit), every PrintRow also records the row as
+/// an object keyed by the column headers.
 class TablePrinter {
  public:
   explicit TablePrinter(std::vector<std::string> headers, int width = 14);

@@ -4,11 +4,14 @@
 // elastic executor within a couple of scheduling intervals — no key
 // repartitioning, no global synchronization.
 //
+// Durations honor ELASTICUTOR_BENCH_SCALE so CI smoke runs stay short.
+//
 //   ./build/examples/hotkey_rebalance
 #include <cstdio>
 #include <memory>
 
 #include "elasticutor/elasticutor.h"
+#include "harness/experiment.h"
 
 using namespace elasticutor;
 
@@ -55,19 +58,20 @@ int main() {
   engine.Start();
 
   // Flip the distribution at t = 20 s, back at t = 45 s.
-  engine.sim()->At(Seconds(20), [hot]() { *hot = true; });
-  engine.sim()->At(Seconds(45), [hot]() { *hot = false; });
+  engine.sim()->At(bench::Scaled(Seconds(20)), [hot]() { *hot = true; });
+  engine.sim()->At(bench::Scaled(Seconds(45)), [hot]() { *hot = false; });
 
   std::printf("hot-key storm between t=20s and t=45s (60%% of traffic on 32 "
               "of %d keys)\n\n", kKeys);
   std::printf("%6s %12s %12s   cores per executor\n", "t(s)", "done/s",
               "lat ms");
   int64_t last = 0;
+  const double step_s = ToSeconds(bench::Scaled(Seconds(5)));
   for (int t = 5; t <= 60; t += 5) {
-    engine.RunUntil(Seconds(t));
+    engine.RunUntil(bench::Scaled(Seconds(t)));
     int64_t sinks = engine.metrics()->sink_count();
     std::printf("%6d %12.0f %12.2f   ", t,
-                static_cast<double>(sinks - last) / 5.0,
+                static_cast<double>(sinks - last) / step_s,
                 engine.metrics()->latency().mean() / 1e6);
     last = sinks;
     for (const auto& ex : engine.elastic_executors(work)) {

@@ -4,11 +4,13 @@
 //
 //   ./build/examples/paradigm_faceoff [omega]
 //
-// omega = key shuffles per minute (default 2).
+// omega = key shuffles per minute (default 2). Durations honor
+// ELASTICUTOR_BENCH_SCALE so CI smoke runs stay short.
 #include <cstdio>
 #include <cstdlib>
 
 #include "elasticutor/elasticutor.h"
+#include "harness/experiment.h"
 
 using namespace elasticutor;
 
@@ -33,9 +35,9 @@ int main(int argc, char** argv) {
     workload->InstallDynamics(&engine);
 
     engine.Start();
-    engine.RunFor(Seconds(10));
+    engine.RunFor(bench::Scaled(Seconds(10)));
     engine.ResetMetricsAfterWarmup();
-    engine.RunFor(Seconds(30));
+    engine.RunFor(bench::Scaled(Seconds(30)));
 
     const EngineMetrics& m = *engine.metrics();
     std::printf("%-18s %12.0f %14.2f %12.2f %16zu\n", ParadigmName(paradigm),

@@ -1,10 +1,13 @@
 // Quickstart: build the Fig-5 micro topology, run it under Elasticutor on a
 // simulated 8-node cluster, and print throughput/latency.
 //
+// Durations honor ELASTICUTOR_BENCH_SCALE so CI smoke runs stay short.
+//
 //   ./build/examples/quickstart
 #include <cstdio>
 
 #include "elasticutor/elasticutor.h"
+#include "harness/experiment.h"
 
 using namespace elasticutor;
 
@@ -38,9 +41,9 @@ int main() {
 
   // 3. Run: warm up 5 simulated seconds, measure 30 (covers a key shuffle).
   engine.Start();
-  engine.RunFor(Seconds(5));
+  engine.RunFor(bench::Scaled(Seconds(5)));
   engine.ResetMetricsAfterWarmup();
-  engine.RunFor(Seconds(30));
+  engine.RunFor(bench::Scaled(Seconds(30)));
 
   // 4. Report.
   std::printf("Paradigm:        %s\n", ParadigmName(config.paradigm));

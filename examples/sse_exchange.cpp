@@ -4,10 +4,13 @@
 // event-detection operators — all running as elastic executors under the
 // dynamic scheduler.
 //
+// Durations honor ELASTICUTOR_BENCH_SCALE so CI smoke runs stay short.
+//
 //   ./build/examples/sse_exchange
 #include <cstdio>
 
 #include "elasticutor/elasticutor.h"
+#include "harness/experiment.h"
 
 using namespace elasticutor;
 
@@ -36,13 +39,14 @@ int main() {
 
   engine.Start();
   int64_t last_sinks = 0;
+  const double step_s = ToSeconds(bench::Scaled(Seconds(10)));
   for (int t = 10; t <= 120; t += 10) {
-    engine.RunUntil(Seconds(t));
+    engine.RunUntil(bench::Scaled(Seconds(t)));
     int64_t sinks = engine.metrics()->sink_count();
     double lat_ms = engine.metrics()->latency().mean() / 1e6;
     std::printf("%6d %14.0f %14.0f %14.2f %12lld\n", t,
-                workload->trace->AggregateRate(Seconds(t)),
-                static_cast<double>(sinks - last_sinks) / 10.0, lat_ms,
+                workload->trace->AggregateRate(bench::Scaled(Seconds(t))),
+                static_cast<double>(sinks - last_sinks) / step_s, lat_ms,
                 static_cast<long long>(
                     engine.scheduler()->core_moves_issued()));
     last_sinks = sinks;

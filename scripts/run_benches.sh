@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Builds the benches in Release and runs each one with --json, emitting one
+# BENCH_<figure>.json per bench (one record per reported table row) — the
+# machine-readable perf trajectory for this repo.
+#
+# Usage:
+#   scripts/run_benches.sh [bench_name ...]
+#
+#   bench_name    optional subset (e.g. bench_fig06_dynamics); default: all
+#                 table-printing benches.
+#
+# Environment:
+#   BUILD_DIR                (default: build-release) CMake build directory.
+#   OUT_DIR                  (default: repo root) where BENCH_*.json land.
+#   ELASTICUTOR_BENCH_SCALE  duration multiplier, passed through to the
+#                            benches (e.g. 0.05 for a quick smoke pass).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-release}"
+OUT_DIR="${OUT_DIR:-$ROOT}"
+
+ALL_BENCHES=(
+  bench_ablation_balancer
+  bench_ablation_phi
+  bench_ablation_state_sharing
+  bench_fig06_dynamics
+  bench_fig07_instantaneous
+  bench_fig08_reassignment_breakdown
+  bench_fig09_sync_migration
+  bench_fig10_scalability_throughput
+  bench_fig11_scalability_latency
+  bench_fig12_state_size
+  bench_fig13_parameters
+  bench_fig15_sse_trace
+  bench_fig16_sse_application
+  bench_table2_scheduler_optimizations
+  bench_table3_cluster_scaling
+)
+# bench_micro_ops is google-benchmark based; use its own --benchmark_out.
+
+BENCHES=("${@:-${ALL_BENCHES[@]}}")
+
+# No option overrides beyond the build type: BUILD_DIR may be the user's
+# regular build tree, and flipping cached options there would silently
+# deregister its tests.
+cmake -B "$BUILD_DIR" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${BENCHES[@]}"
+
+mkdir -p "$OUT_DIR"
+for bench in "${BENCHES[@]}"; do
+  out="$OUT_DIR/BENCH_${bench#bench_}.json"
+  echo "=== $bench -> $out"
+  "$BUILD_DIR/bench/$bench" --json "$out"
+done
+
+echo
+echo "wrote $(ls "$OUT_DIR"/BENCH_*.json | wc -l) BENCH_*.json files to $OUT_DIR"

@@ -159,8 +159,17 @@ void ElasticExecutor::OnProcessingComplete(const TaskPtr& task, Tuple t) {
   int local = static_cast<int>(rt_->partition(op_)->ShardOf(t.key)) -
               static_cast<int>(first_shard_);
   BatchEmitContext emit(rt_, op_, t.created_at);
-  ApplyOperatorLogic(rt_, spec, op_, t, store_on(task->node),
-                     global_shard(local), &emit, &task->rng);
+  // Under kExternalStore shard state never migrates (OnLabel moves nothing):
+  // the home store stands in for the external KV, and the per-tuple access
+  // round trips are already charged in TaskStartNext. Every task, local or
+  // remote, must therefore read the home store — task->node's store is empty
+  // for remote tasks.
+  ProcessStateStore* store =
+      rt_->config().state_backend == StateBackend::kExternalStore
+          ? store_on(home_node_)
+          : store_on(task->node);
+  ApplyOperatorLogic(rt_, spec, op_, t, store, global_shard(local), &emit,
+                     &task->rng);
   ++metrics_.processed;
   rt_->OnProcessed(op_, t);
 
