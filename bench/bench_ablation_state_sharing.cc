@@ -1,11 +1,13 @@
 // Ablation (paper §3.2 design discussion): the elastic executor's state
-// backend —
+// backend x migration strategy —
 //  * shared     : intra-process state sharing (the paper's design; same-
 //                 process shard moves migrate nothing),
 //  * migrate    : per-task private state (every reassignment serializes and
-//                 copies, even on the same node),
+//                 copies, even on the same node) — run under both sync-blob
+//                 and chunked-live to show live pre-copy rescuing the
+//                 worst-case design,
 //  * external   : RAMCloud-style external store (no migration ever, but
-//                 every tuple pays two remote accesses).
+//                 every tuple pays two store round trips).
 // Measures throughput / latency / reassignment cost under the dynamic
 // micro workload.
 #include "harness/experiment.h"
@@ -18,17 +20,24 @@ int main(int argc, char** argv) {
   Banner("Ablation: state backend",
          "intra-process sharing vs always-migrate vs external store");
 
-  TablePrinter table({"backend", "tput(tup/s)", "mean_lat_ms", "reassigns",
-                      "avg_mig_ms"});
+  TablePrinter table({"backend", "strategy", "tput(tup/s)", "mean_lat_ms",
+                      "reassigns", "avg_pause_ms", "avg_mig_ms"});
   table.PrintHeader();
 
   struct Mode {
     const char* name;
-    StateBackend backend;
+    StateBackendKind backend;
+    MigrationStrategy strategy;
   };
-  for (Mode mode : {Mode{"shared", StateBackend::kSharedInProcess},
-                    Mode{"migrate", StateBackend::kAlwaysMigrate},
-                    Mode{"external", StateBackend::kExternalStore}}) {
+  for (Mode mode :
+       {Mode{"shared", StateBackendKind::kLocalShared,
+             MigrationStrategy::kChunkedLive},
+        Mode{"migrate", StateBackendKind::kAlwaysMigrate,
+             MigrationStrategy::kSyncBlob},
+        Mode{"migrate", StateBackendKind::kAlwaysMigrate,
+             MigrationStrategy::kChunkedLive},
+        Mode{"external", StateBackendKind::kExternalKv,
+             MigrationStrategy::kChunkedLive}}) {
     MicroOptions options;
     options.shuffles_per_minute = 8.0;
     options.shard_state_bytes = 1 * kMiB;  // Big enough that copies hurt.
@@ -37,18 +46,21 @@ int main(int argc, char** argv) {
 
     EngineConfig config;
     config.paradigm = Paradigm::kElastic;
-    config.state_backend = mode.backend;
+    config.state.backend = mode.backend;
+    config.state.migration.strategy = mode.strategy;
     Engine engine(workload->topology, config);
     ELASTICUTOR_CHECK(engine.Setup().ok());
     workload->InstallDynamics(&engine);
 
     ExperimentResult r =
         RunAndMeasure(&engine, Scaled(Seconds(8)), Scaled(Seconds(20)));
-    table.PrintRow({mode.name, Fmt(r.throughput_tps, 0),
-                    Fmt(r.mean_latency_ms, 2), FmtInt(r.elasticity_ops),
+    table.PrintRow({mode.name, MigrationStrategyName(mode.strategy),
+                    Fmt(r.throughput_tps, 0), Fmt(r.mean_latency_ms, 2),
+                    FmtInt(r.elasticity_ops), Fmt(r.avg_pause_ms, 2),
                     Fmt(r.avg_migration_ms, 2)});
   }
-  std::printf("\nexpected: sharing wins — migrate pays copies on every "
-              "move, external pays two store round-trips per tuple\n");
+  std::printf("\nexpected: sharing wins; sync-blob migrate pays full-pause "
+              "copies on every move, chunked-live shrinks its pauses to the "
+              "dirty delta; external pays two store round-trips per tuple\n");
   return 0;
 }

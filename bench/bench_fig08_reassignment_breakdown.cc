@@ -15,7 +15,10 @@ namespace {
 
 struct Probe {
   double sync_ms = 0;
+  double precopy_ms = 0;
   double migration_ms = 0;
+  double pause_ms = 0;
+  double delta_kb = 0;
   int count = 0;
 };
 
@@ -25,12 +28,18 @@ Probe Summarize(const std::vector<ElasticityOp>& ops, size_t from,
   for (size_t i = from; i < ops.size(); ++i) {
     if (ops[i].inter_node != inter) continue;
     p.sync_ms += ToMillis(ops[i].sync_ns);
+    p.precopy_ms += ToMillis(ops[i].precopy_ns);
     p.migration_ms += ToMillis(ops[i].migration_ns);
+    p.pause_ms += ToMillis(ops[i].pause_ns);
+    p.delta_kb += static_cast<double>(ops[i].delta_bytes) / 1024.0;
     ++p.count;
   }
   if (p.count > 0) {
     p.sync_ms /= p.count;
+    p.precopy_ms /= p.count;
     p.migration_ms /= p.count;
+    p.pause_ms /= p.count;
+    p.delta_kb /= p.count;
   }
   return p;
 }
@@ -50,8 +59,8 @@ int main(int argc, char** argv) {
   BenchInit(argc, argv);
   Banner("Figure 8",
          "per-shard reassignment time breakdown (sync vs migration)");
-  TablePrinter table({"paradigm", "locality", "sync_ms", "migration_ms",
-                      "samples"});
+  TablePrinter table({"paradigm", "locality", "sync_ms", "precopy_ms",
+                      "migration_ms", "pause_ms", "delta_kb", "samples"});
   table.PrintHeader();
 
   const int kProbes = 24;
@@ -89,8 +98,9 @@ int main(int argc, char** argv) {
       }
       Probe p = Summarize(engine.metrics()->elasticity_ops(), before, inter);
       table.PrintRow({"elasticutor", inter ? "inter-node" : "intra-node",
-                      Fmt(p.sync_ms, 2), Fmt(p.migration_ms, 2),
-                      FmtInt(p.count)});
+                      Fmt(p.sync_ms, 2), Fmt(p.precopy_ms, 2),
+                      Fmt(p.migration_ms, 2), Fmt(p.pause_ms, 2),
+                      Fmt(p.delta_kb, 1), FmtInt(p.count)});
     }
   }
 
@@ -134,8 +144,9 @@ int main(int argc, char** argv) {
       }
       Probe p = Summarize(engine.metrics()->elasticity_ops(), before, inter);
       table.PrintRow({"resource-centric", inter ? "inter-node" : "intra-node",
-                      Fmt(p.sync_ms, 2), Fmt(p.migration_ms, 2),
-                      FmtInt(p.count)});
+                      Fmt(p.sync_ms, 2), Fmt(p.precopy_ms, 2),
+                      Fmt(p.migration_ms, 2), Fmt(p.pause_ms, 2),
+                      Fmt(p.delta_kb, 1), FmtInt(p.count)});
     }
   }
 

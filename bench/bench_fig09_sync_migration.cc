@@ -21,27 +21,38 @@ MicroOptions ProbeOptions() {
 struct Avg {
   double sync_ms = 0;
   double mig_ms = 0;
+  double precopy_ms = 0;
+  double pause_ms = 0;
+  double delta_kb = 0;
   int n = 0;
   void Add(const ElasticityOp& op) {
     sync_ms += ToMillis(op.sync_ns);
     mig_ms += ToMillis(op.migration_ns);
+    precopy_ms += ToMillis(op.precopy_ns);
+    pause_ms += ToMillis(op.pause_ns);
+    delta_kb += static_cast<double>(op.delta_bytes) / 1024.0;
     ++n;
   }
   double sync() const { return n ? sync_ms / n : 0; }
   double mig() const { return n ? mig_ms / n : 0; }
+  double precopy() const { return n ? precopy_ms / n : 0; }
+  double pause() const { return n ? pause_ms / n : 0; }
+  double delta() const { return n ? delta_kb / n : 0; }
 };
 
 // Runs probes on Elasticutor with the given options; returns averages over
 // `probes` reassignments toward `inter` (remote) or local tasks. The
 // balancer is disabled so every shard starts on the first local task and
 // each probe is exactly one controlled intra- or inter-node move.
-Avg ElasticProbe(const MicroOptions& options, bool inter, int probes) {
+Avg ElasticProbe(const MicroOptions& options, bool inter, int probes,
+                 StateLayerConfig state = StateLayerConfig{}) {
   auto workload = BuildMicroWorkload(options, 42);
   ELASTICUTOR_CHECK(workload.ok());
   EngineConfig config;
   config.paradigm = Paradigm::kElastic;
   config.scheduler.enabled = false;
   config.balancer.enabled = false;
+  config.state = state;
   Engine engine(workload->topology, config);
   ELASTICUTOR_CHECK(engine.Setup().ok());
   auto ex = engine.elastic_executors(workload->calculator)[0];
@@ -130,7 +141,8 @@ int main(int argc, char** argv) {
     ta.PrintRow({FmtInt(upstream), Fmt(rc.sync(), 2), Fmt(ec.sync(), 2)});
   }
 
-  std::printf("\n(b) state migration time vs shard state size\n");
+  std::printf("\n(b) state migration time vs shard state size (sync-blob, "
+              "the paper's stop-the-world migration)\n");
   TablePrinter tb({"state", "RC_intra_ms", "RC_inter_ms", "EC_intra_ms",
                    "EC_inter_ms"});
   tb.PrintHeader();
@@ -138,6 +150,8 @@ int main(int argc, char** argv) {
     const char* label;
     int64_t bytes;
   };
+  StateLayerConfig sync_state;
+  sync_state.migration.strategy = MigrationStrategy::kSyncBlob;
   for (Size size : {Size{"32KB", 32 * kKiB}, Size{"256KB", 256 * kKiB},
                     Size{"2MB", 2 * kMiB}, Size{"8MB", 8 * kMiB},
                     Size{"32MB", 32 * kMiB}}) {
@@ -145,13 +159,42 @@ int main(int argc, char** argv) {
     options.shard_state_bytes = size.bytes;
     Avg rc_intra = RcProbe(options, false, 4);
     Avg rc_inter = RcProbe(options, true, 4);
-    Avg ec_intra = ElasticProbe(options, false, 4);
-    Avg ec_inter = ElasticProbe(options, true, 4);
+    Avg ec_intra = ElasticProbe(options, false, 4, sync_state);
+    Avg ec_inter = ElasticProbe(options, true, 4, sync_state);
     tb.PrintRow({size.label, Fmt(rc_intra.mig(), 2), Fmt(rc_inter.mig(), 2),
                  Fmt(ec_intra.mig(), 2), Fmt(ec_inter.mig(), 2)});
   }
+
+  // (c) The new scenario axis: the same inter-node reassignment under the
+  // three state-layer designs — sync-blob (pause grows linearly with state),
+  // chunked-live (64 KB pre-copy chunks; pause stays roughly flat, only the
+  // dirty delta ships inside it) and external-KV (nothing migrates; the cost
+  // moved to per-tuple access RPCs instead).
+  std::printf("\n(c) reassignment pause vs shard state size by migration "
+              "strategy (inter-node)\n");
+  TablePrinter tc({"state", "sync_pause_ms", "live_pause_ms",
+                   "live_precopy_ms", "live_delta_kb", "extkv_pause_ms"},
+                  /*width=*/17);
+  tc.PrintHeader();
+  StateLayerConfig live_state;
+  live_state.migration.strategy = MigrationStrategy::kChunkedLive;
+  StateLayerConfig ext_state;
+  ext_state.backend = StateBackendKind::kExternalKv;
+  for (Size size : {Size{"32KB", 32 * kKiB}, Size{"256KB", 256 * kKiB},
+                    Size{"2MB", 2 * kMiB}, Size{"8MB", 8 * kMiB},
+                    Size{"32MB", 32 * kMiB}}) {
+    MicroOptions options = ProbeOptions();
+    options.shard_state_bytes = size.bytes;
+    Avg sync = ElasticProbe(options, true, 4, sync_state);
+    Avg live = ElasticProbe(options, true, 4, live_state);
+    Avg ext = ElasticProbe(options, true, 4, ext_state);
+    tc.PrintRow({size.label, Fmt(sync.pause(), 2), Fmt(live.pause(), 2),
+                 Fmt(live.precopy(), 2), Fmt(live.delta(), 1),
+                 Fmt(ext.pause(), 2)});
+  }
   std::printf("\npaper: EC sync flat ~2 ms regardless of upstream count; "
               "intra-node migration ~0 (state sharing); inter-node grows "
-              "with size\n");
+              "with size. New: chunked-live pause stays flat as state grows "
+              "(the sync-blob pause is the linear baseline)\n");
   return 0;
 }

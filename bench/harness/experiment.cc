@@ -139,13 +139,19 @@ ExperimentResult Snapshot(Engine* engine, SimDuration measured) {
   const auto& ops = m.elasticity_ops();
   result.elasticity_ops = static_cast<int64_t>(ops.size());
   if (!ops.empty()) {
-    double sync = 0, migration = 0;
+    double sync = 0, precopy = 0, migration = 0, pause = 0, delta = 0;
     for (const auto& op : ops) {
       sync += ToMillis(op.sync_ns);
+      precopy += ToMillis(op.precopy_ns);
       migration += ToMillis(op.migration_ns);
+      pause += ToMillis(op.pause_ns);
+      delta += static_cast<double>(op.delta_bytes) / 1024.0;
     }
     result.avg_sync_ms = sync / ops.size();
+    result.avg_precopy_ms = precopy / ops.size();
     result.avg_migration_ms = migration / ops.size();
+    result.avg_pause_ms = pause / ops.size();
+    result.avg_delta_kb = delta / ops.size();
   }
 
   const Network& net = *engine->net();

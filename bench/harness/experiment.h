@@ -38,7 +38,10 @@ struct ExperimentResult {
   // Elasticity operations during the measured window.
   int64_t elasticity_ops = 0;
   double avg_sync_ms = 0.0;
-  double avg_migration_ms = 0.0;
+  double avg_precopy_ms = 0.0;    // Live pre-copy (processing continues).
+  double avg_migration_ms = 0.0;  // In-pause state transfer.
+  double avg_pause_ms = 0.0;      // Total routing-pause window.
+  double avg_delta_kb = 0.0;      // KB shipped inside the pause.
 
   // Network rates over the measured window (inter-node only).
   double migration_rate_mbps = 0.0;   // MB/s of state migration.

@@ -14,18 +14,20 @@ ElasticExecutor::ElasticExecutor(Runtime* rt, OperatorId op,
   ELASTICUTOR_CHECK(num_shards > 0);
   shard_task_.assign(num_shards, -1);
   shard_paused_.assign(num_shards, 0);
+  shard_in_transition_.assign(num_shards, 0);
   pause_buffers_.resize(num_shards);
   shard_cost_ns_.assign(num_shards, 0);
   shard_cost_prev_.assign(num_shards, 0);
   shard_load_.assign(num_shards, 0.0);
-  stores_.emplace(home, ProcessStateStore());
+  backend_ = CreateStateBackend(rt->config().state, home, rt->net());
+  backend_->AddProcess(home);
 }
 
 Status ElasticExecutor::InitShards(int64_t shard_state_bytes) {
-  ProcessStateStore& store = stores_.at(home_node_);
+  ProcessStateStore* store = backend_->store(home_node_);
   for (int s = 0; s < num_shards_; ++s) {
     ELASTICUTOR_RETURN_NOT_OK(
-        store.CreateShard(global_shard(s), shard_state_bytes));
+        store->CreateShard(global_shard(s), shard_state_bytes));
   }
   return Status::OK();
 }
@@ -46,7 +48,7 @@ Status ElasticExecutor::ProbeReassign(int local_shard, NodeId node) {
   if (local_shard < 0 || local_shard >= num_shards_) {
     return Status::InvalidArgument("shard out of range");
   }
-  if (shard_paused_[local_shard]) {
+  if (shard_in_transition_[local_shard]) {
     return Status::FailedPrecondition("shard reassignment in progress");
   }
   int from = shard_task_[local_shard];
@@ -140,11 +142,9 @@ void ElasticExecutor::TaskStartNext(const TaskPtr& task) {
     task->busy = true;
     const OperatorSpec& spec = rt_->topology().spec(op_);
     SimDuration cost = SampleCost(spec, rt_->config(), t, &task->rng);
-    if (rt_->config().state_backend == StateBackend::kExternalStore) {
-      // RAMCloud-style external store: one read + one write round trip per
-      // tuple (the §3.2 design alternative, kept for the ablation bench).
-      cost += 2 * rt_->config().external_store_access_ns;
-    }
+    // Backend-specific per-tuple state-access cost (e.g. the external KV's
+    // read + write round trips, with their bytes attributed to the network).
+    cost += backend_->OnTupleAccess(task->node);
     metrics_.busy_ns += cost;
     rt_->sim()->After(cost, [this, task, t]() {
       task->busy = false;
@@ -159,15 +159,10 @@ void ElasticExecutor::OnProcessingComplete(const TaskPtr& task, Tuple t) {
   int local = static_cast<int>(rt_->partition(op_)->ShardOf(t.key)) -
               static_cast<int>(first_shard_);
   BatchEmitContext emit(rt_, op_, t.created_at);
-  // Under kExternalStore shard state never migrates (OnLabel moves nothing):
-  // the home store stands in for the external KV, and the per-tuple access
-  // round trips are already charged in TaskStartNext. Every task, local or
-  // remote, must therefore read the home store — task->node's store is empty
-  // for remote tasks.
-  ProcessStateStore* store =
-      rt_->config().state_backend == StateBackend::kExternalStore
-          ? store_on(home_node_)
-          : store_on(task->node);
+  // The backend decides which store a task on this node reads and writes
+  // (the external KV routes every task to the home-standing store; the
+  // shared backend to the task's process store).
+  ProcessStateStore* store = backend_->AccessStore(task->node);
   ApplyOperatorLogic(rt_, spec, op_, t, store, global_shard(local), &emit,
                      &task->rng);
   ++metrics_.processed;
@@ -263,11 +258,7 @@ std::unordered_map<NodeId, int> ElasticExecutor::core_distribution() const {
   return dist;
 }
 
-int64_t ElasticExecutor::state_bytes() const {
-  int64_t total = 0;
-  for (const auto& [node, store] : stores_) total += store.TotalBytes();
-  return total;
-}
+int64_t ElasticExecutor::state_bytes() const { return backend_->TotalBytes(); }
 
 Status ElasticExecutor::AddCore(NodeId node) {
   // The very first task adopts all shards, whose state lives in the home
@@ -282,9 +273,7 @@ Status ElasticExecutor::AddCore(NodeId node) {
   task->node = node;
   task->rng = rng_.Fork(0x7A5C + tasks_.size());
   tasks_.push_back(task);
-  if (!stores_.contains(node)) {
-    stores_.emplace(node, ProcessStateStore());  // New remote process.
-  }
+  backend_->AddProcess(node);  // New remote process (idempotent).
   if (first) {
     for (int s = 0; s < num_shards_; ++s) shard_task_[s] = task->id;
   }
@@ -321,7 +310,7 @@ Status ElasticExecutor::RemoveCore(NodeId node, EventFn done) {
   // Evacuate all its shards to the least-loaded remaining tasks.
   std::vector<int> shards;
   for (int s = 0; s < num_shards_; ++s) {
-    if (shard_task_[s] == victim->id && !shard_paused_[s]) {
+    if (shard_task_[s] == victim->id && !shard_in_transition_[s]) {
       shards.push_back(s);
     }
   }
@@ -369,14 +358,10 @@ void ElasticExecutor::TryFinalizeRemoval(const TaskPtr& victim, EventFn done) {
   NodeId node = victim->node;
   tasks_[victim->id] = nullptr;
   --removals_in_progress_;
-  // Tear down an emptied remote process.
+  // Tear down an emptied remote process (the backend checks that no shard
+  // is left inside its store).
   if (node != home_node_ && tasks_on(node) == 0) {
-    auto it = stores_.find(node);
-    if (it != stores_.end()) {
-      ELASTICUTOR_CHECK_MSG(it->second.num_shards() == 0,
-                            "remote store torn down with shards inside");
-      stores_.erase(it);
-    }
+    backend_->RemoveProcess(node);
   }
   if (done) done();
 }
@@ -387,23 +372,47 @@ void ElasticExecutor::TryFinalizeRemoval(const TaskPtr& victim, EventFn done) {
 
 void ElasticExecutor::ReassignShard(int local_shard, int to_task,
                                     EventFn done) {
-  ELASTICUTOR_CHECK(!shard_paused_[local_shard]);
+  ELASTICUTOR_CHECK(!shard_in_transition_[local_shard]);
   int from_task = shard_task_.at(local_shard);
   ELASTICUTOR_CHECK(from_task >= 0 && from_task != to_task);
   ELASTICUTOR_CHECK(tasks_.at(to_task) && !tasks_.at(to_task)->draining);
 
-  shard_paused_[local_shard] = 1;  // 1. Pause routing for the shard.
+  shard_in_transition_[local_shard] = 1;
   ++reassigns_in_progress_;
   int label_id = next_label_id_++;
   Reassign rec;
   rec.local_shard = local_shard;
   rec.from_task = from_task;
   rec.to_task = to_task;
-  rec.start = rt_->sim()->now();
   rec.done = std::move(done);
+
+  NodeId from_node = task(from_task)->node;
+  NodeId to_node = task(to_task)->node;
+  const bool migrate = backend_->NeedsMigration(from_node, to_node);
   pending_reassigns_.emplace(label_id, std::move(rec));
 
-  SendLabel(task(from_task), label_id);  // 2. Labeling tuple down the FIFO.
+  if (!migrate) {
+    // Intra-process state sharing / external store: no state moves — pause
+    // and label immediately; the pause lasts only for the label drain.
+    PauseAndLabel(label_id);
+    return;
+  }
+  // 1. Begin the migration. Under chunked-live the shard keeps processing
+  // while its snapshot streams over; under sync-blob this completes
+  // synchronously and the pause covers the whole transfer.
+  pending_reassigns_.at(label_id).migration = rt_->migration()->Begin(
+      backend_->store(from_node), global_shard(local_shard), from_node,
+      to_node, backend_->local_copy_bytes_per_sec(),
+      [this, label_id]() { PauseAndLabel(label_id); });
+}
+
+void ElasticExecutor::PauseAndLabel(int label_id) {
+  auto it = pending_reassigns_.find(label_id);
+  ELASTICUTOR_CHECK(it != pending_reassigns_.end());
+  Reassign& rec = it->second;
+  shard_paused_[rec.local_shard] = 1;  // 2. Pause routing for the shard.
+  rec.pause_start = rt_->sim()->now();
+  SendLabel(task(rec.from_task), label_id);  // 3. Labeling tuple, FIFO path.
 }
 
 void ElasticExecutor::SendLabel(const TaskPtr& target, int label_id) {
@@ -424,52 +433,25 @@ void ElasticExecutor::OnLabel(const TaskPtr& from, int label_id) {
   ELASTICUTOR_CHECK(it != pending_reassigns_.end());
   Reassign& rec = it->second;
   rec.sync_done = rt_->sim()->now();  // Pending tuples all processed.
+  (void)from;
 
-  NodeId from_node = from->node;
+  if (!rec.migration) {
+    // No state moves (intra-process sharing / external store): flip now.
+    FinishReassign(label_id, MigrationStats{});
+    return;
+  }
+  // 4. Ship the remainder (whole blob for sync-blob, dirty delta for
+  // chunked-live) and install the shard at the destination process.
   NodeId to_node = task(rec.to_task)->node;
-  ShardId gshard = global_shard(rec.local_shard);
-  const StateBackend backend = rt_->config().state_backend;
-
-  if (backend == StateBackend::kExternalStore) {
-    // State lives in the external store; nothing moves.
-    FinishReassign(label_id, 0);
-    return;
-  }
-  if (from_node == to_node && backend == StateBackend::kSharedInProcess) {
-    // 3'. Intra-process state sharing: no migration (§3.2).
-    FinishReassign(label_id, 0);
-    return;
-  }
-  // 3. Migrate the shard state to the destination process.
-  auto blob = std::make_shared<ShardState>();
-  {
-    Result<ShardState> extracted = store_on(from_node)->ExtractShard(gshard);
-    ELASTICUTOR_CHECK(extracted.ok());
-    *blob = std::move(extracted).value();
-  }
-  int64_t bytes = blob->bytes();
-  if (from_node == to_node) {
-    // kAlwaysMigrate ablation, same node: serialize/copy cost, no network.
-    SimDuration copy = static_cast<SimDuration>(
-        static_cast<double>(bytes) / 2e9 * 1e9);  // ~2 GB/s memcpy+serde.
-    rt_->sim()->After(copy, [this, to_node, gshard, blob, label_id, bytes]() {
-      ELASTICUTOR_CHECK(
-          store_on(to_node)->InstallShard(gshard, std::move(*blob)).ok());
-      FinishReassign(label_id, bytes);
-    });
-    return;
-  }
-  rt_->net()->Send(from_node, to_node, bytes, Purpose::kStateMigration,
-                   [this, to_node, gshard, blob, label_id, bytes]() {
-                     ELASTICUTOR_CHECK(store_on(to_node)
-                                           ->InstallShard(gshard,
-                                                          std::move(*blob))
-                                           .ok());
-                     FinishReassign(label_id, bytes);
-                   });
+  rt_->migration()->Finalize(
+      rec.migration, backend_->store(to_node),
+      [this, label_id](const MigrationStats& stats) {
+        FinishReassign(label_id, stats);
+      });
 }
 
-void ElasticExecutor::FinishReassign(int label_id, int64_t migrated_bytes) {
+void ElasticExecutor::FinishReassign(int label_id,
+                                     const MigrationStats& stats) {
   auto it = pending_reassigns_.find(label_id);
   ELASTICUTOR_CHECK(it != pending_reassigns_.end());
   Reassign rec = std::move(it->second);
@@ -478,9 +460,10 @@ void ElasticExecutor::FinishReassign(int label_id, int64_t migrated_bytes) {
   NodeId from_node = task(rec.from_task)->node;
   NodeId to_node = task(rec.to_task)->node;
 
-  // 4. Update the shard->task map, then resume routing.
+  // 5. Update the shard->task map, then resume routing.
   shard_task_[rec.local_shard] = rec.to_task;
   shard_paused_[rec.local_shard] = 0;
+  shard_in_transition_[rec.local_shard] = 0;
   auto& buffer = pause_buffers_[rec.local_shard];
   while (!buffer.empty()) {
     Tuple t = buffer.front();
@@ -489,11 +472,15 @@ void ElasticExecutor::FinishReassign(int label_id, int64_t migrated_bytes) {
     RouteToTask(rec.local_shard, t);
   }
 
+  SimTime now = rt_->sim()->now();
   ElasticityOp op;
   op.inter_node = from_node != to_node;
-  op.sync_ns = rec.sync_done - rec.start;
-  op.migration_ns = rt_->sim()->now() - rec.sync_done;
-  op.moved_bytes = migrated_bytes;
+  op.sync_ns = rec.sync_done - rec.pause_start;
+  op.precopy_ns = stats.precopy_ns;
+  op.migration_ns = now - rec.sync_done;
+  op.pause_ns = now - rec.pause_start;
+  op.moved_bytes = stats.moved_bytes;
+  op.delta_bytes = stats.delta_bytes;
   rt_->metrics()->OnElasticityOp(op);
 
   ++reassignments_done_;
@@ -573,12 +560,6 @@ int ElasticExecutor::shards_on_task_count(NodeId node) const {
     if (id >= 0 && tasks_[id] && tasks_[id]->node == node) ++count;
   }
   return count;
-}
-
-ProcessStateStore* ElasticExecutor::store_on(NodeId node) {
-  auto it = stores_.find(node);
-  ELASTICUTOR_CHECK_MSG(it != stores_.end(), "no process on node");
-  return &it->second;
 }
 
 }  // namespace elasticutor

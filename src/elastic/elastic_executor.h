@@ -20,12 +20,17 @@
 //    destroyed and `done` runs (the scheduler releases the core).
 //  * Balance round — the intra-executor load balancer (§3.1).
 //
-// Consistent shard reassignment (§3.3): routing for the shard is paused
-// (arrivals buffer at the receiver), a labeling tuple is sent down the same
-// FIFO path as data to the source task; when the task pops it, all pending
-// tuples of the shard have been processed; state then migrates (skipped for
-// same-process moves thanks to intra-process state sharing), the shard→task
-// map is updated, and buffered tuples are flushed to the destination task.
+// Consistent shard reassignment (§3.3), on top of the shared
+// MigrationEngine: when the backend requires a migration, the engine first
+// pre-copies the shard in chunks while the source task keeps processing
+// (under MigrationStrategy::kChunkedLive; a sync-blob baseline skips this).
+// Only then is routing for the shard paused (arrivals buffer at the
+// receiver) and a labeling tuple sent down the same FIFO path as data to the
+// source task; when the task pops it, all pending tuples of the shard have
+// been processed; the engine ships the dirty delta (or, for sync-blob, the
+// whole blob), the shard→task map is updated, and buffered tuples are
+// flushed to the destination task. Same-process moves migrate nothing
+// (intra-process state sharing — the backend decides).
 #pragma once
 
 #include <deque>
@@ -37,6 +42,8 @@
 #include "engine/executor_base.h"
 #include "engine/runtime.h"
 #include "engine/single_task_executor.h"
+#include "state/migration_engine.h"
+#include "state/state_backend.h"
 #include "state/state_store.h"
 
 namespace elasticutor {
@@ -104,6 +111,8 @@ class ElasticExecutor : public ExecutorBase {
   // ---- Introspection (tests/benches) ----
   int shards_on_task_count(NodeId node) const;
   int64_t reassignments_done() const { return reassignments_done_; }
+  StateBackend* state_backend() { return backend_.get(); }
+  int num_shards() const { return num_shards_; }
 
  private:
   /// One entry of a task's pending queue: a data tuple, or a labeling
@@ -135,8 +144,9 @@ class ElasticExecutor : public ExecutorBase {
     int local_shard = -1;
     int from_task = -1;
     int to_task = -1;
-    SimTime start = 0;
-    SimTime sync_done = 0;
+    SimTime pause_start = 0;  // Routing paused (pre-copy done).
+    SimTime sync_done = 0;    // Labeling tuple drained.
+    MigrationEngine::Handle migration;  // Null when no state moves.
     EventFn done;
   };
 
@@ -151,14 +161,14 @@ class ElasticExecutor : public ExecutorBase {
 
   // Reassignment protocol.
   void ReassignShard(int local_shard, int to_task, EventFn done);
+  void PauseAndLabel(int label_id);
   void SendLabel(const TaskPtr& task, int label_id);
   void OnLabel(const TaskPtr& task, int label_id);
-  void FinishReassign(int label_id, int64_t migrated_bytes);
+  void FinishReassign(int label_id, const MigrationStats& stats);
 
   // Task removal.
   void TryFinalizeRemoval(const TaskPtr& task, EventFn done);
 
-  ProcessStateStore* store_on(NodeId node);
   ShardId global_shard(int local) const { return first_shard_ + local; }
   const TaskPtr& task(int id) const { return tasks_.at(id); }
   double EffectiveCostNs() const;
@@ -169,7 +179,11 @@ class ElasticExecutor : public ExecutorBase {
   // Two-tier routing table (second tier; first tier is the operator
   // partition hash).
   std::vector<int> shard_task_;
-  std::vector<uint8_t> shard_paused_;
+  std::vector<uint8_t> shard_paused_;         // Arrivals buffer (final phase).
+  std::vector<uint8_t> shard_in_transition_;  // Reassignment in flight
+                                              // (includes live pre-copy,
+                                              // during which routing stays
+                                              // open).
   std::vector<std::deque<Tuple>> pause_buffers_;
 
   // Per-shard statistics for the balancer.
@@ -178,7 +192,7 @@ class ElasticExecutor : public ExecutorBase {
   std::vector<double> shard_load_;       // EWMA, cost-seconds per second.
 
   std::vector<TaskPtr> tasks_;  // Slot may be nullptr after removal.
-  std::unordered_map<NodeId, ProcessStateStore> stores_;
+  std::unique_ptr<StateBackend> backend_;
 
   // Emitter daemon.
   std::deque<EmitterEntry> emitter_queue_;

@@ -41,6 +41,8 @@
 #include "scheduler/perf_model.h"
 #include "scheduler/scheduler.h"
 #include "sim/simulator.h"
+#include "state/migration_engine.h"
+#include "state/state_backend.h"
 #include "state/state_store.h"
 #include "workload/keyspace.h"
 #include "workload/micro.h"

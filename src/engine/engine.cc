@@ -7,6 +7,7 @@
 #include "engine/single_task_executor.h"
 #include "rc/rc_controller.h"
 #include "scheduler/scheduler.h"
+#include "state/migration_engine.h"
 
 namespace elasticutor {
 
@@ -29,9 +30,12 @@ Engine::Engine(Topology topology, EngineConfig config)
                                        config_.cores_per_node);
   ledger_ = std::make_unique<CoreLedger>(*cluster_);
   net_ = std::make_unique<Network>(sim_.get(), config_.num_nodes, config_.net);
+  migration_ = std::make_unique<MigrationEngine>(sim_.get(), net_.get(),
+                                                 config_.state.migration);
   metrics_ = std::make_unique<EngineMetrics>();
-  runtime_ = std::make_unique<Runtime>(sim_.get(), net_.get(), &topology_,
-                                       &config_, metrics_.get());
+  runtime_ = std::make_unique<Runtime>(sim_.get(), net_.get(),
+                                       migration_.get(), &topology_, &config_,
+                                       metrics_.get());
 }
 
 Engine::~Engine() = default;

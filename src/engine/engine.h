@@ -27,6 +27,7 @@ namespace elasticutor {
 
 class ElasticExecutor;
 class DynamicScheduler;
+class MigrationEngine;
 class RcController;
 
 class Engine {
@@ -70,6 +71,7 @@ class Engine {
   const EngineConfig& config() const { return config_; }
   DynamicScheduler* scheduler() { return scheduler_.get(); }
   RcController* rc_controller() { return rc_.get(); }
+  MigrationEngine* migration() { return migration_.get(); }
 
   /// Elastic executors of an operator (elastic paradigm only).
   std::vector<std::shared_ptr<ElasticExecutor>> elastic_executors(
@@ -96,6 +98,7 @@ class Engine {
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<CoreLedger> ledger_;
   std::unique_ptr<Network> net_;
+  std::unique_ptr<MigrationEngine> migration_;
   std::unique_ptr<EngineMetrics> metrics_;
   std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<DynamicScheduler> scheduler_;

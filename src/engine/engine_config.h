@@ -10,6 +10,7 @@
 #include "rc/rc_config.h"
 #include "scheduler/scheduler_config.h"
 #include "sim/time.h"
+#include "state/state_backend.h"
 
 namespace elasticutor {
 
@@ -21,13 +22,6 @@ enum class Paradigm {
 };
 
 const char* ParadigmName(Paradigm p);
-
-/// State-access strategy of the elastic executor (ablation; §3.2 discussion).
-enum class StateBackend {
-  kSharedInProcess = 0, // Paper design: per-process store, shared by tasks.
-  kExternalStore = 1,   // RAMCloud-style external KV: per-access network cost.
-  kAlwaysMigrate = 2,   // Per-task private state: every reassignment migrates.
-};
 
 struct EngineConfig {
   Paradigm paradigm = Paradigm::kElastic;
@@ -67,9 +61,10 @@ struct EngineConfig {
   // ---- Elasticutor ----
   SchedulerConfig scheduler;
   BalancerConfig balancer;
-  StateBackend state_backend = StateBackend::kSharedInProcess;
-  /// Per state access extra latency under kExternalStore.
-  SimDuration external_store_access_ns = Micros(150);
+  /// State layer: backend selection + migration strategy/chunking (see
+  /// state/state_backend.h — backends are constructed via the state-layer
+  /// factory, not special-cased in the data path).
+  StateLayerConfig state;
 
   // ---- RC ----
   RcConfig rc;

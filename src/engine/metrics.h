@@ -36,11 +36,17 @@ struct ExecutorMetrics {
 };
 
 /// One elasticity operation (shard reassignment / RC repartition) breakdown.
+/// The routing-pause window decomposes as pause_ns = sync_ns + migration_ns;
+/// under chunked-live migration most of the state moves during precopy_ns,
+/// while processing continues, and only delta_bytes ship inside the pause.
 struct ElasticityOp {
   bool inter_node = false;
-  SimDuration sync_ns = 0;       // Pause + drain + routing update.
-  SimDuration migration_ns = 0;  // State transfer.
-  int64_t moved_bytes = 0;
+  SimDuration sync_ns = 0;       // Drain / coordination inside the pause.
+  SimDuration precopy_ns = 0;    // Live pre-copy (processing continues).
+  SimDuration migration_ns = 0;  // State transfer inside the pause.
+  SimDuration pause_ns = 0;      // Total routing-pause window.
+  int64_t moved_bytes = 0;       // Total state shipped (pre-copy + delta).
+  int64_t delta_bytes = 0;       // Shipped inside the pause window.
 };
 
 class EngineMetrics {

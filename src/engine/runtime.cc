@@ -2,10 +2,12 @@
 
 namespace elasticutor {
 
-Runtime::Runtime(Simulator* sim, Network* net, const Topology* topology,
-                 const EngineConfig* config, EngineMetrics* metrics)
+Runtime::Runtime(Simulator* sim, Network* net, MigrationEngine* migration,
+                 const Topology* topology, const EngineConfig* config,
+                 EngineMetrics* metrics)
     : sim_(sim),
       net_(net),
+      migration_(migration),
       topology_(topology),
       config_(config),
       metrics_(metrics),

@@ -25,10 +25,13 @@
 
 namespace elasticutor {
 
+class MigrationEngine;
+
 class Runtime {
  public:
-  Runtime(Simulator* sim, Network* net, const Topology* topology,
-          const EngineConfig* config, EngineMetrics* metrics);
+  Runtime(Simulator* sim, Network* net, MigrationEngine* migration,
+          const Topology* topology, const EngineConfig* config,
+          EngineMetrics* metrics);
 
   // ---- Wiring ----
   void SetPartition(OperatorId op, std::unique_ptr<OperatorPartition> p);
@@ -90,6 +93,9 @@ class Runtime {
   // ---- Accessors ----
   Simulator* sim() { return sim_; }
   Network* net() { return net_; }
+  /// The shared shard-migration engine (single migration code path for the
+  /// elastic executor and the RC repartitioner).
+  MigrationEngine* migration() { return migration_; }
   const Topology& topology() const { return *topology_; }
   const EngineConfig& config() const { return *config_; }
   EngineMetrics* metrics() { return metrics_; }
@@ -105,6 +111,7 @@ class Runtime {
 
   Simulator* sim_;
   Network* net_;
+  MigrationEngine* migration_;
   const Topology* topology_;
   const EngineConfig* config_;
   EngineMetrics* metrics_;

@@ -20,9 +20,10 @@ namespace elasticutor {
 enum class Purpose : int {
   kInterOperator = 0,  // Tuples between operators (receiver->receiver).
   kRemoteTask = 1,     // Main process <-> remote tasks of an elastic executor.
-  kStateMigration = 2, // Shard state blobs.
+  kStateMigration = 2, // Shard state: migration chunks, blobs, dirty deltas.
   kControl = 3,        // Scheduler / repartitioning coordination.
-  kCount = 4,
+  kStateAccess = 4,    // External-KV backend per-tuple read/write RPCs.
+  kCount = 5,
 };
 
 struct NetworkConfig {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "state/migration_engine.h"
 
 namespace elasticutor {
 
@@ -298,8 +299,11 @@ void RcController::DrainPoll() {
 }
 
 void RcController::MigrateBatch() {
-  // (c) Migrate the state of every moved shard, transfers in parallel
-  // (serialized per NIC by the network model).
+  // (c) Migrate the state of every moved shard through the shared
+  // MigrationEngine, transfers in parallel (serialized per NIC by the
+  // network model). The operator is globally paused, so RC is inherently a
+  // sync-blob migrator; same-node handoffs are free (intra-process state
+  // sharing, §3.2 — RC gets the same mechanism for fairness).
   OperatorId op = active_->op;
   if (active_->moves.empty()) {
     UpdateRoutingAndResume();
@@ -310,29 +314,13 @@ void RcController::MigrateBatch() {
     const balance::Move& mv = active_->moves[i];
     auto from = exec(op, mv.from);
     auto to = exec(op, mv.to);
-    Result<ShardState> blob = from->state_store()->ExtractShard(mv.shard);
-    ELASTICUTOR_CHECK(blob.ok());
-    int64_t bytes = blob.value().bytes();
-    bool inter_node = from->home_node() != to->home_node();
-    active_->inter_node[i] = inter_node;
-    if (!inter_node) {
-      // Intra-process state sharing: same-node handoff is free (§3.2; RC
-      // gets the same mechanism for fairness).
-      ELASTICUTOR_CHECK(to->state_store()
-                            ->InstallShard(mv.shard, std::move(blob).value())
-                            .ok());
-      if (--active_->pending_migrations == 0) UpdateRoutingAndResume();
-      continue;
-    }
-    auto holder = std::make_shared<ShardState>(std::move(blob).value());
-    rt_->net()->Send(
-        from->home_node(), to->home_node(), bytes, Purpose::kStateMigration,
-        [this, to, mv, holder, bytes, i]() {
-          ELASTICUTOR_CHECK(
-              to->state_store()->InstallShard(mv.shard, std::move(*holder))
-                  .ok());
-          active_->migration_ns[i] = rt_->sim()->now() - active_->drain_done;
-          active_->migrated_bytes[i] = bytes;
+    active_->inter_node[i] = from->home_node() != to->home_node();
+    rt_->migration()->MigrateSync(
+        from->state_store(), to->state_store(), mv.shard, from->home_node(),
+        to->home_node(), /*local_copy_bytes_per_sec=*/0.0,
+        [this, i](const MigrationStats& stats) {
+          active_->migration_ns[i] = stats.finalize_ns;
+          active_->migrated_bytes[i] = stats.moved_bytes;
           if (--active_->pending_migrations == 0) UpdateRoutingAndResume();
         });
   }
@@ -351,14 +339,18 @@ void RcController::UpdateRoutingAndResume() {
     ELASTICUTOR_CHECK(part->SetMap(std::move(map), count).ok());
 
     // One ElasticityOp per moved shard: each experienced the full global
-    // synchronization plus its own state-transfer time.
+    // synchronization plus its own state-transfer time. Everything happens
+    // inside the global pause — there is no live pre-copy phase in RC.
     SimDuration sync = (active_->drain_done - active_->start) + update_delay;
     for (size_t i = 0; i < active_->moves.size(); ++i) {
       ElasticityOp op;
       op.inter_node = active_->inter_node[i];
       op.sync_ns = sync;
+      op.precopy_ns = 0;
       op.migration_ns = active_->migration_ns[i];
+      op.pause_ns = sync + active_->migration_ns[i];
       op.moved_bytes = active_->migrated_bytes[i];
+      op.delta_bytes = active_->migrated_bytes[i];
       rt_->metrics()->OnElasticityOp(op);
       ++shard_moves_done_;
     }

@@ -51,6 +51,20 @@ double JacksonLatencySeconds(const std::vector<ExecutorDemand>& demands,
   return total / lambda0;
 }
 
+double EstimatePauseSeconds(const PauseCostModel& model, int64_t state_bytes) {
+  double bw = std::max(model.bandwidth_bytes_per_sec, 1.0);
+  double bytes = static_cast<double>(std::max<int64_t>(state_bytes, 0));
+  if (!model.chunked_live) {
+    return model.sync_seconds + bytes / bw;
+  }
+  // Pre-copy streams the snapshot in bytes/bw seconds; what gets written
+  // meanwhile is the delta the pause must ship (never more than the state
+  // itself — re-shipping everything cannot beat the blob).
+  double precopy_s = bytes / bw;
+  double delta = std::min(model.dirty_bytes_per_sec * precopy_s, bytes);
+  return model.sync_seconds + delta / bw;
+}
+
 AllocationResult AllocateCores(const std::vector<ExecutorDemand>& demands,
                                int total_cores, double latency_target_s,
                                bool allocate_all) {

@@ -40,6 +40,24 @@ struct AllocationResult {
   bool target_met = false;
 };
 
+/// Pause-cost model for shard reassignment (§3.3 plus the chunked-live
+/// migration engine). A sync-blob migration pauses the shard for the whole
+/// state transfer; a chunked-live migration pre-copies while processing
+/// continues and pauses only for the dirty delta written during the
+/// pre-copy window.
+struct PauseCostModel {
+  double bandwidth_bytes_per_sec = 125e6;  // State-transfer path.
+  double sync_seconds = 0.0;               // Label-drain / coordination time.
+  bool chunked_live = true;                // MigrationStrategy in effect.
+  double dirty_bytes_per_sec = 0.0;        // Write rate into the moving shard.
+};
+
+/// Expected routing-pause seconds for reassigning `state_bytes` of shard
+/// state under `model`. Grows linearly with state size for sync-blob; stays
+/// near sync_seconds for chunked-live unless the write rate approaches the
+/// transfer bandwidth.
+double EstimatePauseSeconds(const PauseCostModel& model, int64_t state_bytes);
+
 /// Greedy core allocation. `total_cores` bounds Σk. If `allocate_all` is
 /// set, cores left over after meeting `latency_target` are distributed to
 /// the executors with the highest per-core utilization (work-conserving

@@ -188,6 +188,54 @@ void DynamicScheduler::RunOnce() {
   }
   last_phi_used_ = out.phi_used;
   last_migration_cost_ = out.migration_cost_bytes;
+
+  // Translate the planned state movement into an expected routing-pause
+  // cost under the configured migration strategy: chunked-live pauses only
+  // for the dirty delta, sync-blob for the whole transfer. The label-drain
+  // term is the time a task needs to clear one full pending queue; the
+  // dirty rate is the mean per-core write intensity hitting one shard.
+  if (!states_.empty()) {
+    PauseCostModel pause_model;
+    pause_model.bandwidth_bytes_per_sec =
+        rt_->net()->config().bandwidth_bytes_per_sec;
+    pause_model.chunked_live = rt_->config().state.migration.strategy ==
+                               MigrationStrategy::kChunkedLive;
+    double mean_mu = 0.0, mean_intensity = 0.0;
+    int64_t total_shards = 0;
+    for (const auto& s : states_) {
+      mean_mu += std::max(s.mu.value(), 1e-6);
+      mean_intensity += std::max(s.intensity.value(), 0.0);
+      total_shards += s.executor->num_shards();
+    }
+    const double m_exec = static_cast<double>(states_.size());
+    mean_mu /= m_exec;
+    mean_intensity /= m_exec;
+    double shards_per_exec =
+        std::max(1.0, static_cast<double>(total_shards) / m_exec);
+    pause_model.sync_seconds =
+        static_cast<double>(rt_->config().task_queue_cap) / mean_mu;
+    pause_model.dirty_bytes_per_sec = mean_intensity / shards_per_exec;
+    // A plan that moves no state pauses nothing (core additions on the home
+    // node are free under intra-process state sharing).
+    last_pause_estimate_s_ =
+        out.migration_cost_bytes <= 0.0
+            ? 0.0
+            : EstimatePauseSeconds(
+                  pause_model,
+                  static_cast<int64_t>(out.migration_cost_bytes));
+    // The estimate is a decision input, not just telemetry: a cycle whose
+    // planned state movement would pause routing beyond the budget is
+    // deferred (the next cycle re-plans from fresh measurements; under
+    // chunked-live the same movement prices far cheaper than sync-blob).
+    double budget = cfg.pause_budget_s;
+    if (budget > 0.0 && last_pause_estimate_s_ > budget) {
+      ELOG_WARN << "scheduler: deferring reconfiguration (estimated pause "
+                << last_pause_estimate_s_ << " s exceeds budget " << budget
+                << " s)";
+      return;
+    }
+  }
+
   ExecuteDiff(out.x);
 }
 

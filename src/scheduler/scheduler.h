@@ -49,6 +49,12 @@ class DynamicScheduler {
   double last_phi_used() const { return last_phi_used_; }
   int64_t core_moves_issued() const { return core_moves_issued_; }
   double last_migration_cost_bytes() const { return last_migration_cost_; }
+  /// Estimated routing-pause cost (seconds, summed over the cycle's planned
+  /// state movement) under the configured migration strategy — the
+  /// reassignment-cost signal of the chunked-migration pause model
+  /// (perf_model.h): near-flat for chunked-live, linear in moved state for
+  /// sync-blob.
+  double last_pause_estimate_s() const { return last_pause_estimate_s_; }
 
  private:
   struct ExecutorState {
@@ -80,6 +86,7 @@ class DynamicScheduler {
   double scheduling_wall_ms_total_ = 0.0;
   double last_phi_used_ = 0.0;
   double last_migration_cost_ = 0.0;
+  double last_pause_estimate_s_ = 0.0;
   int64_t core_moves_issued_ = 0;
   SimTime last_run_ = 0;
 };

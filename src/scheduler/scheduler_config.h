@@ -35,6 +35,14 @@ struct SchedulerConfig {
   /// remaining free cores over executors proportional to load (used in
   /// saturation/throughput experiments so all cores contribute).
   bool allocate_all_cores = true;
+
+  /// Routing-pause budget per scheduling cycle (seconds; 0 = unlimited).
+  /// The cycle's planned state movement is priced with the pause-cost model
+  /// (perf_model.h, strategy-aware: chunked-live pauses only for the dirty
+  /// delta) and the whole diff is deferred when the estimate exceeds the
+  /// budget — a brake on state-movement-heavy reconfigurations whose pauses
+  /// would violate the latency SLO.
+  double pause_budget_s = 0.0;
 };
 
 }  // namespace elasticutor

@@ -1,0 +1,154 @@
+// MigrationEngine — the single shard-migration code path for every
+// controller (elastic executor and RC repartitioner). Replaces the three
+// divergent inline extract/send/install paths that used to live in
+// elastic_executor.cc and rc_controller.cc.
+//
+// Two strategies (MigrationConfig::strategy):
+//
+//  * kSyncBlob — stop-the-world: the caller pauses the shard first, then
+//    Finalize() ships the whole blob and installs it. Pause time grows
+//    linearly with state size (the failure mode probed by Fig 12).
+//
+//  * kChunkedLive — incremental pre-copy (Röger & Mayer's taxonomy,
+//    arXiv:1901.09716): Begin() snapshots the shard size and streams
+//    fixed-size chunks over Purpose::kStateMigration while the source task
+//    keeps processing; a DirtyTracker attached to the shard records the
+//    keys/bytes written meanwhile. When the last chunk lands the caller
+//    pauses + drains the source, and Finalize() ships only the dirty delta
+//    before the routing flip — so pause time tracks the write rate, not the
+//    state size.
+//
+// Protocol per migration:
+//
+//   handle = engine->Begin(src_store, shard, from, to, strategy, rate, cb)
+//     ... caller keeps processing; `cb` fires when pre-copy is done
+//         (synchronously for kSyncBlob — nothing to pre-copy) ...
+//   caller pauses routing + drains the source task (labeling tuple) ...
+//   engine->Finalize(handle, dst_store, done)   // ships remainder, installs
+//     ... `done(stats)` fires once the shard lives in `dst_store`.
+//
+// Transfers between distinct nodes go through the Network (per-(src,dst)
+// FIFO, so chunks, the labeling tuple and post-flip data tuples on the same
+// path cannot overtake each other); same-node transfers cost
+// bytes / local_copy_bytes_per_sec (0 = free handoff, completes
+// synchronously — intra-process state sharing).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "state/state_backend.h"
+#include "state/state_store.h"
+
+namespace elasticutor {
+
+/// Accounting for one completed (or in-flight) shard migration.
+struct MigrationStats {
+  bool inter_node = false;
+  int chunks = 0;               // Pre-copy chunks shipped.
+  int64_t precopy_bytes = 0;    // Bytes shipped while processing continued.
+  int64_t delta_bytes = 0;      // Bytes shipped inside the pause window.
+  int64_t moved_bytes = 0;      // precopy_bytes + delta_bytes.
+  SimDuration precopy_ns = 0;   // Begin -> last pre-copy chunk landed.
+  SimDuration finalize_ns = 0;  // Finalize -> installed (in-pause transfer).
+};
+
+/// In-flight migration handle (create via MigrationEngine::Begin).
+class ShardMigration {
+ public:
+  ShardId shard() const { return shard_; }
+  bool precopy_done() const { return precopy_done_; }
+  bool finalized() const { return finalized_; }
+  const MigrationStats& stats() const { return stats_; }
+  const DirtyTracker& dirty() const { return tracker_; }
+
+ private:
+  friend class MigrationEngine;
+
+  ProcessStateStore* src_ = nullptr;
+  ShardId shard_ = -1;
+  NodeId from_ = -1;
+  NodeId to_ = -1;
+  MigrationStrategy strategy_ = MigrationStrategy::kSyncBlob;
+  double local_copy_bytes_per_sec_ = 0.0;
+
+  DirtyTracker tracker_;
+  bool precopy_done_ = false;
+  bool finalized_ = false;
+
+  SimTime begin_at_ = 0;
+  int64_t snapshot_bytes_ = 0;   // Shard size when the pre-copy started.
+  int64_t precopy_sent_ = 0;     // Bytes handed to the transfer layer.
+  int chunks_in_flight_ = 0;
+  EventFn precopy_done_cb_;
+
+  MigrationStats stats_;
+};
+
+class MigrationEngine {
+ public:
+  using Handle = std::shared_ptr<ShardMigration>;
+  using DoneFn = std::function<void(const MigrationStats&)>;
+
+  MigrationEngine(Simulator* sim, Network* net, MigrationConfig config)
+      : sim_(sim), net_(net), config_(config) {}
+
+  /// Starts migrating `shard` out of `src` (the store of the process on
+  /// `from`) toward the process on `to`. Under kChunkedLive this streams the
+  /// pre-copy and attaches a dirty tracker; `precopy_done` (optional) fires
+  /// when the snapshot has fully landed — synchronously under kSyncBlob,
+  /// where the whole blob moves in Finalize(). The shard stays readable and
+  /// writable in `src` until Finalize().
+  Handle Begin(ProcessStateStore* src, ShardId shard, NodeId from, NodeId to,
+               MigrationStrategy strategy, double local_copy_bytes_per_sec,
+               EventFn precopy_done);
+
+  /// Convenience overload using the engine's configured strategy.
+  Handle Begin(ProcessStateStore* src, ShardId shard, NodeId from, NodeId to,
+               double local_copy_bytes_per_sec, EventFn precopy_done) {
+    return Begin(src, shard, from, to, config_.strategy,
+                 local_copy_bytes_per_sec, std::move(precopy_done));
+  }
+
+  /// Completes a migration: call once the source task is paused and drained.
+  /// Ships the remaining bytes (the whole blob for kSyncBlob, the dirty
+  /// delta for kChunkedLive), moves the ShardState from the source store
+  /// into `dst`, then runs `done(stats)`. Runs synchronously when the
+  /// remaining transfer is free (same node, zero copy rate, or empty delta).
+  void Finalize(const Handle& m, ProcessStateStore* dst, DoneFn done);
+
+  /// One-shot stop-the-world migration (the sync-blob baseline): for callers
+  /// that have already paused all processing (the RC repartitioner).
+  /// Equivalent to Begin(kSyncBlob) + Finalize().
+  void MigrateSync(ProcessStateStore* src, ProcessStateStore* dst,
+                   ShardId shard, NodeId from, NodeId to,
+                   double local_copy_bytes_per_sec, DoneFn done);
+
+  const MigrationConfig& config() const { return config_; }
+
+  // ---- Cumulative counters (tests/benches) ----
+  int64_t migrations_begun() const { return migrations_begun_; }
+  int64_t migrations_completed() const { return migrations_completed_; }
+  int64_t chunks_shipped() const { return chunks_shipped_; }
+  int64_t bytes_shipped() const { return bytes_shipped_; }
+
+ private:
+  void PumpPrecopy(const Handle& m);
+  /// Moves `bytes` from `from` to `to`: Network for cross-node, local copy
+  /// rate otherwise. `done` runs synchronously iff the transfer is free.
+  void Transfer(NodeId from, NodeId to, int64_t bytes, double local_rate,
+                EventFn done);
+
+  Simulator* sim_;
+  Network* net_;
+  MigrationConfig config_;
+
+  int64_t migrations_begun_ = 0;
+  int64_t migrations_completed_ = 0;
+  int64_t chunks_shipped_ = 0;
+  int64_t bytes_shipped_ = 0;
+};
+
+}  // namespace elasticutor

@@ -2,9 +2,10 @@
 // store" of §3.2. Each elastic-executor process (main or remote) owns one
 // ProcessStateStore; tasks in the same process share it, so reassigning a
 // shard between two tasks of the same process needs no state migration
-// (intra-process state sharing). Cross-process reassignment extracts the
-// shard as a blob, ships it over the simulated network, and installs it at
-// the destination.
+// (intra-process state sharing). Cross-process reassignment is driven by the
+// MigrationEngine (state/migration_engine.h), which extracts the shard here,
+// ships it (as one blob or as live pre-copied chunks) and installs it at the
+// destination store.
 //
 // State has two components per shard:
 //  * base_bytes — the configured synthetic shard payload (the paper's "shard
@@ -18,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -27,11 +29,52 @@ namespace elasticutor {
 using ShardId = int32_t;
 using StateKey = uint64_t;
 
+/// Records the keys and bytes written to a shard while its pre-copy is in
+/// flight; the MigrationEngine ships exactly this delta during the final
+/// paused window of a chunked-live migration.
+class DirtyTracker {
+ public:
+  /// A (potential) write to `key`'s entry of roughly `approx_bytes` bytes.
+  /// Re-touching a key does not grow the delta (the delta ships each dirty
+  /// entry once).
+  void OnWrite(StateKey key, int64_t approx_bytes) {
+    if (keys_.insert(key).second) bytes_ += approx_bytes;
+    ++writes_;
+  }
+
+  /// In-place growth of an already-dirty entry (e.g. an order book gaining a
+  /// resting order): the extra bytes must be shipped too.
+  void OnGrow(int64_t delta) { bytes_ += delta; }
+
+  int64_t dirty_bytes() const { return bytes_; }
+  size_t dirty_keys() const { return keys_.size(); }
+  int64_t writes() const { return writes_; }
+
+ private:
+  std::unordered_set<StateKey> keys_;
+  int64_t bytes_ = 0;
+  int64_t writes_ = 0;
+};
+
 /// One shard's state: opaque payload plus typed per-key user entries.
+/// Move-only: a shard blob is extracted and installed exactly once per
+/// migration, and an accidental deep copy would silently double the state a
+/// migration appears to ship.
 struct ShardState {
+  ShardState() = default;
+  ShardState(const ShardState&) = delete;
+  ShardState& operator=(const ShardState&) = delete;
+  ShardState(ShardState&&) = default;
+  ShardState& operator=(ShardState&&) = default;
+
   int64_t base_bytes = 0;
   int64_t user_bytes = 0;
   std::unordered_map<StateKey, std::any> entries;
+
+  /// Non-owning write observer, attached by the MigrationEngine for the
+  /// duration of a live pre-copy (null otherwise). Not part of the migrated
+  /// payload; cleared before the blob is installed at the destination.
+  DirtyTracker* dirty = nullptr;
 
   int64_t bytes() const { return base_bytes + user_bytes; }
 };
@@ -46,7 +89,8 @@ class ProcessStateStore {
 
   bool HasShard(ShardId shard) const { return shards_.contains(shard); }
 
-  /// Removes and returns a shard blob for migration.
+  /// Removes and returns a shard blob for migration (moved out, never
+  /// copied).
   Result<ShardState> ExtractShard(ShardId shard);
 
   /// Installs a migrated shard blob. Fails if the shard already exists.
@@ -69,20 +113,26 @@ class ProcessStateStore {
 
 /// Handle through which operator logic reads and updates the state of the
 /// key it is currently processing ("state access interface ... on a per-key
-/// basis", §3.2).
+/// basis", §3.2). Writes are observed by the shard's DirtyTracker when a
+/// live migration is pre-copying the shard.
 class StateAccessor {
  public:
   StateAccessor(ProcessStateStore* store, ShardId shard, StateKey key)
       : shard_state_(store->GetShard(shard)), key_(key) {}
 
   /// Returns the typed state for the current key, default-constructing it on
-  /// first access. `approx_bytes` feeds the migration-cost estimate.
+  /// first access. `approx_bytes` feeds the migration-cost estimate. Counts
+  /// as a write for dirty tracking: callers receive a mutable pointer, and
+  /// stream operators overwhelmingly update the entry they fetch.
   template <typename T>
   T* GetOrCreate(int64_t approx_bytes = static_cast<int64_t>(sizeof(T))) {
     auto it = shard_state_->entries.find(key_);
     if (it == shard_state_->entries.end()) {
       it = shard_state_->entries.emplace(key_, T{}).first;
       shard_state_->user_bytes += approx_bytes + kEntryOverheadBytes;
+    }
+    if (shard_state_->dirty) {
+      shard_state_->dirty->OnWrite(key_, approx_bytes + kEntryOverheadBytes);
     }
     T* value = std::any_cast<T>(&it->second);
     ELASTICUTOR_CHECK_MSG(value != nullptr, "state type mismatch for key");
@@ -91,7 +141,10 @@ class StateAccessor {
 
   /// Records growth of the current key's state (e.g. an order book gaining
   /// a resting order).
-  void AddBytes(int64_t delta) { shard_state_->user_bytes += delta; }
+  void AddBytes(int64_t delta) {
+    shard_state_->user_bytes += delta;
+    if (shard_state_->dirty) shard_state_->dirty->OnGrow(delta);
+  }
 
   StateKey key() const { return key_; }
 

@@ -81,7 +81,8 @@ struct ElasticRig {
   MicroWorkload workload;
   std::shared_ptr<ElasticExecutor> exec;
 
-  explicit ElasticRig(bool validate = true, int64_t state_bytes = 32 * kKiB) {
+  explicit ElasticRig(bool validate = true, int64_t state_bytes = 32 * kKiB,
+                      StateLayerConfig state_config = StateLayerConfig{}) {
     MicroOptions options;
     options.generator_executors = 2;
     options.calculator_executors = 1;
@@ -97,6 +98,7 @@ struct ElasticRig {
     config.cores_per_node = 4;
     config.validate_key_order = validate;
     config.scheduler.enabled = false;  // Tests drive cores manually.
+    config.state = state_config;
     engine = std::make_unique<Engine>(workload.topology, config);
     ELASTICUTOR_CHECK(engine->Setup().ok());
     exec = engine->elastic_executors(workload.calculator)[0];
@@ -220,6 +222,86 @@ TEST(ElasticExecutorTest, OrderPreservedUnderChurn) {
   rig.engine->RunFor(Seconds(1));
   EXPECT_EQ(rig.engine->order_violations(), 0);
   EXPECT_GT(rig.engine->metrics()->sink_count(), 2000);
+}
+
+// The tentpole property of chunked-live migration: the routing pause does
+// not grow with shard state size, because the state pre-copies while the
+// source task keeps processing and only the dirty delta ships in the pause.
+TEST(ElasticExecutorTest, ChunkedLivePauseStaysFlatAsStateGrows) {
+  // 4 MiB shards: a sync-blob transfer alone needs >= 33 ms on the wire
+  // (4 MiB at 125 MB/s), so the strategies are cleanly separable.
+  const int64_t kBig = 4 * kMiB;
+
+  auto probe = [](MigrationStrategy strategy) {
+    StateLayerConfig state;
+    state.migration.strategy = strategy;
+    ElasticRig rig(/*validate=*/true, kBig, state);
+    NodeId home = rig.exec->home_node();
+    NodeId remote = (home + 1) % 4;
+    rig.AddCore(remote);
+    rig.engine->Start();
+    rig.engine->RunFor(Seconds(1));
+    rig.exec->set_balancing_frozen(true);
+    rig.engine->RunFor(Millis(300));
+    size_t before = rig.engine->metrics()->elasticity_ops().size();
+    // Probe the first shard that still sits on a home task (a shard already
+    // on the remote task has no second task there to move to).
+    bool probed = false;
+    for (int s = 0; s < rig.exec->num_shards() && !probed; ++s) {
+      probed = rig.exec->ProbeReassign(s, remote).ok();
+    }
+    EXPECT_TRUE(probed);
+    rig.engine->RunFor(Millis(800));
+    const auto& ops = rig.engine->metrics()->elasticity_ops();
+    EXPECT_GT(ops.size(), before);
+    EXPECT_EQ(rig.engine->order_violations(), 0);
+    return ops.back();
+  };
+
+  ElasticityOp sync = probe(MigrationStrategy::kSyncBlob);
+  ElasticityOp live = probe(MigrationStrategy::kChunkedLive);
+
+  // Both ship the whole shard eventually...
+  EXPECT_GE(sync.moved_bytes, kBig);
+  EXPECT_GE(live.moved_bytes, kBig);
+  // ... but sync-blob pauses for the full transfer while chunked-live
+  // pre-copies outside the pause and ships only a tiny delta inside it.
+  EXPECT_GT(sync.pause_ns, Millis(33));  // >= 4 MiB / 125 MB/s on the wire.
+  EXPECT_EQ(sync.precopy_ns, 0);
+  EXPECT_GT(live.precopy_ns, Millis(20));
+  EXPECT_LT(live.delta_bytes, 64 * kKiB);
+  EXPECT_LT(live.pause_ns, Millis(25));
+  EXPECT_LT(live.pause_ns, sync.pause_ns / 2);
+}
+
+TEST(ElasticExecutorTest, ExternalKvChargesAccessBytesNotMigration) {
+  StateLayerConfig state;
+  state.backend = StateBackendKind::kExternalKv;
+  ElasticRig rig(/*validate=*/true, 32 * kKiB, state);
+  NodeId home = rig.exec->home_node();
+  NodeId remote = (home + 1) % 4;
+  rig.AddCore(remote);
+  rig.engine->Start();
+  rig.engine->RunFor(Seconds(1));
+  rig.exec->set_balancing_frozen(true);
+  rig.engine->RunFor(Millis(300));
+  // Per-tuple read/write round trips are attributed to the network...
+  EXPECT_GT(rig.engine->net()->intra_node_bytes(Purpose::kStateAccess) +
+                rig.engine->net()->inter_node_bytes(Purpose::kStateAccess),
+            0);
+  // ... and a reassignment toward a remote task migrates nothing.
+  size_t before = rig.engine->metrics()->elasticity_ops().size();
+  bool probed = false;
+  for (int s = 0; s < rig.exec->num_shards() && !probed; ++s) {
+    probed = rig.exec->ProbeReassign(s, remote).ok();
+  }
+  ASSERT_TRUE(probed);
+  rig.engine->RunFor(Millis(500));
+  const auto& ops = rig.engine->metrics()->elasticity_ops();
+  ASSERT_GT(ops.size(), before);
+  EXPECT_EQ(ops.back().moved_bytes, 0);
+  EXPECT_EQ(rig.engine->net()->inter_node_bytes(Purpose::kStateMigration), 0);
+  EXPECT_EQ(rig.engine->order_violations(), 0);
 }
 
 TEST(ElasticExecutorTest, StateConservedAcrossMigrations) {

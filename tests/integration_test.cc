@@ -64,11 +64,14 @@ INSTANTIATE_TEST_SUITE_P(
                                          Paradigm::kElastic),
                        ::testing::Values(0.0, 8.0, 30.0)));
 
-// ---- Property: state backends keep the same invariants ----
+// ---- Property: state backends x migration strategies keep invariants ----
 
-class BackendInvariantTest : public ::testing::TestWithParam<StateBackend> {};
+using BackendSweep = std::tuple<StateBackendKind, MigrationStrategy>;
+
+class BackendInvariantTest : public ::testing::TestWithParam<BackendSweep> {};
 
 TEST_P(BackendInvariantTest, OrderAndDrainHold) {
+  auto [backend, strategy] = GetParam();
   MicroOptions options;
   options.num_keys = 1024;
   options.generator_executors = 2;
@@ -84,7 +87,8 @@ TEST_P(BackendInvariantTest, OrderAndDrainHold) {
   config.num_nodes = 4;
   config.cores_per_node = 4;
   config.validate_key_order = true;
-  config.state_backend = GetParam();
+  config.state.backend = backend;
+  config.state.migration.strategy = strategy;
   Engine engine(workload->topology, config);
   ASSERT_TRUE(engine.Setup().ok());
   workload->InstallDynamics(&engine);
@@ -96,10 +100,13 @@ TEST_P(BackendInvariantTest, OrderAndDrainHold) {
   EXPECT_GT(engine.metrics()->sink_count(), 10000);
 }
 
-INSTANTIATE_TEST_SUITE_P(Backends, BackendInvariantTest,
-                         ::testing::Values(StateBackend::kSharedInProcess,
-                                           StateBackend::kAlwaysMigrate,
-                                           StateBackend::kExternalStore));
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendInvariantTest,
+    ::testing::Combine(::testing::Values(StateBackendKind::kLocalShared,
+                                         StateBackendKind::kAlwaysMigrate,
+                                         StateBackendKind::kExternalKv),
+                       ::testing::Values(MigrationStrategy::kSyncBlob,
+                                         MigrationStrategy::kChunkedLive)));
 
 // ---- Property: shard granularity sweep keeps invariants ----
 

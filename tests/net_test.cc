@@ -85,11 +85,49 @@ TEST(NetworkTest, PurposeAccountingSeparated) {
   net.Send(0, 1, 100, Purpose::kInterOperator, []() {});
   net.Send(0, 1, 200, Purpose::kStateMigration, []() {});
   net.Send(0, 1, 300, Purpose::kRemoteTask, []() {});
+  net.Send(0, 1, 400, Purpose::kStateAccess, []() {});
   sim.RunAll();
   EXPECT_EQ(net.inter_node_bytes(Purpose::kInterOperator), 100);
   EXPECT_EQ(net.inter_node_bytes(Purpose::kStateMigration), 200);
   EXPECT_EQ(net.inter_node_bytes(Purpose::kRemoteTask), 300);
-  EXPECT_EQ(net.total_inter_node_bytes(), 600);
+  EXPECT_EQ(net.inter_node_bytes(Purpose::kStateAccess), 400);
+  EXPECT_EQ(net.total_inter_node_bytes(), 1000);
+}
+
+TEST(NetworkTest, MigrationChunksAndLabelShareOneFifo) {
+  // The reassignment protocol relies on purposes NOT having separate
+  // channels: pre-copy chunks, the labeling tuple and post-flip data tuples
+  // on the same (src,dst) path drain through one egress queue in send
+  // order, so a label can never overtake a chunk sent before it.
+  Simulator sim;
+  Network net(&sim, 2, TestConfig());
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    net.Send(0, 1, 64 * 1024, Purpose::kStateMigration,
+             [&order, i]() { order.push_back(i); });
+  }
+  net.Send(0, 1, 64, Purpose::kRemoteTask, [&order]() { order.push_back(99); });
+  net.Send(0, 1, 128, Purpose::kInterOperator,
+           [&order]() { order.push_back(100); });
+  sim.RunAll();
+  ASSERT_EQ(order.size(), 6u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 99, 100}));
+}
+
+TEST(NetworkTest, StateAccessRpcBytesAttributedBothWays) {
+  // External-KV accesses are request/response pairs: the response send is
+  // chained on the request's delivery, and both directions land under
+  // Purpose::kStateAccess.
+  Simulator sim;
+  Network net(&sim, 2, TestConfig());
+  SimTime reply_at = -1;
+  net.Send(0, 1, 128, Purpose::kStateAccess, [&]() {
+    net.Send(1, 0, 128, Purpose::kStateAccess, [&]() { reply_at = sim.now(); });
+  });
+  sim.RunAll();
+  EXPECT_EQ(net.inter_node_bytes(Purpose::kStateAccess), 256);
+  // Two 128-byte transmissions at 1 MB/s plus two propagation delays.
+  EXPECT_EQ(reply_at, 2 * (Micros(128) + Micros(100)));
 }
 
 TEST(NetworkTest, MessageOverheadCounted) {

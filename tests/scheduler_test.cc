@@ -255,5 +255,131 @@ TEST(DynamicSchedulerTest, ShiftsCoresTowardLoad) {
   EXPECT_GT(engine.scheduler()->avg_scheduling_wall_ms(), 0.0);
 }
 
+// ---- Pause-cost model (chunked migration; consumed by the scheduler) ----
+
+TEST(PauseCostModelTest, SyncBlobPauseGrowsLinearlyWithState) {
+  PauseCostModel model;
+  model.bandwidth_bytes_per_sec = 125e6;
+  model.sync_seconds = 0.002;
+  model.chunked_live = false;
+  double p1 = EstimatePauseSeconds(model, 1 * kMiB);
+  double p32 = EstimatePauseSeconds(model, 32 * kMiB);
+  EXPECT_NEAR(p32 - model.sync_seconds, 32.0 * (p1 - model.sync_seconds),
+              1e-9);
+  EXPECT_NEAR(p32, 0.002 + 32.0 * 1048576.0 / 125e6, 1e-9);
+}
+
+TEST(PauseCostModelTest, ChunkedLivePauseStaysFlat) {
+  PauseCostModel model;
+  model.bandwidth_bytes_per_sec = 125e6;
+  model.sync_seconds = 0.002;
+  model.chunked_live = true;
+  model.dirty_bytes_per_sec = 1e6;  // 1 MB/s of writes into the shard.
+  double p1 = EstimatePauseSeconds(model, 1 * kMiB);
+  double p32 = EstimatePauseSeconds(model, 32 * kMiB);
+  // The pause only grows with the dirty delta: its slope vs state size is
+  // the sync-blob slope scaled by dirty_rate / bandwidth (1/125 here).
+  model.chunked_live = false;
+  double s1 = EstimatePauseSeconds(model, 1 * kMiB);
+  double s32 = EstimatePauseSeconds(model, 32 * kMiB);
+  EXPECT_NEAR((p32 - p1) / (s32 - s1), 1e6 / 125e6, 1e-9);
+  EXPECT_LT(p32, s32 / 50.0);
+}
+
+TEST(PauseCostModelTest, DeltaNeverExceedsTheStateItself) {
+  PauseCostModel model;
+  model.bandwidth_bytes_per_sec = 1e6;
+  model.sync_seconds = 0.0;
+  model.chunked_live = true;
+  model.dirty_bytes_per_sec = 1e12;  // Pathological write rate.
+  // Capped at re-shipping the whole state once.
+  EXPECT_NEAR(EstimatePauseSeconds(model, 1 * kMiB), 1048576.0 / 1e6, 1e-9);
+}
+
+namespace {
+
+EngineConfig PauseBudgetConfig() {
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  return config;
+}
+
+Topology TwoOpTraceTopology() {
+  TopologyBuilder builder;
+  OperatorSpec src;
+  src.name = "src";
+  src.is_source = true;
+  src.num_executors = 2;
+  src.shards_per_executor = 1;
+  src.source.mode = SourceSpec::Mode::kTrace;
+  src.source.rate_fn = [](SimTime) { return 20000.0; };
+  src.source.factory = [](Rng* rng, SimTime) {
+    Tuple t;
+    t.key = rng->NextU64() % 1024;
+    t.size_bytes = 128;
+    return t;
+  };
+  OperatorId s = builder.AddOperator(std::move(src));
+  OperatorSpec work;
+  work.name = "work";
+  work.num_executors = 2;
+  work.shards_per_executor = 16;
+  work.mean_cost_ns = Millis(1);
+  work.selectivity = 0.0;
+  OperatorId w = builder.AddOperator(std::move(work));
+  ELASTICUTOR_CHECK(builder.Connect(s, w).ok());
+  return std::move(builder.Build()).value();
+}
+
+}  // namespace
+
+TEST(PauseCostModelTest, PauseBudgetDefersStateMovingCycles) {
+  // The pause estimate is a scheduling input: with a (near-)zero budget,
+  // every diff whose assignment would move shard state is deferred, so the
+  // overloaded executors never spread off their home nodes.
+  EngineConfig config = PauseBudgetConfig();
+  config.scheduler.pause_budget_s = 1e-6;
+  Engine engine(TwoOpTraceTopology(), config);
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+  engine.RunFor(Seconds(6));
+  ASSERT_GT(engine.scheduler()->cycles(), 0);
+  EXPECT_EQ(engine.scheduler()->core_moves_issued(), 0);
+
+  // Same workload with the budget off: the scheduler does spread cores.
+  EngineConfig free_config = PauseBudgetConfig();
+  Engine unbudgeted(TwoOpTraceTopology(), free_config);
+  ASSERT_TRUE(unbudgeted.Setup().ok());
+  unbudgeted.Start();
+  unbudgeted.RunFor(Seconds(6));
+  EXPECT_GT(unbudgeted.scheduler()->core_moves_issued(), 0);
+}
+
+TEST(PauseCostModelTest, SchedulerPublishesPauseEstimate) {
+  // The scheduler translates each cycle's planned state movement into an
+  // expected pause cost under the configured strategy.
+  EngineConfig config = PauseBudgetConfig();
+  Engine engine(TwoOpTraceTopology(), config);
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+  engine.RunFor(Seconds(6));
+  ASSERT_GT(engine.scheduler()->cycles(), 0);
+  // With chunked-live in effect the estimate exists and is bounded by the
+  // sync-blob cost of the same movement.
+  double live = engine.scheduler()->last_pause_estimate_s();
+  EXPECT_GE(live, 0.0);
+  PauseCostModel sync_model;
+  sync_model.bandwidth_bytes_per_sec =
+      engine.config().net.bandwidth_bytes_per_sec;
+  sync_model.sync_seconds = 1.0;  // Generous drain bound.
+  sync_model.chunked_live = false;
+  EXPECT_LE(live, EstimatePauseSeconds(
+                      sync_model,
+                      static_cast<int64_t>(
+                          engine.scheduler()->last_migration_cost_bytes())));
+}
+
 }  // namespace
 }  // namespace elasticutor
