@@ -20,7 +20,6 @@ int main(int argc, char** argv) {
     for (Paradigm paradigm : {Paradigm::kStatic, Paradigm::kResourceCentric,
                               Paradigm::kElastic}) {
       MicroOptions options;
-      options.shuffles_per_minute = omega;
       auto workload = BuildMicroWorkload(options, /*seed=*/42);
       ELASTICUTOR_CHECK(workload.ok());
 
@@ -28,7 +27,9 @@ int main(int argc, char** argv) {
       config.paradigm = paradigm;
       Engine engine(workload->topology, config);
       ELASTICUTOR_CHECK(engine.Setup().ok());
-      workload->InstallDynamics(&engine);
+      ScenarioDriver driver(scn::MicroDynamics(omega), &engine,
+                            workload->keys);
+      driver.Install();
 
       ExperimentResult r =
           RunAndMeasure(&engine, Scaled(Seconds(10)), Scaled(Seconds(30)));

@@ -18,7 +18,6 @@ int main(int argc, char** argv) {
   for (Paradigm paradigm : {Paradigm::kStatic, Paradigm::kResourceCentric,
                             Paradigm::kElastic}) {
     MicroOptions options;
-    options.shuffles_per_minute = 2.0;
     auto workload = BuildMicroWorkload(options, /*seed=*/42);
     ELASTICUTOR_CHECK(workload.ok());
 
@@ -26,7 +25,8 @@ int main(int argc, char** argv) {
     config.paradigm = paradigm;
     Engine engine(workload->topology, config);
     ELASTICUTOR_CHECK(engine.Setup().ok());
-    workload->InstallDynamics(&engine);
+    ScenarioDriver driver(scn::MicroDynamics(2.0), &engine, workload->keys);
+    driver.Install();
     engine.Start();
     engine.RunFor(total);
 

@@ -15,35 +15,25 @@ using namespace elasticutor::bench;
 
 namespace {
 
-double RunElastic(const MicroOptions& options) {
-  auto workload = BuildMicroWorkload(options, 42);
-  ELASTICUTOR_CHECK(workload.ok());
-  EngineConfig config;
-  config.paradigm = Paradigm::kElastic;
-  Engine engine(workload->topology, config);
-  ELASTICUTOR_CHECK(engine.Setup().ok());
-  workload->InstallDynamics(&engine);
-  return RunAndMeasure(&engine, Scaled(Seconds(6)), Scaled(Seconds(10)))
-      .throughput_tps;
-}
-
-double RunBaseline(Paradigm paradigm, const MicroOptions& options) {
+double RunParadigm(Paradigm paradigm, const MicroOptions& options,
+                   double omega) {
   auto workload = BuildMicroWorkload(options, 42);
   ELASTICUTOR_CHECK(workload.ok());
   EngineConfig config;
   config.paradigm = paradigm;
   Engine engine(workload->topology, config);
   ELASTICUTOR_CHECK(engine.Setup().ok());
-  workload->InstallDynamics(&engine);
+  ScenarioDriver driver(scn::MicroDynamics(omega), &engine, workload->keys);
+  driver.Install();
   return RunAndMeasure(&engine, Scaled(Seconds(6)), Scaled(Seconds(10)))
       .throughput_tps;
 }
 
-void Panel(const char* title, const MicroOptions& base) {
+void Panel(const char* title, const MicroOptions& base, double omega) {
   std::printf("\n%s\n", title);
   std::printf("static reference: %.0f tuples/s, RC reference: %.0f tuples/s\n",
-              RunBaseline(Paradigm::kStatic, base),
-              RunBaseline(Paradigm::kResourceCentric, base));
+              RunParadigm(Paradigm::kStatic, base, omega),
+              RunParadigm(Paradigm::kResourceCentric, base, omega));
   TablePrinter table({"y\\z", "z=1", "z=16", "z=64", "z=256"});
   table.PrintHeader();
   for (int y : {1, 8, 32, 256}) {
@@ -52,10 +42,7 @@ void Panel(const char* title, const MicroOptions& base) {
       MicroOptions options = base;
       options.calculator_executors = y;
       options.shards_per_executor = z;
-      if (y * z < 256 && y < 256) {
-        // Too few total shards to even involve every core.
-      }
-      row.push_back(Fmt(RunElastic(options), 0));
+      row.push_back(Fmt(RunParadigm(Paradigm::kElastic, options, omega), 0));
     }
     table.PrintRow(row);
   }
@@ -68,22 +55,14 @@ int main(int argc, char** argv) {
   Banner("Figure 13", "throughput vs #executors (y) and #shards (z)");
 
   MicroOptions def;
-  Panel("(a) default workload (s = 128 B, ω = 2)", [&] {
-    MicroOptions o = def;
-    o.shuffles_per_minute = 2.0;
-    return o;
-  }());
+  Panel("(a) default workload (s = 128 B, ω = 2)", def, /*omega=*/2.0);
   Panel("(b) data-intensive workload (s = 8 KB, ω = 2)", [&] {
     MicroOptions o = def;
-    o.shuffles_per_minute = 2.0;
     o.tuple_bytes = 8192;
     return o;
-  }());
-  Panel("(c) highly dynamic workload (s = 128 B, ω = 16)", [&] {
-    MicroOptions o = def;
-    o.shuffles_per_minute = 16.0;
-    return o;
-  }());
+  }(), /*omega=*/2.0);
+  Panel("(c) highly dynamic workload (s = 128 B, ω = 16)", def,
+        /*omega=*/16.0);
 
   std::printf("\npaper: more shards help until balance is already fine; "
               "y = 1 collapses when data-intensive; small y suffers at high "

@@ -1,7 +1,10 @@
 // Figure 15: arrival rates of the 5 most popular stocks over time in the
 // (synthetic) SSE order stream — the workload-dynamics illustration. Rates
-// are queried analytically from the trace model and printed in 10-second
-// bins, showing waves, flash surges and popularity drift.
+// are queried analytically and printed in 10-second bins, showing waves,
+// flash surges and popularity drift. Uses the same shared scenario
+// definition as fig16 (scn::SseMarketSession): per-stock surges/drift come
+// from the trace model, the aggregate session wave from the scenario's
+// RateShaper.
 #include "harness/experiment.h"
 
 using namespace elasticutor;
@@ -11,8 +14,10 @@ int main(int argc, char** argv) {
   BenchInit(argc, argv);
   Banner("Figure 15", "arrival rates of the 5 most popular stocks");
 
-  SseTraceOptions options;
-  SseTraceModel trace(options, /*seed=*/42);
+  scn::SseSession session = scn::SseMarketSession(/*base_rate_per_sec=*/
+                                                  120000.0);
+  SseTraceModel trace(session.trace, /*seed=*/42);
+  RateShaper wave(session.scenario);
   std::vector<int> top = trace.TopStocks(5);
 
   TablePrinter table({"t(s)", "stock#1", "stock#2", "stock#3", "stock#4",
@@ -22,9 +27,9 @@ int main(int argc, char** argv) {
     SimTime now = Seconds(t);
     std::vector<std::string> row{FmtInt(t)};
     for (int stock : top) {
-      row.push_back(Fmt(trace.StockRate(stock, now), 0));
+      row.push_back(Fmt(trace.StockRate(stock, now) * wave.FactorAt(now), 0));
     }
-    row.push_back(Fmt(trace.AggregateRate(now), 0));
+    row.push_back(Fmt(trace.AggregateRate(now) * wave.FactorAt(now), 0));
     table.PrintRow(row);
   }
   std::printf("\n(orders/s; flash surges multiply a stock's rate 5-20x for "

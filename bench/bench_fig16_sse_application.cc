@@ -44,6 +44,12 @@ int main(int argc, char** argv) {
   std::vector<double> mean_tput(modes.size());
   std::vector<double> mean_lat(modes.size());
 
+  // The paper's Fig 16 regime: offered load above the static baseline's
+  // imbalance-limited capacity but within elastic capacity. The session-wave
+  // dynamics come from the same shared scenario definition fig15 plots.
+  scn::SseSession session = scn::SseMarketSession(/*base_rate_per_sec=*/
+                                                  95000.0);
+
   for (size_t m = 0; m < modes.size(); ++m) {
     SseOptions options;
     // 4 executors/op: with one task pinned per core (no thread
@@ -51,9 +57,7 @@ int main(int argc, char** argv) {
     // capacity on near-idle operators; 12 ops x 4 = 48 minimum cores on the
     // 128-core cluster leaves the transactor room to grow (DESIGN.md §2).
     options.executors_per_operator = 4;
-    // The paper's Fig 16 regime: offered load above the static baseline's
-    // imbalance-limited capacity but within elastic capacity.
-    options.trace.base_rate_per_sec = 95000.0;
+    options.trace = session.trace;
     auto workload = BuildSseWorkload(options, /*seed=*/42);
     ELASTICUTOR_CHECK(workload.ok());
 
@@ -67,6 +71,8 @@ int main(int argc, char** argv) {
     config.task_queue_cap = 64;
     Engine engine(workload->topology, config);
     ELASTICUTOR_CHECK(engine.Setup().ok());
+    ScenarioDriver driver(session.scenario, &engine);
+    driver.Install();
     engine.Start();
     engine.RunFor(total);
 

@@ -1,0 +1,86 @@
+// Scenario bench: straggler and node-failure recovery. An 8-node cluster
+// runs a steady trace-mode micro workload; one node then (a) turns into a
+// 4x straggler for a window, or (b) "crashes" (fail-slow: unschedulable +
+// 8x slowdown, see fault_plane.h) and rejoins 15 s later. One shared
+// scenario definition per case (scn::Straggler / scn::FailRecover), three
+// paradigms.
+//
+// Expected shape: for the crash, static and RC have no reaction path — the
+// dead node's key ranges back up until rejoin — while Elasticutor's
+// scheduler sees the node's capacity go to zero and evacuates its cores
+// within a few scheduling cycles (time-to-rebalance ~3 s vs the full 15 s
+// fault window, p99 roughly an order of magnitude lower). The *undetected*
+// straggler is different and deliberate: the intra-executor balancer plans
+// by load share and assumes equal task speeds, so every paradigm rides out
+// the slowdown about equally — the scenario documents an open weakness
+// (per-task speed-aware balancing; see ROADMAP) rather than a win.
+#include "harness/experiment.h"
+#include "harness/scenario_run.h"
+
+using namespace elasticutor;
+using namespace elasticutor::bench;
+
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
+  Banner("Scenario: failover",
+         "straggler & fail-slow node crash; recovery per paradigm");
+
+  const SimDuration warmup = Scaled(Seconds(10));
+  const SimDuration baseline_window = Scaled(Seconds(10));
+  const SimDuration fault_len = Scaled(Seconds(15));
+  const SimDuration post_window = Scaled(Seconds(35));  // Fault + recovery.
+  const SimTime disturb_at = warmup + baseline_window;
+  const NodeId victim = 1;
+
+  std::vector<Scenario> scenarios = {
+      scn::Straggler(disturb_at, fault_len, victim, /*cpu_factor=*/4.0),
+      scn::FailRecover(disturb_at, fault_len, victim),
+  };
+
+  TablePrinter table({"scenario", "paradigm", "baseline_tps", "trough_tps",
+                      "t_rebalance_s", "p99_pre_ms", "p99_post_ms",
+                      "post_tput"});
+  table.PrintHeader();
+
+  for (const Scenario& scenario : scenarios) {
+    for (Paradigm paradigm : {Paradigm::kStatic, Paradigm::kResourceCentric,
+                              Paradigm::kElastic}) {
+      MicroOptions options;
+      options.mode = SourceSpec::Mode::kTrace;
+      // 8 nodes x 8 cores: one node is 12.5% of the cluster, so the fault
+      // is visible; 40k orders/s at 0.5 ms/tuple leaves headroom for
+      // evacuation. 16 executors (not 32) on 64 cores: after losing a node
+      // the scheduler must still be able to give every executor enough
+      // integer cores, or the evacuated cluster is structurally overloaded
+      // no matter how well it rebalances.
+      options.trace_rate_per_sec = 40000.0;
+      options.generator_executors = 16;
+      options.calculator_executors = 16;
+      options.calc_cost_ns = MillisF(0.5);
+      auto workload = BuildMicroWorkload(options, /*seed=*/42);
+      ELASTICUTOR_CHECK(workload.ok());
+
+      EngineConfig config;
+      config.paradigm = paradigm;
+      config.num_nodes = 8;
+      Engine engine(workload->topology, config);
+      ELASTICUTOR_CHECK(engine.Setup().ok());
+
+      ScenarioDriver driver(scenario, &engine, workload->keys);
+      driver.Install();
+
+      ScenarioPhaseResult r = RunScenarioPhases(
+          &engine, warmup, baseline_window, post_window,
+          /*recovery_threshold=*/0.9);
+      table.PrintRow({scenario.name, ParadigmName(paradigm),
+                      Fmt(r.baseline_tps, 0), Fmt(r.recovery.trough_tps, 0),
+                      Fmt(r.recovery.time_to_recover_s, 2),
+                      Fmt(r.p99_pre_ms, 2), Fmt(r.p99_post_ms, 2),
+                      Fmt(r.post_tput, 0)});
+    }
+  }
+  std::printf("\n(t_rebalance_s = seconds from fault onset until throughput "
+              "stays >= 90%% of baseline; -1 = not recovered in the window; "
+              "the crash is fail-slow — see docs/scenarios.md)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Shared measurement flow of the scenario benches (bench_scn_*): warm-up,
+// a baseline window, then the disturbance + recovery window. The caller
+// builds the engine, installs a ScenarioDriver whose first disturbance fires
+// exactly at warmup + baseline, and gets back the paper-style numbers:
+// pre/post p99 latency and the time-to-rebalance computed from the global
+// per-second throughput series.
+//
+// Note on ELASTICUTOR_BENCH_SCALE: the throughput series bins are fixed at
+// one second of simulated time, so at scales where the baseline window
+// shrinks below one bin the recovery stats degenerate (baseline 0, ttr -1).
+// The JSON stays well-formed; full-scale runs give the real numbers.
+#pragma once
+
+#include "harness/experiment.h"
+
+namespace elasticutor {
+namespace bench {
+
+struct ScenarioPhaseResult {
+  double baseline_tps = 0.0;
+  double p99_pre_ms = 0.0;
+  double p99_post_ms = 0.0;       // Over the disturbance + recovery window.
+  double mean_post_ms = 0.0;
+  double post_tput = 0.0;
+  RecoveryStats recovery;
+};
+
+/// `engine` must be Setup() but not Start()ed, with the scenario driver
+/// already installed.
+inline ScenarioPhaseResult RunScenarioPhases(Engine* engine,
+                                             SimDuration warmup,
+                                             SimDuration baseline_window,
+                                             SimDuration post_window,
+                                             double recovery_threshold) {
+  ScenarioPhaseResult r;
+  engine->Start();
+  engine->RunFor(warmup);
+  engine->ResetMetricsAfterWarmup();
+  engine->RunFor(baseline_window);
+  r.p99_pre_ms = static_cast<double>(engine->LatencyHistogram().P99()) / 1e6;
+
+  const SimTime disturb_at = engine->sim()->now();
+  engine->ResetMetricsAfterWarmup();  // Post-window gets its own histogram.
+  engine->RunFor(post_window);
+  r.p99_post_ms = static_cast<double>(engine->LatencyHistogram().P99()) / 1e6;
+  r.mean_post_ms = engine->LatencyHistogram().mean() / 1e6;
+  r.post_tput = engine->MeasuredThroughput();
+  r.recovery = MeasureRecovery(engine->metrics()->sink_throughput_series(),
+                               disturb_at - baseline_window, disturb_at,
+                               engine->sim()->now(), recovery_threshold);
+  r.baseline_tps = r.recovery.baseline_tps;
+  return r;
+}
+
+}  // namespace bench
+}  // namespace elasticutor

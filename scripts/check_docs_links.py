@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fails when README.md or docs/**.md contain broken relative links.
+
+Checks every markdown link and image whose target is not an absolute URL or
+a pure in-page anchor: the referenced file must exist relative to the
+document (anchors on existing files are not resolved — headings move too
+often for that to be signal). Inline code spans and fenced code blocks are
+ignored.
+
+Usage: scripts/check_docs_links.py [repo_root]
+"""
+import pathlib
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def strip_code(text: str) -> str:
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(re.sub(r"`[^`]*`", "", line))
+    return "\n".join(out)
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    docs = [root / "README.md"] + sorted((root / "docs").glob("**/*.md"))
+    broken = []
+    for doc in docs:
+        if not doc.exists():
+            broken.append(f"{doc}: document itself is missing")
+            continue
+        for target in LINK_RE.findall(strip_code(doc.read_text())):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, …
+                continue
+            if target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                broken.append(f"{doc.relative_to(root)}: broken link -> "
+                              f"{target}")
+    if broken:
+        print("\n".join(broken))
+        print(f"\n{len(broken)} broken relative link(s)")
+        return 1
+    print(f"checked {len(docs)} markdown file(s): all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

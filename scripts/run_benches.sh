@@ -34,6 +34,8 @@ ALL_BENCHES=(
   bench_fig13_parameters
   bench_fig15_sse_trace
   bench_fig16_sse_application
+  bench_scn_failover
+  bench_scn_flash_crowd
   bench_table2_scheduler_optimizations
   bench_table3_cluster_scaling
 )

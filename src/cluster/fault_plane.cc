@@ -1,0 +1,28 @@
+#include "cluster/fault_plane.h"
+
+namespace elasticutor {
+
+NodeFaultPlane::NodeFaultPlane(int num_nodes)
+    : cpu_factor_(static_cast<size_t>(num_nodes), 1.0),
+      available_(static_cast<size_t>(num_nodes), 1) {
+  ELASTICUTOR_CHECK_MSG(num_nodes > 0, "fault plane needs at least one node");
+}
+
+void NodeFaultPlane::SetCpuFactor(NodeId node, double factor) {
+  ELASTICUTOR_CHECK_MSG(factor > 0.0, "cpu factor must be positive");
+  bool was_faulty = cpu_factor_.at(node) != 1.0 || !available(node);
+  cpu_factor_.at(node) = factor;
+  bool is_faulty = cpu_factor_.at(node) != 1.0 || !available(node);
+  faults_active_ += static_cast<int>(is_faulty) - static_cast<int>(was_faulty);
+  ++transitions_;
+}
+
+void NodeFaultPlane::SetAvailable(NodeId node, bool avail) {
+  bool was_faulty = cpu_factor_.at(node) != 1.0 || !available(node);
+  available_.at(node) = avail ? 1 : 0;
+  bool is_faulty = cpu_factor_.at(node) != 1.0 || !available(node);
+  faults_active_ += static_cast<int>(is_faulty) - static_cast<int>(was_faulty);
+  ++transitions_;
+}
+
+}  // namespace elasticutor

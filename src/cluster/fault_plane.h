@@ -1,0 +1,51 @@
+// Per-node fault state injected by the scenario layer and consulted by the
+// rest of the system:
+//  * cpu_factor — multiplier on per-tuple service time for tasks running on
+//    the node (1 = healthy, 4 = a 4x straggler). Inflated service times flow
+//    into busy_ns, so the scheduler's µ estimate drops and it reacts with
+//    capacity, exactly as it would against a real slow node.
+//  * available — whether the scheduler may place new cores on the node. A
+//    "crashed" node is marked unavailable; the next scheduling cycle sees
+//    zero capacity there and evacuates its tasks.
+//
+// Fault model: fail-slow, not fail-stop. The simulator has no state
+// replication, so a true fail-stop would lose shard state with no recovery
+// path; a crash is therefore modeled as a severe slowdown plus eviction from
+// the schedulable set (the main routing process is assumed to survive on the
+// degraded node). docs/scenarios.md spells out the semantics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"  // NodeId.
+#include "common/status.h"
+
+namespace elasticutor {
+
+class NodeFaultPlane {
+ public:
+  explicit NodeFaultPlane(int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(cpu_factor_.size()); }
+
+  /// Service-time multiplier for tasks on `node` (>= a small epsilon;
+  /// 1 = nominal speed, larger = slower).
+  double cpu_factor(NodeId node) const { return cpu_factor_.at(node); }
+  void SetCpuFactor(NodeId node, double factor);
+
+  /// Whether the scheduler may place new cores on `node`.
+  bool available(NodeId node) const { return available_.at(node) != 0; }
+  void SetAvailable(NodeId node, bool available);
+
+  bool any_fault_active() const { return faults_active_ > 0; }
+  int64_t transitions() const { return transitions_; }
+
+ private:
+  std::vector<double> cpu_factor_;
+  std::vector<uint8_t> available_;
+  int faults_active_ = 0;
+  int64_t transitions_ = 0;
+};
+
+}  // namespace elasticutor

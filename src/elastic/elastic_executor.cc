@@ -142,6 +142,11 @@ void ElasticExecutor::TaskStartNext(const TaskPtr& task) {
     task->busy = true;
     const OperatorSpec& spec = rt_->topology().spec(op_);
     SimDuration cost = SampleCost(spec, rt_->config(), t, &task->rng);
+    // Injected node slowdown (straggler / degraded node) stretches the
+    // actual service time on this task's node; busy_ns includes it, so the
+    // scheduler's µ estimate drops and it compensates with capacity.
+    cost = static_cast<SimDuration>(
+        static_cast<double>(cost) * rt_->faults()->cpu_factor(task->node));
     // Backend-specific per-tuple state-access cost (e.g. the external KV's
     // read + write round trips, with their bytes attributed to the network).
     cost += backend_->OnTupleAccess(task->node);

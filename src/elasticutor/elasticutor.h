@@ -37,6 +37,10 @@
 #include "engine/topology.h"
 #include "net/network.h"
 #include "rc/rc_controller.h"
+#include "scenario/library.h"
+#include "scenario/recovery.h"
+#include "scenario/scenario.h"
+#include "scenario/scenario_driver.h"
 #include "scheduler/assignment.h"
 #include "scheduler/perf_model.h"
 #include "scheduler/scheduler.h"

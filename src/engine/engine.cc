@@ -29,13 +29,14 @@ Engine::Engine(Topology topology, EngineConfig config)
   cluster_ = std::make_unique<Cluster>(config_.num_nodes,
                                        config_.cores_per_node);
   ledger_ = std::make_unique<CoreLedger>(*cluster_);
+  faults_ = std::make_unique<NodeFaultPlane>(config_.num_nodes);
   net_ = std::make_unique<Network>(sim_.get(), config_.num_nodes, config_.net);
   migration_ = std::make_unique<MigrationEngine>(sim_.get(), net_.get(),
                                                  config_.state.migration);
   metrics_ = std::make_unique<EngineMetrics>();
   runtime_ = std::make_unique<Runtime>(sim_.get(), net_.get(),
-                                       migration_.get(), &topology_, &config_,
-                                       metrics_.get());
+                                       migration_.get(), faults_.get(),
+                                       &topology_, &config_, metrics_.get());
 }
 
 Engine::~Engine() = default;
@@ -266,6 +267,20 @@ void Engine::StopSources() {
     for (const auto& ex : runtime_->executors(op)) {
       std::static_pointer_cast<SpoutExecutor>(ex)->Stop();
     }
+  }
+}
+
+void Engine::ShapeSourceRates(std::function<double(SimTime)> factor) {
+  ELASTICUTOR_CHECK_MSG(factor != nullptr, "rate shaper must be callable");
+  for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
+    OperatorSpec& spec = topology_.mutable_spec(op);
+    if (!spec.is_source || spec.source.mode != SourceSpec::Mode::kTrace) {
+      continue;
+    }
+    ELASTICUTOR_CHECK_MSG(spec.source.rate_fn != nullptr,
+                          "trace source without rate_fn");
+    spec.source.rate_fn = [base = spec.source.rate_fn,
+                           factor](SimTime t) { return base(t) * factor(t); };
   }
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/fault_plane.h"
 #include "engine/engine_config.h"
 #include "engine/metrics.h"
 #include "engine/runtime.h"
@@ -53,6 +54,11 @@ class Engine {
   /// Stops all sources (end of run; lets queues drain if run further).
   void StopSources();
 
+  /// Multiplies the arrival rate of every trace-mode source by `factor(t)`
+  /// (scenario-driver hook; saturation-mode sources are back-pressure bound
+  /// and unaffected). Composes: a second call wraps the already-shaped rate.
+  void ShapeSourceRates(std::function<double(SimTime)> factor);
+
   // ---- Measurement helpers ----
   /// Mean sink throughput (tuples/s) since the last metrics reset.
   double MeasuredThroughput() const;
@@ -67,6 +73,9 @@ class Engine {
   EngineMetrics* metrics() { return metrics_.get(); }
   const Cluster& cluster() const { return *cluster_; }
   CoreLedger* ledger() { return ledger_.get(); }
+  /// Injected node faults (CPU slowdown / availability); written by the
+  /// scenario driver, read by executors and the scheduler.
+  NodeFaultPlane* faults() { return faults_.get(); }
   const Topology& topology() const { return topology_; }
   const EngineConfig& config() const { return config_; }
   DynamicScheduler* scheduler() { return scheduler_.get(); }
@@ -97,6 +106,7 @@ class Engine {
   std::unique_ptr<Simulator> sim_;
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<CoreLedger> ledger_;
+  std::unique_ptr<NodeFaultPlane> faults_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<MigrationEngine> migration_;
   std::unique_ptr<EngineMetrics> metrics_;

@@ -3,11 +3,12 @@
 namespace elasticutor {
 
 Runtime::Runtime(Simulator* sim, Network* net, MigrationEngine* migration,
-                 const Topology* topology, const EngineConfig* config,
-                 EngineMetrics* metrics)
+                 const NodeFaultPlane* faults, const Topology* topology,
+                 const EngineConfig* config, EngineMetrics* metrics)
     : sim_(sim),
       net_(net),
       migration_(migration),
+      faults_(faults),
       topology_(topology),
       config_(config),
       metrics_(metrics),

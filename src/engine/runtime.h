@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/fault_plane.h"
 #include "common/random.h"
 #include "engine/engine_config.h"
 #include "engine/executor_base.h"
@@ -30,8 +31,8 @@ class MigrationEngine;
 class Runtime {
  public:
   Runtime(Simulator* sim, Network* net, MigrationEngine* migration,
-          const Topology* topology, const EngineConfig* config,
-          EngineMetrics* metrics);
+          const NodeFaultPlane* faults, const Topology* topology,
+          const EngineConfig* config, EngineMetrics* metrics);
 
   // ---- Wiring ----
   void SetPartition(OperatorId op, std::unique_ptr<OperatorPartition> p);
@@ -96,6 +97,11 @@ class Runtime {
   /// The shared shard-migration engine (single migration code path for the
   /// elastic executor and the RC repartitioner).
   MigrationEngine* migration() { return migration_; }
+  /// Injected node faults (scenario layer): per-node CPU slowdown factors
+  /// and scheduling availability. Executors scale sampled service times by
+  /// faults()->cpu_factor(node); the scheduler zeroes the capacity of
+  /// unavailable nodes.
+  const NodeFaultPlane* faults() const { return faults_; }
   const Topology& topology() const { return *topology_; }
   const EngineConfig& config() const { return *config_; }
   EngineMetrics* metrics() { return metrics_; }
@@ -112,6 +118,7 @@ class Runtime {
   Simulator* sim_;
   Network* net_;
   MigrationEngine* migration_;
+  const NodeFaultPlane* faults_;
   const Topology* topology_;
   const EngineConfig* config_;
   EngineMetrics* metrics_;

@@ -64,6 +64,10 @@ void SingleTaskExecutor::StartNext() {
   metrics_.queued = static_cast<int64_t>(queue_.size());
   const OperatorSpec& spec = rt_->topology().spec(op_);
   SimDuration cost = SampleCost(spec, rt_->config(), t, &service_rng_);
+  // Injected node slowdown (straggler / degraded node) stretches the actual
+  // service time; busy_ns includes it, so measured µ drops accordingly.
+  cost = static_cast<SimDuration>(
+      static_cast<double>(cost) * rt_->faults()->cpu_factor(home_node_));
   metrics_.busy_ns += cost;
   rt_->sim()->After(cost, [this, t]() { OnProcessingComplete(t); });
 }

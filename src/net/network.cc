@@ -7,9 +7,24 @@
 namespace elasticutor {
 
 Network::Network(Simulator* sim, int num_nodes, NetworkConfig config)
-    : sim_(sim), config_(config), egress_free_at_(num_nodes, 0) {
+    : sim_(sim),
+      config_(config),
+      egress_free_at_(num_nodes, 0),
+      egress_factor_(num_nodes, 1.0),
+      extra_delay_(num_nodes, 0),
+      last_arrival_(num_nodes, std::vector<SimTime>(num_nodes, 0)) {
   ELASTICUTOR_CHECK(num_nodes > 0);
   ELASTICUTOR_CHECK(config_.bandwidth_bytes_per_sec > 0);
+}
+
+void Network::SetEgressBandwidthFactor(NodeId node, double factor) {
+  ELASTICUTOR_CHECK_MSG(factor > 0.0, "egress bandwidth factor must be > 0");
+  egress_factor_.at(node) = factor;
+}
+
+void Network::SetExtraDelay(NodeId node, SimDuration extra) {
+  ELASTICUTOR_CHECK_MSG(extra >= 0, "extra delay must be >= 0");
+  extra_delay_.at(node) = extra;
 }
 
 void Network::Send(NodeId src, NodeId dst, int64_t bytes, Purpose purpose,
@@ -27,13 +42,16 @@ void Network::Send(NodeId src, NodeId dst, int64_t bytes, Purpose purpose,
   }
   int64_t wire_bytes = bytes + config_.per_message_overhead_bytes;
   inter_bytes_[static_cast<int>(purpose)] += wire_bytes;
-  double tx_seconds =
-      static_cast<double>(wire_bytes) / config_.bandwidth_bytes_per_sec;
+  double tx_seconds = static_cast<double>(wire_bytes) /
+                      (config_.bandwidth_bytes_per_sec * egress_factor_[src]);
   SimDuration tx = static_cast<SimDuration>(tx_seconds * 1e9);
   SimTime start = std::max(sim_->now(), egress_free_at_[src]);
   SimTime tx_done = start + tx;
   egress_free_at_[src] = tx_done;
-  SimTime arrive = tx_done + config_.propagation_ns;
+  SimTime arrive = tx_done + config_.propagation_ns + extra_delay_[src] +
+                   extra_delay_[dst];
+  arrive = std::max(arrive, last_arrival_[src][dst]);
+  last_arrival_[src][dst] = arrive;
   sim_->At(arrive, [this, fn = std::move(deliver)]() mutable {
     ++messages_delivered_;
     fn();

@@ -72,10 +72,28 @@ class Network {
   /// after warm-up.
   void ResetCounters();
 
+  // ---- Fault-injection hooks (scenario layer) ----
+  /// Multiplier on the node's effective egress bandwidth (1 = nominal,
+  /// 0.1 = a NIC degraded to 10%). Applies to messages serialized after the
+  /// call; in-flight transmissions keep their original timing.
+  void SetEgressBandwidthFactor(NodeId node, double factor);
+  double egress_bandwidth_factor(NodeId node) const {
+    return egress_factor_.at(node);
+  }
+  /// Extra one-way delay added to every message the node sends or receives
+  /// (models a flapping/congested NIC rather than a slow link).
+  void SetExtraDelay(NodeId node, SimDuration extra);
+  SimDuration extra_delay(NodeId node) const { return extra_delay_.at(node); }
+
  private:
   Simulator* sim_;
   NetworkConfig config_;
   std::vector<SimTime> egress_free_at_;
+  std::vector<double> egress_factor_;
+  std::vector<SimDuration> extra_delay_;
+  // Per-(src,dst) arrival floor: keeps delivery FIFO per channel even when
+  // SetExtraDelay shrinks mid-flight (the labeling protocol depends on it).
+  std::vector<std::vector<SimTime>> last_arrival_;
   std::array<int64_t, static_cast<int>(Purpose::kCount)> inter_bytes_{};
   std::array<int64_t, static_cast<int>(Purpose::kCount)> intra_bytes_{};
   int64_t messages_sent_ = 0;

@@ -1,0 +1,83 @@
+#include "scenario/library.h"
+
+#include <cstdio>
+
+namespace elasticutor {
+namespace scn {
+
+namespace {
+std::string FmtName(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+}  // namespace
+
+Scenario MicroDynamics(double omega_per_minute) {
+  Scenario s;
+  s.name = FmtName("micro-dynamics-w%.0f", omega_per_minute);
+  s.description = "Zipf key-popularity shuffles, omega per minute (paper 5.1)";
+  if (omega_per_minute > 0) {
+    s.events.push_back(ShuffleCadence(0, omega_per_minute));
+  }
+  return s;
+}
+
+Scenario FlashCrowd(SimTime at, SimDuration length, double rate_mult,
+                    double share, int keys) {
+  Scenario s;
+  s.name = "flash-crowd";
+  s.description = "hotspot + rate surge window over a steady trace";
+  s.events.push_back(HotspotOn(at, share, keys));
+  s.events.push_back(RateStep(at, rate_mult));
+  s.events.push_back(HotspotOff(at + length));
+  s.events.push_back(RateStep(at + length, 1.0));
+  return s;
+}
+
+Scenario Straggler(SimTime at, SimDuration length, NodeId node,
+                   double cpu_factor) {
+  Scenario s;
+  s.name = FmtName("straggler-x%.0f", cpu_factor);
+  s.description = "one node's service times stretched for a window";
+  s.events.push_back(NodeSlowdown(at, length, node, cpu_factor));
+  return s;
+}
+
+Scenario FailRecover(SimTime at, SimDuration down_for, NodeId node,
+                     double crash_cpu_factor) {
+  Scenario s;
+  s.name = "fail-recover";
+  s.description = "fail-slow node crash, scheduler evacuation, rejoin";
+  s.events.push_back(NodeCrash(at, node, crash_cpu_factor));
+  s.events.push_back(NodeRejoin(at + down_for, node));
+  return s;
+}
+
+Scenario NicFade(SimTime at, SimDuration length, NodeId node,
+                 double bandwidth_factor, SimDuration extra_delay_ns) {
+  Scenario s;
+  s.name = "nic-fade";
+  s.description = "one NIC degraded: lower bandwidth, extra per-message delay";
+  s.events.push_back(
+      NicDegrade(at, length, node, bandwidth_factor, extra_delay_ns));
+  return s;
+}
+
+SseSession SseMarketSession(double base_rate_per_sec) {
+  SseSession session;
+  session.trace.base_rate_per_sec = base_rate_per_sec;
+  // The session wave leaves the trace model and becomes a scenario event so
+  // both fig15 (analytic) and fig16 (engine) consume the same definition.
+  double amplitude = session.trace.wave_amplitude;
+  SimDuration period = session.trace.wave_period_ns;
+  session.trace.wave_amplitude = 0.0;
+  session.scenario.name = "sse-market-session";
+  session.scenario.description =
+      "session-wave rate modulation over the synthetic SSE order trace";
+  session.scenario.events.push_back(RateSine(0, period, amplitude));
+  return session;
+}
+
+}  // namespace scn
+}  // namespace elasticutor

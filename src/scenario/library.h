@@ -1,0 +1,51 @@
+// The shared scenario library: every dynamics-driven bench pulls its
+// disturbance timeline from here instead of hand-rolling ramps, so "one
+// scenario, three paradigms" comparisons use literally the same definition.
+// docs/scenarios.md walks through each entry.
+#pragma once
+
+#include "scenario/scenario.h"
+#include "workload/sse_trace.h"
+
+namespace elasticutor {
+namespace scn {
+
+/// The paper's §5.1 workload dynamics: ω random key-popularity shuffles per
+/// minute (fig06/fig07/fig13).
+Scenario MicroDynamics(double omega_per_minute);
+
+/// Flash crowd: at `at`, `share` of the traffic collapses onto `keys`
+/// random keys while the offered rate steps to x`rate_mult`; both revert
+/// after `length` (bench_scn_flash_crowd).
+Scenario FlashCrowd(SimTime at, SimDuration length, double rate_mult,
+                    double share, int keys);
+
+/// Straggler: `node` runs `cpu_factor`x slower during [at, at+length]
+/// (bench_scn_failover).
+Scenario Straggler(SimTime at, SimDuration length, NodeId node,
+                   double cpu_factor);
+
+/// Fail-slow node crash at `at` (unschedulable + `crash_cpu_factor` slowdown,
+/// evacuated by the scheduler), rejoin after `down_for`
+/// (bench_scn_failover).
+Scenario FailRecover(SimTime at, SimDuration down_for, NodeId node,
+                     double crash_cpu_factor = 8.0);
+
+/// NIC degradation: `node`'s egress bandwidth drops to `bandwidth_factor`
+/// and every message in/out gains `extra_delay_ns` during [at, at+length].
+Scenario NicFade(SimTime at, SimDuration length, NodeId node,
+                 double bandwidth_factor, SimDuration extra_delay_ns);
+
+/// The SSE market session shared by fig15 and fig16: per-stock surges and
+/// popularity drift stay inside the trace model (they are per-key
+/// structure), but the slow aggregate session wave is expressed as a
+/// scenario kRateSine — fig16 installs it through the ScenarioDriver, fig15
+/// evaluates the same shaper analytically.
+struct SseSession {
+  SseTraceOptions trace;  // wave_amplitude zeroed; the scenario carries it.
+  Scenario scenario;
+};
+SseSession SseMarketSession(double base_rate_per_sec);
+
+}  // namespace scn
+}  // namespace elasticutor

@@ -1,0 +1,59 @@
+#include "scenario/recovery.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+RecoveryStats MeasureRecovery(const TimeSeries& tput, SimTime baseline_from,
+                              SimTime disturb_at, SimTime window_end,
+                              double threshold_frac) {
+  ELASTICUTOR_CHECK_MSG(baseline_from < disturb_at && disturb_at < window_end,
+                        "recovery windows must be ordered");
+  ELASTICUTOR_CHECK_MSG(threshold_frac > 0.0 && threshold_frac <= 1.0,
+                        "recovery threshold must be in (0, 1]");
+  RecoveryStats stats;
+  const double bin_s = ToSeconds(tput.bin_ns());
+  auto bins = tput.Bins();
+
+  double baseline_sum = 0.0;
+  int64_t baseline_bins = 0;
+  for (const auto& [start, count] : bins) {
+    if (start < baseline_from || start + tput.bin_ns() > disturb_at) continue;
+    baseline_sum += count;
+    ++baseline_bins;
+  }
+  if (baseline_bins == 0) return stats;  // Nothing to compare against.
+  stats.baseline_tps = baseline_sum / (baseline_bins * bin_s);
+
+  const double threshold = threshold_frac * stats.baseline_tps;
+  stats.trough_tps = -1.0;
+  SimTime last_below_end = -1;  // End of the last bin under the threshold.
+  bool any_post_bin = false;
+  for (const auto& [start, count] : bins) {
+    if (start < disturb_at || start + tput.bin_ns() > window_end) continue;
+    any_post_bin = true;
+    double rate = count / bin_s;
+    if (stats.trough_tps < 0.0 || rate < stats.trough_tps) {
+      stats.trough_tps = rate;
+    }
+    if (rate < threshold) last_below_end = start + tput.bin_ns();
+  }
+  if (!any_post_bin) return stats;
+  if (stats.trough_tps < 0.0) stats.trough_tps = 0.0;
+
+  if (last_below_end < 0) {
+    stats.recovered = true;
+    stats.time_to_recover_s = 0.0;  // Never dipped below the threshold.
+  } else if (last_below_end >= window_end) {
+    stats.recovered = false;  // Still below in the final bin.
+    stats.time_to_recover_s = -1.0;
+  } else {
+    stats.recovered = true;
+    stats.time_to_recover_s = ToSeconds(last_below_end - disturb_at);
+  }
+  return stats;
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,29 @@
+// Post-disturbance recovery metrics, computed from the engine's per-second
+// sink-throughput time series: how deep did throughput dip after a scenario
+// disturbance and how long until it stayed back above a fraction of the
+// pre-disturbance baseline ("time to rebalance" in the scn benches).
+#pragma once
+
+#include "common/rate_meter.h"
+#include "sim/time.h"
+
+namespace elasticutor {
+
+struct RecoveryStats {
+  double baseline_tps = 0.0;  // Mean rate over [baseline_from, disturb_at).
+  double trough_tps = 0.0;    // Worst post-disturbance bin.
+  bool recovered = false;     // Stayed >= threshold until window_end.
+  /// Seconds from disturb_at until throughput is back at or above
+  /// threshold_frac x baseline for the rest of the window. 0 when it never
+  /// dipped; -1 when it had not recovered by window_end.
+  double time_to_recover_s = -1.0;
+};
+
+/// `tput` is EngineMetrics::sink_throughput_series() (counts per fixed bin).
+/// Only bins fully inside a window count — a truncated final bin would
+/// deflate its rate and fake a dip/non-recovery.
+RecoveryStats MeasureRecovery(const TimeSeries& tput, SimTime baseline_from,
+                              SimTime disturb_at, SimTime window_end,
+                              double threshold_frac);
+
+}  // namespace elasticutor

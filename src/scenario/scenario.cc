@@ -1,0 +1,196 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+const char* ScenarioEventTypeName(ScenarioEventType type) {
+  switch (type) {
+    case ScenarioEventType::kRateStep: return "rate-step";
+    case ScenarioEventType::kRateRamp: return "rate-ramp";
+    case ScenarioEventType::kRateSine: return "rate-sine";
+    case ScenarioEventType::kKeyShuffle: return "key-shuffle";
+    case ScenarioEventType::kShuffleCadence: return "shuffle-cadence";
+    case ScenarioEventType::kHotspotOn: return "hotspot-on";
+    case ScenarioEventType::kHotspotOff: return "hotspot-off";
+    case ScenarioEventType::kSkewChange: return "skew-change";
+    case ScenarioEventType::kNodeSlowdown: return "node-slowdown";
+    case ScenarioEventType::kNodeCrash: return "node-crash";
+    case ScenarioEventType::kNodeRejoin: return "node-rejoin";
+    case ScenarioEventType::kNicDegrade: return "nic-degrade";
+  }
+  return "?";
+}
+
+namespace scn {
+
+ScenarioEvent RateStep(SimTime at, double factor) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kRateStep;
+  e.at = at;
+  e.rate_factor = factor;
+  return e;
+}
+
+ScenarioEvent RateRamp(SimTime at, SimDuration duration, double from,
+                       double to) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kRateRamp;
+  e.at = at;
+  e.duration = duration;
+  e.ramp_from = from;
+  e.rate_factor = to;
+  return e;
+}
+
+ScenarioEvent RateSine(SimTime at, SimDuration period, double amplitude,
+                       SimDuration duration) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kRateSine;
+  e.at = at;
+  e.period = period;
+  e.amplitude = amplitude;
+  e.duration = duration;
+  return e;
+}
+
+ScenarioEvent KeyShuffle(SimTime at, int count) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kKeyShuffle;
+  e.at = at;
+  e.shuffle_count = count;
+  return e;
+}
+
+ScenarioEvent ShuffleCadence(SimTime at, double omega_per_minute) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kShuffleCadence;
+  e.at = at;
+  e.omega_per_minute = omega_per_minute;
+  return e;
+}
+
+ScenarioEvent HotspotOn(SimTime at, double share, int keys) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kHotspotOn;
+  e.at = at;
+  e.hotspot_share = share;
+  e.hotspot_keys = keys;
+  return e;
+}
+
+ScenarioEvent HotspotOff(SimTime at) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kHotspotOff;
+  e.at = at;
+  return e;
+}
+
+ScenarioEvent SkewChange(SimTime at, double skew) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kSkewChange;
+  e.at = at;
+  e.skew = skew;
+  return e;
+}
+
+ScenarioEvent NodeSlowdown(SimTime at, SimDuration duration, NodeId node,
+                           double cpu_factor) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kNodeSlowdown;
+  e.at = at;
+  e.duration = duration;
+  e.node = node;
+  e.cpu_factor = cpu_factor;
+  return e;
+}
+
+ScenarioEvent NodeCrash(SimTime at, NodeId node, double cpu_factor) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kNodeCrash;
+  e.at = at;
+  e.node = node;
+  e.cpu_factor = cpu_factor;
+  return e;
+}
+
+ScenarioEvent NodeRejoin(SimTime at, NodeId node) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kNodeRejoin;
+  e.at = at;
+  e.node = node;
+  return e;
+}
+
+ScenarioEvent NicDegrade(SimTime at, SimDuration duration, NodeId node,
+                         double bandwidth_factor,
+                         SimDuration extra_delay_ns) {
+  ScenarioEvent e;
+  e.type = ScenarioEventType::kNicDegrade;
+  e.at = at;
+  e.duration = duration;
+  e.node = node;
+  e.bandwidth_factor = bandwidth_factor;
+  e.extra_delay_ns = extra_delay_ns;
+  return e;
+}
+
+}  // namespace scn
+
+RateShaper::RateShaper(const Scenario& scenario) {
+  for (const ScenarioEvent& e : scenario.events) {
+    switch (e.type) {
+      case ScenarioEventType::kRateStep:
+        levels_.push_back(e);
+        break;
+      case ScenarioEventType::kRateRamp:
+        ELASTICUTOR_CHECK_MSG(e.duration > 0, "rate ramp needs a duration");
+        levels_.push_back(e);
+        break;
+      case ScenarioEventType::kRateSine:
+        ELASTICUTOR_CHECK_MSG(e.period > 0, "rate sine needs a period");
+        sines_.push_back(e);
+        break;
+      default:
+        break;
+    }
+  }
+  auto by_at = [](const ScenarioEvent& a, const ScenarioEvent& b) {
+    return a.at < b.at;
+  };
+  std::stable_sort(levels_.begin(), levels_.end(), by_at);
+  std::stable_sort(sines_.begin(), sines_.end(), by_at);
+}
+
+double RateShaper::FactorAt(SimTime t) const {
+  double level = 1.0;
+  for (const ScenarioEvent& e : levels_) {
+    if (e.at > t) break;
+    if (e.type == ScenarioEventType::kRateStep) {
+      level = e.rate_factor;
+      continue;
+    }
+    // Ramp: interpolate inside the window, hold the target after it.
+    if (t >= e.at + e.duration) {
+      level = e.rate_factor;
+    } else {
+      double frac = static_cast<double>(t - e.at) /
+                    static_cast<double>(e.duration);
+      level = e.ramp_from + frac * (e.rate_factor - e.ramp_from);
+    }
+  }
+  double factor = level;
+  for (const ScenarioEvent& e : sines_) {
+    if (e.at > t) break;
+    if (e.duration > 0 && t >= e.at + e.duration) continue;
+    double phase = 2.0 * M_PI * static_cast<double>(t - e.at) /
+                   static_cast<double>(e.period);
+    factor *= 1.0 + e.amplitude * std::sin(phase);
+  }
+  return std::max(0.0, factor);
+}
+
+}  // namespace elasticutor

@@ -1,0 +1,123 @@
+// Declarative scenario DSL: a deterministic timeline of workload and
+// environment disturbances (the axes elasticity surveys evaluate along —
+// rate fluctuation, skew shift, hot-key churn, stragglers, failures). A
+// Scenario is pure data; the ScenarioDriver (scenario_driver.h) schedules it
+// onto an engine's simulator. docs/scenarios.md documents every event type.
+//
+// Two kinds of events:
+//  * Rate events (kRateStep/kRateRamp/kRateSine) are evaluated analytically
+//    by RateShaper — no simulator events fire; the shaper wraps the trace
+//    sources' rate_fn. Steps and ramps set the level (latest wins, ramps
+//    interpolate); active sines multiply on top.
+//  * Everything else fires as a simulator event at `at` (window events such
+//    as kNodeSlowdown and kNicDegrade also schedule their restore at
+//    `at + duration`).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"  // NodeId.
+#include "sim/time.h"
+
+namespace elasticutor {
+
+enum class ScenarioEventType {
+  // ---- Workload rate (trace-mode sources) ----
+  kRateStep,        // From `at`: multiply offered rate by `rate_factor`.
+  kRateRamp,        // [at, at+duration]: level ramps ramp_from -> rate_factor.
+  kRateSine,        // While active: x (1 + amplitude * sin(2π(t-at)/period)).
+  // ---- Key distribution (DynamicKeySpace) ----
+  kKeyShuffle,      // At `at`: `shuffle_count` random popularity permutations.
+  kShuffleCadence,  // From `at`: omega_per_minute shuffles/min (0 stops).
+  kHotspotOn,       // At `at`: hotspot_share of traffic onto hotspot_keys keys.
+  kHotspotOff,      // At `at`: back to the pure Zipf permutation.
+  kSkewChange,      // At `at`: rebuild the Zipf ranks with `skew`.
+  // ---- Faults (NodeFaultPlane / Network) ----
+  kNodeSlowdown,    // [at, at+duration]: service times on `node` x cpu_factor.
+  kNodeCrash,       // At `at`: node unschedulable + cpu_factor slowdown
+                    // (fail-slow; see fault_plane.h for the model).
+  kNodeRejoin,      // At `at`: crashed node healthy and schedulable again.
+  kNicDegrade,      // [at, at+duration]: egress bandwidth x bandwidth_factor
+                    // and +extra_delay_ns per message on `node`.
+};
+
+const char* ScenarioEventTypeName(ScenarioEventType type);
+
+/// One timeline entry. Only the fields its type names are meaningful; the
+/// factory helpers below fill them.
+struct ScenarioEvent {
+  ScenarioEventType type = ScenarioEventType::kRateStep;
+  SimTime at = 0;
+  SimDuration duration = 0;  // Window length (ramp/slowdown/NIC; sine: 0 = forever).
+
+  // Rate.
+  double rate_factor = 1.0;   // Step target / ramp end.
+  double ramp_from = 1.0;     // Ramp start.
+  double amplitude = 0.0;     // Sine.
+  SimDuration period = 0;     // Sine.
+
+  // Keys.
+  double omega_per_minute = 0.0;
+  int shuffle_count = 1;
+  double hotspot_share = 0.0;
+  int hotspot_keys = 0;
+  double skew = 0.5;
+
+  // Faults.
+  NodeId node = -1;
+  double cpu_factor = 1.0;
+  double bandwidth_factor = 1.0;
+  SimDuration extra_delay_ns = 0;
+};
+
+/// A named, deterministic disturbance timeline.
+struct Scenario {
+  std::string name;
+  std::string description;
+  std::vector<ScenarioEvent> events;
+};
+
+// ---- Event factories (the spelling used by benches and docs) ----
+namespace scn {
+
+ScenarioEvent RateStep(SimTime at, double factor);
+ScenarioEvent RateRamp(SimTime at, SimDuration duration, double from,
+                       double to);
+ScenarioEvent RateSine(SimTime at, SimDuration period, double amplitude,
+                       SimDuration duration = 0);
+ScenarioEvent KeyShuffle(SimTime at, int count = 1);
+ScenarioEvent ShuffleCadence(SimTime at, double omega_per_minute);
+ScenarioEvent HotspotOn(SimTime at, double share, int keys);
+ScenarioEvent HotspotOff(SimTime at);
+ScenarioEvent SkewChange(SimTime at, double skew);
+ScenarioEvent NodeSlowdown(SimTime at, SimDuration duration, NodeId node,
+                           double cpu_factor);
+ScenarioEvent NodeCrash(SimTime at, NodeId node, double cpu_factor = 8.0);
+ScenarioEvent NodeRejoin(SimTime at, NodeId node);
+ScenarioEvent NicDegrade(SimTime at, SimDuration duration, NodeId node,
+                         double bandwidth_factor,
+                         SimDuration extra_delay_ns = 0);
+
+}  // namespace scn
+
+/// Analytic evaluation of a scenario's rate events: FactorAt(t) is the
+/// multiplier applied to every trace source's offered rate at simulated
+/// time t. Pure and deterministic, so benches (e.g. fig15) can also query it
+/// without an engine.
+class RateShaper {
+ public:
+  RateShaper() = default;
+  explicit RateShaper(const Scenario& scenario);
+
+  double FactorAt(SimTime t) const;
+  bool has_rate_events() const {
+    return !levels_.empty() || !sines_.empty();
+  }
+
+ private:
+  std::vector<ScenarioEvent> levels_;  // Steps + ramps, sorted by `at`.
+  std::vector<ScenarioEvent> sines_;   // Sorted by `at`.
+};
+
+}  // namespace elasticutor

@@ -1,0 +1,166 @@
+#include "scenario/scenario_driver.h"
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace elasticutor {
+
+namespace {
+
+bool IsRateEvent(ScenarioEventType type) {
+  return type == ScenarioEventType::kRateStep ||
+         type == ScenarioEventType::kRateRamp ||
+         type == ScenarioEventType::kRateSine;
+}
+
+bool IsKeyEvent(ScenarioEventType type) {
+  return type == ScenarioEventType::kKeyShuffle ||
+         type == ScenarioEventType::kShuffleCadence ||
+         type == ScenarioEventType::kHotspotOn ||
+         type == ScenarioEventType::kHotspotOff ||
+         type == ScenarioEventType::kSkewChange;
+}
+
+bool IsNodeEvent(ScenarioEventType type) {
+  return type == ScenarioEventType::kNodeSlowdown ||
+         type == ScenarioEventType::kNodeCrash ||
+         type == ScenarioEventType::kNodeRejoin ||
+         type == ScenarioEventType::kNicDegrade;
+}
+
+}  // namespace
+
+ScenarioDriver::ScenarioDriver(Scenario scenario, Engine* engine,
+                               std::shared_ptr<DynamicKeySpace> keys)
+    : scenario_(std::move(scenario)),
+      engine_(engine),
+      keys_(std::move(keys)),
+      shaper_(scenario_) {
+  ELASTICUTOR_CHECK_MSG(engine_ != nullptr, "scenario driver needs an engine");
+}
+
+void ScenarioDriver::Validate() const {
+  for (const ScenarioEvent& e : scenario_.events) {
+    ELASTICUTOR_CHECK_MSG(e.at >= 0, "scenario event scheduled before t=0");
+    if (IsKeyEvent(e.type)) {
+      ELASTICUTOR_CHECK_MSG(keys_ != nullptr,
+                            "scenario has key events but no DynamicKeySpace "
+                            "was given to the driver");
+    }
+    if (IsNodeEvent(e.type)) {
+      ELASTICUTOR_CHECK_MSG(
+          e.node >= 0 && e.node < engine_->cluster().num_nodes(),
+          "scenario fault event targets a node outside the cluster");
+    }
+    if (e.type == ScenarioEventType::kNodeSlowdown ||
+        e.type == ScenarioEventType::kNicDegrade) {
+      ELASTICUTOR_CHECK_MSG(e.duration > 0,
+                            "windowed fault events need a duration");
+    }
+  }
+}
+
+void ScenarioDriver::Install() {
+  ELASTICUTOR_CHECK_MSG(!installed_, "scenario installed twice");
+  installed_ = true;
+  Validate();
+  if (shaper_.has_rate_events()) {
+    // The shaper is pure copyable data — capture it by value so the wrapped
+    // rate_fn never dangles, whatever the driver's lifetime.
+    engine_->ShapeSourceRates(
+        [shaper = shaper_](SimTime t) { return shaper.FactorAt(t); });
+  }
+  Simulator* sim = engine_->sim();
+  for (size_t i = 0; i < scenario_.events.size(); ++i) {
+    const ScenarioEvent& e = scenario_.events[i];
+    if (IsRateEvent(e.type)) continue;  // Handled analytically by the shaper.
+    int seq = static_cast<int>(i);
+    sim->At(e.at, [this, e, seq]() { Execute(e, seq); });
+    if (e.type == ScenarioEventType::kNodeSlowdown ||
+        e.type == ScenarioEventType::kNicDegrade) {
+      sim->At(e.at + e.duration, [this, e, seq]() { Restore(e, seq); });
+    }
+  }
+}
+
+void ScenarioDriver::Execute(const ScenarioEvent& e, int seq) {
+  ++events_fired_;
+  NodeFaultPlane* faults = engine_->faults();
+  Network* net = engine_->net();
+  switch (e.type) {
+    case ScenarioEventType::kKeyShuffle:
+      for (int i = 0; i < e.shuffle_count; ++i) keys_->Shuffle();
+      break;
+    case ScenarioEventType::kShuffleCadence: {
+      int generation = ++shuffle_generation_;
+      if (e.omega_per_minute <= 0) break;  // Cadence 0 just stops the old one.
+      SimDuration period = static_cast<SimDuration>(
+          60.0 * kNanosPerSecond / e.omega_per_minute);
+      engine_->sim()->Periodic(
+          engine_->sim()->now() + period, period,
+          [this, generation](SimTime) {
+            if (generation != shuffle_generation_) return false;
+            keys_->Shuffle();
+            return true;
+          });
+      break;
+    }
+    case ScenarioEventType::kHotspotOn:
+      keys_->SetHotspot(e.hotspot_share, e.hotspot_keys);
+      break;
+    case ScenarioEventType::kHotspotOff:
+      keys_->ClearHotspot();
+      break;
+    case ScenarioEventType::kSkewChange:
+      keys_->SetSkew(e.skew);
+      break;
+    case ScenarioEventType::kNodeSlowdown:
+      cpu_writer_[e.node] = seq;
+      faults->SetCpuFactor(e.node, e.cpu_factor);
+      break;
+    case ScenarioEventType::kNodeCrash:
+      // Fail-slow crash: the node leaves the schedulable set (the next
+      // scheduler cycle evacuates its cores) and whatever still runs there
+      // crawls at cpu_factor. See fault_plane.h for why not fail-stop.
+      cpu_writer_[e.node] = seq;
+      faults->SetAvailable(e.node, false);
+      faults->SetCpuFactor(e.node, e.cpu_factor);
+      break;
+    case ScenarioEventType::kNodeRejoin:
+      cpu_writer_[e.node] = seq;
+      faults->SetAvailable(e.node, true);
+      faults->SetCpuFactor(e.node, 1.0);
+      break;
+    case ScenarioEventType::kNicDegrade:
+      nic_writer_[e.node] = seq;
+      net->SetEgressBandwidthFactor(e.node, e.bandwidth_factor);
+      net->SetExtraDelay(e.node, e.extra_delay_ns);
+      break;
+    default:
+      ELASTICUTOR_CHECK_MSG(false, "rate events never reach Execute()");
+  }
+}
+
+void ScenarioDriver::Restore(const ScenarioEvent& e, int seq) {
+  // Overlapping windows on the same node: last writer wins. A window only
+  // restores if no later slowdown/crash/rejoin (CPU) or NIC event has
+  // touched the node since it fired — tracked by sequence number, since
+  // value equality cannot tell two identical overlapping windows apart.
+  switch (e.type) {
+    case ScenarioEventType::kNodeSlowdown:
+      if (cpu_writer_[e.node] == seq) {
+        engine_->faults()->SetCpuFactor(e.node, 1.0);
+      }
+      break;
+    case ScenarioEventType::kNicDegrade:
+      if (nic_writer_[e.node] == seq) {
+        engine_->net()->SetEgressBandwidthFactor(e.node, 1.0);
+        engine_->net()->SetExtraDelay(e.node, 0);
+      }
+      break;
+    default:
+      ELASTICUTOR_CHECK_MSG(false, "event type has no restore phase");
+  }
+}
+
+}  // namespace elasticutor

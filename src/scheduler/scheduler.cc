@@ -67,6 +67,14 @@ void DynamicScheduler::MeasureInterval(SimDuration dt) {
   }
 }
 
+int DynamicScheduler::AvailableCores() const {
+  int total = 0;
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    if (rt_->faults()->available(i)) total += cluster_->cores(i);
+  }
+  return total;
+}
+
 std::vector<int> DynamicScheduler::ComputeTargets() {
   const SchedulerConfig& cfg = rt_->config().scheduler;
   std::vector<ExecutorDemand> demands(states_.size());
@@ -75,7 +83,7 @@ std::vector<int> DynamicScheduler::ComputeTargets() {
     demands[j].mu = std::max(states_[j].mu.value(), 1e-6);
   }
   AllocationResult alloc =
-      AllocateCores(demands, cluster_->total_cores(),
+      AllocateCores(demands, AvailableCores(),
                     ToSeconds(cfg.latency_target_ns), cfg.allocate_all_cores);
   return alloc.cores;
 }
@@ -102,12 +110,13 @@ void DynamicScheduler::RunOnce() {
       targets[j] = std::max(1, current);
     }
   }
+  const int available_cores = AvailableCores();
   if (rt_->config().scheduler.allocate_all_cores) {
     // The deadband must not strand capacity: hand leftover cores to the
     // executors with the highest per-core utilization.
     int total_target = 0;
     for (int t : targets) total_target += t;
-    while (total_target < cluster_->total_cores()) {
+    while (total_target < available_cores) {
       int best = -1;
       double best_util = -1.0;
       for (size_t j = 0; j < states_.size(); ++j) {
@@ -123,11 +132,19 @@ void DynamicScheduler::RunOnce() {
     }
   }
 
-  // Build the assignment problem from the *actual* current distribution.
+  // Build the assignment problem from the *actual* current distribution —
+  // except on unavailable (crashed) nodes: those get zero capacity and their
+  // current cores are excluded from the input, so the solver plans the full
+  // target on healthy nodes. ExecuteDiff diffs against the real distribution,
+  // which turns the exclusion into removals on the dead node plus additions
+  // elsewhere — the evacuation. (Excluded cores also don't enter the
+  // migration-cost/pause estimate: the pause-budget brake must never defer
+  // an evacuation.)
   AssignmentInput in;
   in.node_capacity.resize(cluster_->num_nodes());
   for (int i = 0; i < cluster_->num_nodes(); ++i) {
-    in.node_capacity[i] = cluster_->cores(i);
+    in.node_capacity[i] =
+        rt_->faults()->available(i) ? cluster_->cores(i) : 0;
   }
   const int m = static_cast<int>(states_.size());
   in.home.resize(m);
@@ -142,6 +159,7 @@ void DynamicScheduler::RunOnce() {
     in.state_bytes[j] = static_cast<double>(s.executor->state_bytes());
     in.data_intensity[j] = s.intensity.value();
     for (const auto& [node, count] : s.executor->core_distribution()) {
+      if (!rt_->faults()->available(node)) continue;  // Being evacuated.
       in.current[node][j] = count;
     }
     // Executors mid-transition keep their current allocation this round.
@@ -158,7 +176,7 @@ void DynamicScheduler::RunOnce() {
   {
     int total_target = 0;
     for (int j = 0; j < m; ++j) total_target += in.target[j];
-    while (total_target > cluster_->total_cores()) {
+    while (total_target > available_cores) {
       int victim = -1;
       for (int j = 0; j < m; ++j) {
         if (states_[j].executor->transition_pending() || in.target[j] <= 1) {

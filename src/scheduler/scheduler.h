@@ -71,6 +71,8 @@ class DynamicScheduler {
   };
 
   void MeasureInterval(SimDuration dt);
+  /// Total cores on nodes the fault plane marks schedulable.
+  int AvailableCores() const;
   std::vector<int> ComputeTargets();
   void ExecuteDiff(const std::vector<std::vector<int>>& x);
   void TryDrainPendingAdds(NodeId node);

@@ -13,7 +13,18 @@ EventId EventQueue::Push(SimTime time, EventFn fn) {
   return id;
 }
 
-void EventQueue::Cancel(EventId id) { cancelled_.push_back(id); }
+bool EventQueue::Cancel(EventId id) {
+  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
+    return false;  // Already cancelled (and not yet skipped).
+  }
+  // Ids of executed events are not tracked; membership in the heap is the
+  // only liveness signal. Cancel is rare, so the linear scan is fine.
+  auto live = std::find_if(heap_.begin(), heap_.end(),
+                           [id](const Node& n) { return n.id == id; });
+  if (live == heap_.end()) return false;
+  cancelled_.push_back(id);
+  return true;
+}
 
 void EventQueue::SkipCancelled() {
   while (!heap_.empty() && !cancelled_.empty()) {

@@ -22,9 +22,10 @@ class EventQueue {
   EventId Push(SimTime time, EventFn fn);
 
   /// Lazily cancels a pending event. Cancelled events are skipped on pop.
-  /// Returns false if the id was already executed/cancelled (best effort:
-  /// ids of executed events are not tracked, cancelling them is a no-op).
-  void Cancel(EventId id);
+  /// Returns false if the id was already executed/cancelled (ids of executed
+  /// events are not tracked, so cancelling one is a no-op that reports
+  /// failure); returns true when a live pending event was cancelled.
+  bool Cancel(EventId id);
 
   bool empty();
 

@@ -27,7 +27,9 @@ class Simulator {
   /// Schedules fn after `delay` ns (clamped at >= 0).
   EventId After(SimDuration delay, EventFn fn);
 
-  void Cancel(EventId id) { queue_.Cancel(id); }
+  /// Cancels a pending event; returns false if it already fired or was
+  /// already cancelled.
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
 
   /// Runs until the event queue is drained or `until` is reached, whichever
   /// comes first. Events exactly at `until` are executed. Returns the number

@@ -38,11 +38,56 @@ void DynamicKeySpace::StartShuffling(Simulator* sim,
   });
 }
 
-double DynamicKeySpace::KeyProbability(uint64_t key) const {
-  for (size_t rank = 0; rank < perm_.size(); ++rank) {
-    if (perm_[rank] == key) return rank_prob_[rank];
+void DynamicKeySpace::SetHotspot(double share, int num_hot) {
+  ELASTICUTOR_CHECK_MSG(share > 0.0 && share < 1.0,
+                        "hotspot share must be in (0, 1)");
+  ELASTICUTOR_CHECK_MSG(
+      num_hot > 0 && num_hot <= static_cast<int>(perm_.size()),
+      "hotspot size must be in [1, num_keys]");
+  // Sample the hot set without replacement (partial Fisher-Yates over key
+  // ids) so a flash crowd always names `num_hot` distinct keys.
+  std::vector<uint64_t> pool(perm_.size());
+  std::iota(pool.begin(), pool.end(), 0);
+  hot_keys_.clear();
+  for (int i = 0; i < num_hot; ++i) {
+    size_t j = i + shuffle_rng_.NextBounded(
+                       static_cast<uint32_t>(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+    hot_keys_.push_back(pool[i]);
   }
-  return 0.0;
+  hotspot_share_ = share;
+}
+
+void DynamicKeySpace::ClearHotspot() {
+  hotspot_share_ = 0.0;
+  hot_keys_.clear();
+}
+
+void DynamicKeySpace::SetSkew(double skew) {
+  int n = static_cast<int>(perm_.size());
+  zipf_ = ZipfSampler(n, skew);
+  std::vector<double> weights = ZipfWeights(n, skew);
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (int i = 0; i < n; ++i) rank_prob_[i] = weights[i] / total;
+}
+
+double DynamicKeySpace::KeyProbability(uint64_t key) const {
+  double base = 0.0;
+  for (size_t rank = 0; rank < perm_.size(); ++rank) {
+    if (perm_[rank] == key) {
+      base = rank_prob_[rank];
+      break;
+    }
+  }
+  if (hotspot_share_ <= 0.0) return base;
+  double hot = 0.0;
+  for (uint64_t k : hot_keys_) {
+    if (k == key) {
+      hot = 1.0 / static_cast<double>(hot_keys_.size());
+      break;
+    }
+  }
+  return (1.0 - hotspot_share_) * base + hotspot_share_ * hot;
 }
 
 }  // namespace elasticutor

@@ -18,8 +18,14 @@ class DynamicKeySpace {
  public:
   DynamicKeySpace(int num_keys, double zipf_skew, uint64_t seed);
 
-  /// Samples a key according to the current rank->key permutation.
+  /// Samples a key: with probability `hotspot share` a uniform pick from the
+  /// active hot set (flash crowd), otherwise the current rank->key Zipf
+  /// permutation.
   uint64_t SampleKey(Rng* rng) const {
+    if (hotspot_share_ > 0.0 && rng->NextDouble() < hotspot_share_) {
+      return hot_keys_[rng->NextBounded(
+          static_cast<uint32_t>(hot_keys_.size()))];
+    }
     return perm_[zipf_.Sample(rng)];
   }
 
@@ -29,10 +35,25 @@ class DynamicKeySpace {
   /// Schedules `omega` shuffles per minute on the simulator (0 = static).
   void StartShuffling(Simulator* sim, double omega_per_minute);
 
+  // ---- Scenario hooks ----
+  /// Flash crowd: route `share` of the traffic uniformly onto `num_hot`
+  /// randomly chosen keys (drawn with this key space's own deterministic
+  /// rng). Replaces any previous hotspot.
+  void SetHotspot(double share, int num_hot);
+  /// Ends the hotspot (back to the pure Zipf permutation).
+  void ClearHotspot();
+  bool hotspot_active() const { return hotspot_share_ > 0.0; }
+  const std::vector<uint64_t>& hot_keys() const { return hot_keys_; }
+
+  /// Rebuilds the rank distribution with a new Zipf skew (the rank->key
+  /// permutation is preserved, so "which keys are hot" does not jump).
+  void SetSkew(double skew);
+  double skew() const { return zipf_.skew(); }
+
   int num_keys() const { return static_cast<int>(perm_.size()); }
   int64_t shuffles_applied() const { return shuffles_; }
 
-  /// Probability of `key` under the current permutation (tests).
+  /// Probability of `key` under the current permutation + hotspot (tests).
   double KeyProbability(uint64_t key) const;
 
  private:
@@ -41,6 +62,8 @@ class DynamicKeySpace {
   std::vector<double> rank_prob_;    // rank -> probability.
   Rng shuffle_rng_;
   int64_t shuffles_ = 0;
+  double hotspot_share_ = 0.0;
+  std::vector<uint64_t> hot_keys_;
 };
 
 }  // namespace elasticutor

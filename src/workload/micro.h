@@ -43,7 +43,9 @@ struct MicroWorkload {
   OperatorId calculator = -1;
   MicroOptions options;
 
-  /// Call after the Engine exists to activate ω shuffling.
+  /// Convenience for tests/examples: activates ω shuffling directly. The
+  /// dynamics benches express ω (and richer disturbances) declaratively via
+  /// the scenario layer instead — see scn::MicroDynamics (scenario/library.h).
   void InstallDynamics(Engine* engine) const {
     keys->StartShuffling(engine->sim(), options.shuffles_per_minute);
   }

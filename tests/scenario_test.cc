@@ -1,0 +1,410 @@
+// Scenario-subsystem tests: the rate shaper's analytic semantics, key-space
+// hotspot hooks, fault-plane injection (straggler slowdown, NIC degradation,
+// crash evacuation) and — critically — the determinism regression: the same
+// scenario run twice must produce byte-for-byte identical metrics, so fault
+// injection can never silently introduce nondeterminism.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "elasticutor/elasticutor.h"
+
+namespace elasticutor {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RateShaper.
+// ---------------------------------------------------------------------------
+
+TEST(RateShaperTest, StepsLatestWins) {
+  Scenario s;
+  s.events.push_back(scn::RateStep(Seconds(10), 2.0));
+  s.events.push_back(scn::RateStep(Seconds(20), 0.5));
+  RateShaper shaper(s);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(Seconds(10)), 2.0);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(Seconds(15)), 2.0);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(Seconds(25)), 0.5);
+}
+
+TEST(RateShaperTest, RampInterpolatesAndHolds) {
+  Scenario s;
+  s.events.push_back(scn::RateRamp(Seconds(10), Seconds(10), 1.0, 3.0));
+  RateShaper shaper(s);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(Seconds(10)), 1.0);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(Seconds(15)), 2.0);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(Seconds(20)), 3.0);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(Seconds(60)), 3.0);
+}
+
+TEST(RateShaperTest, SineModulatesOnTopOfLevel) {
+  Scenario s;
+  s.events.push_back(scn::RateStep(0, 2.0));
+  s.events.push_back(scn::RateSine(0, Seconds(40), 0.5));
+  RateShaper shaper(s);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(0), 2.0);                // sin(0) = 0.
+  EXPECT_NEAR(shaper.FactorAt(Seconds(10)), 3.0, 1e-9);    // Peak: 2 * 1.5.
+  EXPECT_NEAR(shaper.FactorAt(Seconds(30)), 1.0, 1e-9);    // Trough: 2 * 0.5.
+}
+
+TEST(RateShaperTest, SineWindowExpires) {
+  Scenario s;
+  s.events.push_back(scn::RateSine(0, Seconds(40), 0.5, Seconds(20)));
+  RateShaper shaper(s);
+  EXPECT_NEAR(shaper.FactorAt(Seconds(10)), 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(Seconds(20)), 1.0);  // Window over.
+}
+
+TEST(RateShaperTest, FactorNeverNegative) {
+  Scenario s;
+  s.events.push_back(scn::RateSine(0, Seconds(40), 2.0));  // Over-modulated.
+  RateShaper shaper(s);
+  EXPECT_DOUBLE_EQ(shaper.FactorAt(Seconds(30)), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// DynamicKeySpace scenario hooks.
+// ---------------------------------------------------------------------------
+
+TEST(KeySpaceHotspotTest, HotspotShiftsProbabilityMass) {
+  DynamicKeySpace keys(1000, 0.5, /*seed=*/7);
+  keys.SetHotspot(/*share=*/0.4, /*num_hot=*/4);
+  ASSERT_EQ(keys.hot_keys().size(), 4u);
+  // Each hot key carries at least share/num_hot of the traffic.
+  for (uint64_t k : keys.hot_keys()) {
+    EXPECT_GE(keys.KeyProbability(k), 0.4 / 4);
+  }
+  // Empirically ~40% of samples land in the hot set.
+  Rng rng(123, 0);
+  int hits = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t k = keys.SampleKey(&rng);
+    for (uint64_t h : keys.hot_keys()) hits += (k == h);
+  }
+  double frac = static_cast<double>(hits) / kSamples;
+  EXPECT_NEAR(frac, 0.4, 0.03);
+
+  keys.ClearHotspot();
+  EXPECT_FALSE(keys.hotspot_active());
+}
+
+TEST(KeySpaceHotspotTest, HotKeysAreDistinct) {
+  DynamicKeySpace keys(64, 0.5, /*seed=*/1);
+  keys.SetHotspot(0.5, 64);  // Whole key space: forces distinctness check.
+  std::vector<uint64_t> hot = keys.hot_keys();
+  std::sort(hot.begin(), hot.end());
+  EXPECT_EQ(std::unique(hot.begin(), hot.end()), hot.end());
+}
+
+TEST(KeySpaceHotspotTest, SetSkewRebuildsDistribution) {
+  DynamicKeySpace keys(100, 0.0, /*seed=*/3);  // Uniform.
+  EXPECT_NEAR(keys.KeyProbability(0), 0.01, 1e-12);
+  keys.SetSkew(1.0);
+  double total = 0.0;
+  for (int k = 0; k < 100; ++k) total += keys.KeyProbability(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(keys.KeyProbability(keys.hot_keys().empty()
+                                    ? 0
+                                    : keys.hot_keys()[0]),
+            0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault plane + network injection.
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlaneTest, TracksFactorsAndAvailability) {
+  NodeFaultPlane faults(4);
+  EXPECT_FALSE(faults.any_fault_active());
+  faults.SetCpuFactor(2, 4.0);
+  EXPECT_TRUE(faults.any_fault_active());
+  EXPECT_DOUBLE_EQ(faults.cpu_factor(2), 4.0);
+  faults.SetAvailable(2, false);
+  faults.SetCpuFactor(2, 1.0);
+  EXPECT_TRUE(faults.any_fault_active());  // Still unavailable.
+  faults.SetAvailable(2, true);
+  EXPECT_FALSE(faults.any_fault_active());
+}
+
+TEST(NetworkFaultTest, DegradedEgressSlowsTransmission) {
+  Simulator sim;
+  NetworkConfig cfg;
+  Network net(&sim, 2, cfg);
+  SimTime healthy_arrival = -1;
+  net.Send(0, 1, 100000, Purpose::kInterOperator,
+           [&]() { healthy_arrival = sim.now(); });
+  sim.RunAll();
+
+  Simulator sim2;
+  Network net2(&sim2, 2, cfg);
+  net2.SetEgressBandwidthFactor(0, 0.1);
+  SimTime degraded_arrival = -1;
+  net2.Send(0, 1, 100000, Purpose::kInterOperator,
+            [&]() { degraded_arrival = sim2.now(); });
+  sim2.RunAll();
+  EXPECT_GT(degraded_arrival, healthy_arrival * 5);
+}
+
+TEST(NetworkFaultTest, ExtraDelayKeepsChannelFifo) {
+  Simulator sim;
+  NetworkConfig cfg;
+  Network net(&sim, 2, cfg);
+  std::vector<int> order;
+  net.SetExtraDelay(1, Millis(50));
+  net.Send(0, 1, 64, Purpose::kInterOperator, [&]() { order.push_back(1); });
+  // NIC heals while the first message is in flight; the second must still
+  // arrive after the first (per-channel FIFO is a protocol invariant).
+  net.SetExtraDelay(1, 0);
+  net.Send(0, 1, 64, Purpose::kInterOperator, [&]() { order.push_back(2); });
+  sim.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioDriver against a live engine.
+// ---------------------------------------------------------------------------
+
+MicroOptions SmallTraceOptions() {
+  MicroOptions options;
+  options.num_keys = 500;
+  options.generator_executors = 4;
+  options.calculator_executors = 4;
+  options.shards_per_executor = 16;
+  options.shard_state_bytes = 4 * kKiB;
+  options.mode = SourceSpec::Mode::kTrace;
+  options.trace_rate_per_sec = 4000.0;
+  options.calc_cost_ns = MillisF(0.5);
+  return options;
+}
+
+EngineConfig SmallConfig(Paradigm paradigm) {
+  EngineConfig config;
+  config.paradigm = paradigm;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  return config;
+}
+
+TEST(ScenarioDriverTest, FiresTimedEventsAndShufflesCadence) {
+  auto workload = BuildMicroWorkload(SmallTraceOptions(), /*seed=*/11);
+  ASSERT_TRUE(workload.ok());
+  Engine engine(workload->topology, SmallConfig(Paradigm::kElastic));
+  ASSERT_TRUE(engine.Setup().ok());
+
+  Scenario s;
+  s.name = "test-mix";
+  s.events.push_back(scn::ShuffleCadence(0, /*omega=*/60.0));  // Every 1 s.
+  s.events.push_back(scn::HotspotOn(Seconds(2), 0.3, 8));
+  s.events.push_back(scn::HotspotOff(Seconds(4)));
+  s.events.push_back(scn::KeyShuffle(Seconds(5), 3));
+  ScenarioDriver driver(s, &engine, workload->keys);
+  driver.Install();
+
+  engine.Start();
+  engine.RunFor(Seconds(3));
+  EXPECT_TRUE(workload->keys->hotspot_active());
+  EXPECT_GE(workload->keys->shuffles_applied(), 2);
+  engine.RunFor(Seconds(3));
+  EXPECT_FALSE(workload->keys->hotspot_active());
+  // 1/s cadence for ~6 s plus the 3-count one-shot at t=5.
+  EXPECT_GE(workload->keys->shuffles_applied(), 8);
+  EXPECT_EQ(driver.events_fired(), 4);  // Cadence, hotspot on/off, shuffle.
+}
+
+TEST(ScenarioDriverTest, SlowdownWindowDepressesThroughputThenRestores) {
+  auto run = [](bool with_fault) {
+    auto workload = BuildMicroWorkload(SmallTraceOptions(), /*seed=*/11);
+    EXPECT_TRUE(workload.ok());
+    Engine engine(workload->topology, SmallConfig(Paradigm::kStatic));
+    EXPECT_TRUE(engine.Setup().ok());
+    if (with_fault) {
+      // Slow the whole cluster 32x for a window — far past saturation, so
+      // static (no reaction path) must visibly drop completed tuples while
+      // the window is open, and recover after it.
+      Scenario s;
+      for (NodeId n = 0; n < 4; ++n) {
+        s.events.push_back(scn::NodeSlowdown(Seconds(2), Seconds(2), n,
+                                             32.0));
+      }
+      ScenarioDriver driver(s, &engine, nullptr);
+      driver.Install();
+      engine.Start();
+      engine.RunFor(Seconds(6));
+    } else {
+      engine.Start();
+      engine.RunFor(Seconds(6));
+    }
+    return engine.metrics()->sink_count_in_window(Seconds(2), Seconds(4));
+  };
+  int64_t faulty = run(true);
+  int64_t healthy = run(false);
+  EXPECT_LT(faulty, healthy / 2);
+}
+
+TEST(ScenarioDriverTest, CrashEvacuatesAndRejoinRestores) {
+  auto workload = BuildMicroWorkload(SmallTraceOptions(), /*seed=*/11);
+  ASSERT_TRUE(workload.ok());
+  Engine engine(workload->topology, SmallConfig(Paradigm::kElastic));
+  ASSERT_TRUE(engine.Setup().ok());
+
+  const NodeId victim = 2;
+  ScenarioDriver driver(
+      scn::FailRecover(Seconds(3), Seconds(6), victim), &engine,
+      workload->keys);
+  driver.Install();
+  engine.Start();
+  engine.RunFor(Seconds(2));
+
+  auto cores_on_victim = [&]() {
+    int total = 0;
+    for (const auto& ex : engine.elastic_executors(workload->calculator)) {
+      total += ex->tasks_on(victim);
+    }
+    return total;
+  };
+  int before = cores_on_victim();
+  EXPECT_GT(before, 0) << "victim node should host tasks before the crash";
+
+  engine.RunFor(Seconds(5));  // Crash at t=3; several scheduler cycles.
+  EXPECT_EQ(cores_on_victim(), 0)
+      << "scheduler must evacuate the crashed node";
+  EXPECT_FALSE(engine.faults()->available(victim));
+
+  engine.RunFor(Seconds(5));  // Rejoin at t=9.
+  EXPECT_TRUE(engine.faults()->available(victim));
+  EXPECT_DOUBLE_EQ(engine.faults()->cpu_factor(victim), 1.0);
+}
+
+TEST(ScenarioDriverTest, IdenticalOverlappingWindowsLastWriterWins) {
+  auto workload = BuildMicroWorkload(SmallTraceOptions(), /*seed=*/11);
+  ASSERT_TRUE(workload.ok());
+  Engine engine(workload->topology, SmallConfig(Paradigm::kStatic));
+  ASSERT_TRUE(engine.Setup().ok());
+
+  // Two slowdown windows with IDENTICAL parameters: [1s,3s] and [2s,4s].
+  // The first window's expiry at t=3 must not heal the node — the second
+  // window owns it until t=4 (value equality can't tell them apart; the
+  // driver tracks ownership by event sequence).
+  Scenario s;
+  s.events.push_back(scn::NodeSlowdown(Seconds(1), Seconds(2), 0, 4.0));
+  s.events.push_back(scn::NodeSlowdown(Seconds(2), Seconds(2), 0, 4.0));
+  // A crash during a slowdown window: the slowdown's expiry at t=3 must not
+  // reset the crash factor either; only the rejoin heals the node.
+  s.events.push_back(scn::NodeSlowdown(Seconds(1), Seconds(2), 1, 8.0));
+  s.events.push_back(scn::NodeCrash(Seconds(2), 1, /*cpu_factor=*/8.0));
+  s.events.push_back(scn::NodeRejoin(Seconds(5), 1));
+  ScenarioDriver driver(s, &engine, nullptr);
+  driver.Install();
+
+  engine.Start();
+  engine.RunFor(Seconds(3) + Millis(500));  // t=3.5: first windows expired.
+  EXPECT_DOUBLE_EQ(engine.faults()->cpu_factor(0), 4.0);
+  EXPECT_DOUBLE_EQ(engine.faults()->cpu_factor(1), 8.0);
+  EXPECT_FALSE(engine.faults()->available(1));
+  engine.RunFor(Seconds(1));  // t=4.5: second window on node 0 expired.
+  EXPECT_DOUBLE_EQ(engine.faults()->cpu_factor(0), 1.0);
+  engine.RunFor(Seconds(1));  // t=5.5: node 1 rejoined.
+  EXPECT_DOUBLE_EQ(engine.faults()->cpu_factor(1), 1.0);
+  EXPECT_TRUE(engine.faults()->available(1));
+}
+
+// ---------------------------------------------------------------------------
+// Recovery metric.
+// ---------------------------------------------------------------------------
+
+TEST(RecoveryTest, MeasuresDipAndRecoveryPoint) {
+  TimeSeries tput(Seconds(1));
+  // Baseline 100/s for 5 s, dip to 20/s for 3 s, back to 100/s.
+  for (int s = 0; s < 5; ++s) tput.Add(Seconds(s), 100);
+  for (int s = 5; s < 8; ++s) tput.Add(Seconds(s), 20);
+  for (int s = 8; s < 12; ++s) tput.Add(Seconds(s), 100);
+
+  RecoveryStats r = MeasureRecovery(tput, 0, Seconds(5), Seconds(12), 0.9);
+  EXPECT_NEAR(r.baseline_tps, 100.0, 1e-9);
+  EXPECT_NEAR(r.trough_tps, 20.0, 1e-9);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_NEAR(r.time_to_recover_s, 3.0, 1e-9);
+}
+
+TEST(RecoveryTest, ReportsNonRecovery) {
+  TimeSeries tput(Seconds(1));
+  for (int s = 0; s < 5; ++s) tput.Add(Seconds(s), 100);
+  for (int s = 5; s < 10; ++s) tput.Add(Seconds(s), 10);
+  RecoveryStats r = MeasureRecovery(tput, 0, Seconds(5), Seconds(10), 0.9);
+  EXPECT_FALSE(r.recovered);
+  EXPECT_DOUBLE_EQ(r.time_to_recover_s, -1.0);
+}
+
+TEST(RecoveryTest, NoDipMeansInstantRecovery) {
+  TimeSeries tput(Seconds(1));
+  for (int s = 0; s < 10; ++s) tput.Add(Seconds(s), 100);
+  RecoveryStats r = MeasureRecovery(tput, 0, Seconds(5), Seconds(10), 0.9);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_DOUBLE_EQ(r.time_to_recover_s, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism regression: identical scenario -> byte-for-byte identical
+// metrics. Runs a deliberately adversarial mix (hotspot churn + straggler +
+// NIC fade + crash/rejoin) twice under the elastic paradigm.
+// ---------------------------------------------------------------------------
+
+std::string RunScenarioFingerprint() {
+  auto workload = BuildMicroWorkload(SmallTraceOptions(), /*seed=*/99);
+  EXPECT_TRUE(workload.ok());
+  Engine engine(workload->topology, SmallConfig(Paradigm::kElastic));
+  EXPECT_TRUE(engine.Setup().ok());
+
+  Scenario s;
+  s.name = "determinism-mix";
+  s.events.push_back(scn::ShuffleCadence(0, 30.0));
+  s.events.push_back(scn::HotspotOn(Seconds(1), 0.25, 16));
+  s.events.push_back(scn::RateStep(Seconds(1), 1.5));
+  s.events.push_back(scn::NodeSlowdown(Seconds(2), Seconds(2), 1, 4.0));
+  s.events.push_back(scn::NicDegrade(Seconds(2), Seconds(2), 3, 0.2,
+                                     Micros(300)));
+  s.events.push_back(scn::NodeCrash(Seconds(4), 2));
+  s.events.push_back(scn::HotspotOff(Seconds(5)));
+  s.events.push_back(scn::RateStep(Seconds(5), 1.0));
+  s.events.push_back(scn::NodeRejoin(Seconds(6), 2));
+  ScenarioDriver driver(s, &engine, workload->keys);
+  driver.Install();
+
+  engine.Start();
+  engine.RunFor(Seconds(3));
+  engine.ResetMetricsAfterWarmup();
+  engine.RunFor(Seconds(6));
+
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "sink=%lld lat_mean=%.9f lat_p99=%lld events=%llu fired=%lld "
+      "ops=%zu shuffles=%lld inter=%lld remote=%lld mig=%lld violations=%lld",
+      static_cast<long long>(engine.metrics()->sink_count()),
+      engine.LatencyHistogram().mean(),
+      static_cast<long long>(engine.LatencyHistogram().P99()),
+      static_cast<unsigned long long>(engine.sim()->events_executed()),
+      static_cast<long long>(driver.events_fired()),
+      engine.metrics()->elasticity_ops().size(),
+      static_cast<long long>(workload->keys->shuffles_applied()),
+      static_cast<long long>(
+          engine.net()->inter_node_bytes(Purpose::kInterOperator)),
+      static_cast<long long>(
+          engine.net()->inter_node_bytes(Purpose::kRemoteTask)),
+      static_cast<long long>(
+          engine.net()->inter_node_bytes(Purpose::kStateMigration)),
+      static_cast<long long>(engine.order_violations()));
+  return buf;
+}
+
+TEST(ScenarioDeterminismTest, IdenticalScenarioIdenticalMetrics) {
+  std::string first = RunScenarioFingerprint();
+  std::string second = RunScenarioFingerprint();
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace elasticutor

@@ -35,10 +35,34 @@ TEST(EventQueueTest, CancelSkipsEvent) {
   bool ran = false;
   EventId id = q.Push(10, [&]() { ran = true; });
   q.Push(20, []() {});
-  q.Cancel(id);
+  EXPECT_TRUE(q.Cancel(id));
   EXPECT_EQ(q.PeekTime(), 20);
   while (!q.empty()) q.Pop().fn();
   EXPECT_FALSE(ran);
+}
+
+TEST(EventQueueTest, CancelReportsLiveness) {
+  EventQueue q;
+  EventId id = q.Push(10, []() {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id)) << "double cancel must report failure";
+  EXPECT_FALSE(q.Cancel(9999)) << "unknown id must report failure";
+
+  EventId executed = q.Push(5, []() {});
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_FALSE(q.Cancel(executed)) << "cancelling an executed event is a "
+                                      "no-op that reports failure";
+}
+
+TEST(SimulatorTest, CancelReturnsWhetherEventWasPending) {
+  Simulator sim;
+  int fired = 0;
+  EventId id = sim.At(10, [&]() { ++fired; });
+  sim.At(20, [&]() { ++fired; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.Cancel(id));
 }
 
 TEST(SimulatorTest, RunUntilStopsAtBoundary) {
