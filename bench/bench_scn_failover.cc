@@ -10,10 +10,12 @@
 // scheduler sees the node's capacity go to zero and evacuates its cores
 // within a few scheduling cycles (time-to-rebalance ~3 s vs the full 15 s
 // fault window, p99 roughly an order of magnitude lower). The *undetected*
-// straggler is different and deliberate: the intra-executor balancer plans
-// by load share and assumes equal task speeds, so every paradigm rides out
-// the slowdown about equally — the scenario documents an open weakness
-// (per-task speed-aware balancing; see ROADMAP) rather than a win.
+// straggler gets no crash signal at all: the win there comes from
+// capacity-aware balancing — each task's service-rate EWMA exposes the
+// slow node, the intra-executor planner drains shards off it (watch
+// victim_busy_pct fall), and the scheduler's placement penalty keeps new
+// cores away. Static rides the slowdown out; RC can only dilute by
+// repartitioning keys among its pinned executors.
 #include "harness/experiment.h"
 #include "harness/scenario_run.h"
 
@@ -37,9 +39,13 @@ int main(int argc, char** argv) {
       scn::FailRecover(disturb_at, fault_len, victim),
   };
 
+  // victim_busy_pct: share of post-disturbance busy time spent on the
+  // victim node. A fair share is 100/8 = 12.5%; a blind paradigm *rises*
+  // above it during a straggler window (stretched service times), while
+  // capacity-aware balancing drains the node toward its real capacity.
   TablePrinter table({"scenario", "paradigm", "baseline_tps", "trough_tps",
                       "t_rebalance_s", "p99_pre_ms", "p99_post_ms",
-                      "post_tput"});
+                      "mean_post_ms", "post_tput", "victim_busy_pct"});
   table.PrintHeader();
 
   for (const Scenario& scenario : scenarios) {
@@ -76,7 +82,8 @@ int main(int argc, char** argv) {
                       Fmt(r.baseline_tps, 0), Fmt(r.recovery.trough_tps, 0),
                       Fmt(r.recovery.time_to_recover_s, 2),
                       Fmt(r.p99_pre_ms, 2), Fmt(r.p99_post_ms, 2),
-                      Fmt(r.post_tput, 0)});
+                      Fmt(r.mean_post_ms, 2), Fmt(r.post_tput, 0),
+                      Fmt(r.BusySharePct(victim), 1)});
     }
   }
   std::printf("\n(t_rebalance_s = seconds from fault onset until throughput "

@@ -216,13 +216,13 @@ std::string FmtInt(int64_t value) { return std::to_string(value); }
 
 void Banner(const std::string& experiment, const std::string& description) {
   Sink().experiment = experiment;
-  std::printf("==============================================================\n");
+  std::printf("============================================================\n");
   std::printf("%s — %s\n", experiment.c_str(), description.c_str());
   if (TimeScale() != 1.0) {
     std::printf("(durations scaled by ELASTICUTOR_BENCH_SCALE=%.2f)\n",
                 TimeScale());
   }
-  std::printf("==============================================================\n");
+  std::printf("============================================================\n");
   std::fflush(stdout);
 }
 

@@ -23,6 +23,23 @@ struct ScenarioPhaseResult {
   double mean_post_ms = 0.0;
   double post_tput = 0.0;
   RecoveryStats recovery;
+  // Busy time accrued per node over the disturbance + recovery window —
+  // where the cluster's processing actually happened. Fault benches report
+  // the victim node's share: a capacity-aware paradigm drains it, a blind
+  // one keeps feeding it.
+  std::vector<int64_t> post_busy_ns_by_node;
+
+  /// Percent of the post-window busy time spent on `node` (0 when nothing
+  /// ran anywhere).
+  double BusySharePct(int node) const {
+    double total = 0.0;
+    for (int64_t ns : post_busy_ns_by_node) total += static_cast<double>(ns);
+    if (total <= 0.0 ||
+        node >= static_cast<int>(post_busy_ns_by_node.size())) {
+      return 0.0;
+    }
+    return 100.0 * static_cast<double>(post_busy_ns_by_node[node]) / total;
+  }
 };
 
 /// `engine` must be Setup() but not Start()ed, with the scenario driver
@@ -40,9 +57,11 @@ inline ScenarioPhaseResult RunScenarioPhases(Engine* engine,
   r.p99_pre_ms = static_cast<double>(engine->LatencyHistogram().P99()) / 1e6;
 
   const SimTime disturb_at = engine->sim()->now();
-  engine->ResetMetricsAfterWarmup();  // Post-window gets its own histogram.
+  engine->ResetMetricsAfterWarmup();  // Post-window gets its own histogram
+                                      // and per-node busy attribution.
   engine->RunFor(post_window);
   r.p99_post_ms = static_cast<double>(engine->LatencyHistogram().P99()) / 1e6;
+  r.post_busy_ns_by_node = engine->metrics()->busy_ns_by_node();
   r.mean_post_ms = engine->LatencyHistogram().mean() / 1e6;
   r.post_tput = engine->MeasuredThroughput();
   r.recovery = MeasureRecovery(engine->metrics()->sink_throughput_series(),

@@ -67,7 +67,8 @@ void Histogram::Merge(const Histogram& other) {
 int64_t Histogram::Quantile(double q) const {
   if (count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  int64_t target = static_cast<int64_t>(q * static_cast<double>(count_ - 1)) + 1;
+  int64_t target =
+      static_cast<int64_t>(q * static_cast<double>(count_ - 1)) + 1;
   int64_t seen = 0;
   for (int i = 0; i < kMaxBuckets; ++i) {
     seen += buckets_[i];

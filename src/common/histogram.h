@@ -21,7 +21,9 @@ class Histogram {
   int64_t count() const { return count_; }
   int64_t min() const { return count_ == 0 ? 0 : min_; }
   int64_t max() const { return count_ == 0 ? 0 : max_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double mean() const {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
 
   /// Value at quantile q in [0, 1]; 0 if empty. Returned value is the
   /// representative midpoint of the bucket containing the quantile.

@@ -4,7 +4,8 @@
 
 namespace elasticutor {
 
-Rng::Rng(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+Rng::Rng(uint64_t seed, uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
   NextU32();
   state_ += seed;
   NextU32();

@@ -82,8 +82,10 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
 template <typename T>
 class Result {
  public:
-  Result(T value) : value_(std::move(value)) {}        // NOLINT(runtime/explicit)
-  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(runtime/explicit)
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {
     if (status_.ok()) {
       status_ = Status::Internal("Result constructed from OK status");
     }

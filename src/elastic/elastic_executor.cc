@@ -129,7 +129,8 @@ void ElasticExecutor::TaskStartNext(const TaskPtr& task) {
     if (task->pending.front().is_label()) {
       int label_id = task->pending.front().label_id;
       task->pending.pop_front();
-      rt_->sim()->After(0, [this, task, label_id]() { OnLabel(task, label_id); });
+      rt_->sim()->After(
+          0, [this, task, label_id]() { OnLabel(task, label_id); });
       continue;
     }
     if (task->outputs_outstanding >= rt_->config().task_output_credit) {
@@ -141,16 +142,23 @@ void ElasticExecutor::TaskStartNext(const TaskPtr& task) {
     --total_queued_;
     task->busy = true;
     const OperatorSpec& spec = rt_->topology().spec(op_);
-    SimDuration cost = SampleCost(spec, rt_->config(), t, &task->rng);
+    SimDuration nominal = SampleCost(spec, rt_->config(), t, &task->rng);
     // Injected node slowdown (straggler / degraded node) stretches the
     // actual service time on this task's node; busy_ns includes it, so the
     // scheduler's µ estimate drops and it compensates with capacity.
-    cost = static_cast<SimDuration>(
-        static_cast<double>(cost) * rt_->faults()->cpu_factor(task->node));
+    SimDuration cost = static_cast<SimDuration>(
+        static_cast<double>(nominal) * rt_->faults()->cpu_factor(task->node));
     // Backend-specific per-tuple state-access cost (e.g. the external KV's
     // read + write round trips, with their bytes attributed to the network).
-    cost += backend_->OnTupleAccess(task->node);
+    // It is node-independent, so it counts as nominal work below.
+    SimDuration access = backend_->OnTupleAccess(task->node);
+    cost += access;
     metrics_.busy_ns += cost;
+    // Per-task service-rate statistics for the capacity-aware balancer, and
+    // per-node busy attribution for the bench/scenario layer.
+    task->work_ns += nominal + access;
+    task->busy_ns += cost;
+    rt_->metrics()->OnBusy(task->node, cost);
     rt_->sim()->After(cost, [this, task, t]() {
       task->busy = false;
       OnProcessingComplete(task, t);
@@ -309,10 +317,8 @@ Status ElasticExecutor::RemoveCore(NodeId node, EventFn done) {
     // concurrent removal could drain a reassignment's destination).
     return Status::FailedPrecondition("executor transition in progress");
   }
-  victim->draining = true;
-  ++removals_in_progress_;
-
-  // Evacuate all its shards to the least-loaded remaining tasks.
+  // Evacuate all its shards to the least-loaded remaining tasks (normalized
+  // by task speed, so a slow surviving task is not handed a fair share).
   std::vector<int> shards;
   for (int s = 0; s < num_shards_; ++s) {
     if (shard_task_[s] == victim->id && !shard_in_transition_[s]) {
@@ -322,13 +328,20 @@ Status ElasticExecutor::RemoveCore(NodeId node, EventFn done) {
   std::vector<double> slot_load(tasks_.size(), 0.0);
   std::vector<bool> allowed(tasks_.size(), false);
   for (const auto& t : tasks_) {
-    if (t && !t->draining) allowed[t->id] = true;
+    if (t && !t->draining && t->id != victim->id) allowed[t->id] = true;
   }
   for (int s = 0; s < num_shards_; ++s) {
     if (shard_task_[s] >= 0) slot_load[shard_task_[s]] += shard_load_[s];
   }
-  auto moves = balance::PlanEvacuation(shards, shard_load_, &slot_load,
-                                       victim->id, allowed);
+  std::vector<double> capacity = TaskCapacities();
+  auto plan = balance::PlanEvacuation(
+      shards, shard_load_, &slot_load, victim->id, allowed,
+      rt_->config().balancer.capacity_aware ? &capacity : nullptr);
+  if (!plan.ok()) return plan.status();
+  std::vector<balance::Move> moves = std::move(plan).value();
+
+  victim->draining = true;
+  ++removals_in_progress_;
 
   auto remaining = std::make_shared<int>(static_cast<int>(moves.size()));
   EventFn shared_done = [this, victim, remaining, done]() {
@@ -510,6 +523,7 @@ void ElasticExecutor::RunBalanceRound() {
     shard_load_[s] = cfg.shard_load_alpha * rate +
                      (1.0 - cfg.shard_load_alpha) * shard_load_[s];
   }
+  RefreshTaskSpeeds();
   if (reassigns_in_progress_ > 0 || removals_in_progress_ > 0) return;
   if (num_tasks() <= 1) return;
 
@@ -535,8 +549,10 @@ void ElasticExecutor::RunBalanceRound() {
     frozen[i] = !tasks_[i] || tasks_[i]->draining;
   }
   std::vector<int> assignment = shard_task_;
+  std::vector<double> capacity = TaskCapacities();
   balance::PlanMoves(loads, &assignment, static_cast<int>(tasks_.size()),
-                     cfg.theta, cfg.max_moves_per_round, &frozen);
+                     cfg.theta, cfg.max_moves_per_round, &frozen,
+                     cfg.capacity_aware ? &capacity : nullptr);
   // Execute the final-assignment diff: one reassignment per shard, even if
   // the planner routed a shard through several intermediate slots.
   for (int s = 0; s < num_shards_; ++s) {
@@ -546,16 +562,60 @@ void ElasticExecutor::RunBalanceRound() {
   }
 }
 
+void ElasticExecutor::RefreshTaskSpeeds() {
+  const BalancerConfig& cfg = rt_->config().balancer;
+  for (const auto& t : tasks_) {
+    if (!t) continue;
+    int64_t dwork = t->work_ns - t->work_prev_ns;
+    int64_t dbusy = t->busy_ns - t->busy_prev_ns;
+    t->work_prev_ns = t->work_ns;
+    t->busy_prev_ns = t->busy_ns;
+    // Without a meaningful busy window there is no observation — idleness
+    // is not evidence of slowness. Drift the estimate toward nominal
+    // instead, so a task that was fully drained (zero shards => zero busy
+    // time, forever) gets probed with load again after its node heals; a
+    // still-slow node pushes the estimate right back down on the next
+    // observation.
+    if (dbusy < cfg.task_speed_min_busy_ns || dwork <= 0) {
+      t->speed += cfg.task_speed_recovery * (1.0 - t->speed);
+      continue;
+    }
+    double observed = static_cast<double>(dwork) / static_cast<double>(dbusy);
+    t->speed = std::max(1e-3, cfg.task_speed_alpha * observed +
+                                  (1.0 - cfg.task_speed_alpha) * t->speed);
+  }
+}
+
+std::vector<double> ElasticExecutor::TaskCapacities() const {
+  std::vector<double> capacity(tasks_.size(), 0.0);
+  for (const auto& t : tasks_) {
+    if (t) capacity[t->id] = t->speed;
+  }
+  return capacity;
+}
+
+double ElasticExecutor::TaskSpeedOn(NodeId node) const {
+  double speed = 1.0;
+  for (const auto& t : tasks_) {
+    if (t && !t->draining && t->node == node) speed = std::min(speed, t->speed);
+  }
+  return speed;
+}
+
 double ElasticExecutor::CurrentImbalance() const {
-  std::vector<double> loads;
+  std::vector<double> loads, caps;
   std::vector<double> by_slot(tasks_.size(), 0.0);
   for (int s = 0; s < num_shards_; ++s) {
     if (shard_task_[s] >= 0) by_slot[shard_task_[s]] += shard_load_[s];
   }
   for (const auto& t : tasks_) {
-    if (t && !t->draining) loads.push_back(by_slot[t->id]);
+    if (t && !t->draining) {
+      loads.push_back(by_slot[t->id]);
+      caps.push_back(t->speed);
+    }
   }
-  return balance::ImbalanceFactor(loads);
+  return balance::ImbalanceFactor(
+      loads, rt_->config().balancer.capacity_aware ? &caps : nullptr);
 }
 
 int ElasticExecutor::shards_on_task_count(NodeId node) const {

@@ -105,8 +105,14 @@ class ElasticExecutor : public ExecutorBase {
   /// a balanced but quiescent executor).
   void set_balancing_frozen(bool frozen) { balancing_frozen_ = frozen; }
 
-  /// Current imbalance factor δ over active tasks.
+  /// Current imbalance factor δ over active tasks (capacity-normalized when
+  /// capacity-aware balancing is on).
   double CurrentImbalance() const;
+
+  /// Smoothed service-rate estimate (1.0 = nominal) of the slowest active
+  /// task on `node`; 1.0 when the node hosts no task. Tests/benches use it
+  /// to observe straggler detection.
+  double TaskSpeedOn(NodeId node) const;
 
   // ---- Introspection (tests/benches) ----
   int shards_on_task_count(NodeId node) const;
@@ -132,6 +138,15 @@ class ElasticExecutor : public ExecutorBase {
     int outputs_outstanding = 0;
     std::deque<QueueItem> pending;
     Rng rng;
+    // Service-rate statistics: nominal (unstretched) work executed vs the
+    // wall-clock busy time it actually took on this task's node. Their
+    // ratio, EWMA-smoothed, is the task's relative capacity for the
+    // balancer (1.0 = nominal speed, 0.25 = a 4x straggler).
+    int64_t work_ns = 0;       // Cumulative nominal cost executed.
+    int64_t busy_ns = 0;       // Cumulative wall-clock busy time.
+    int64_t work_prev_ns = 0;  // Snapshots at the last balance round.
+    int64_t busy_prev_ns = 0;
+    double speed = 1.0;        // EWMA of work/busy.
   };
   using TaskPtr = std::shared_ptr<Task>;
 
@@ -172,6 +187,12 @@ class ElasticExecutor : public ExecutorBase {
   ShardId global_shard(int local) const { return first_shard_ + local; }
   const TaskPtr& task(int id) const { return tasks_.at(id); }
   double EffectiveCostNs() const;
+
+  /// Refreshes every task's service-rate EWMA from the cost counters
+  /// accumulated since the last balance round.
+  void RefreshTaskSpeeds();
+  /// Per-slot capacities (task speeds; 0 for empty slots) for the planner.
+  std::vector<double> TaskCapacities() const;
 
   ShardId first_shard_;
   int num_shards_;

@@ -3,35 +3,58 @@
 #include <algorithm>
 #include <limits>
 
-#include "common/status.h"
-
 namespace elasticutor {
 namespace balance {
 
-double ImbalanceFactor(const std::vector<double>& slot_load) {
+namespace {
+
+// Capacity of `slot` under an optional capacity vector (1.0 when null).
+inline double CapOf(const std::vector<double>* capacity, int slot) {
+  return capacity == nullptr ? 1.0 : (*capacity)[slot];
+}
+
+}  // namespace
+
+double ImbalanceFactor(const std::vector<double>& slot_load,
+                       const std::vector<double>* capacity) {
   if (slot_load.empty()) return 1.0;
-  double max = 0.0, sum = 0.0;
-  for (double load : slot_load) {
-    max = std::max(max, load);
-    sum += load;
+  ELASTICUTOR_CHECK(capacity == nullptr ||
+                    capacity->size() == slot_load.size());
+  double max_norm = 0.0, sum = 0.0, cap_sum = 0.0;
+  for (size_t i = 0; i < slot_load.size(); ++i) {
+    double cap = CapOf(capacity, static_cast<int>(i));
+    if (cap <= 0.0) continue;  // Zero-capacity slots are out of the balance.
+    max_norm = std::max(max_norm, slot_load[i] / cap);
+    sum += slot_load[i];
+    cap_sum += cap;
   }
-  if (sum <= 0.0) return 1.0;
-  double avg = sum / static_cast<double>(slot_load.size());
-  return max / avg;
+  if (sum <= 0.0 || cap_sum <= 0.0) return 1.0;
+  // In the balanced state every slot carries load proportional to its
+  // capacity, i.e. a normalized load of sum/cap_sum — the capacity-weighted
+  // average. With unit capacities this is the paper's max/avg.
+  return max_norm / (sum / cap_sum);
 }
 
 std::vector<Move> PlanMoves(const std::vector<double>& shard_load,
                             std::vector<int>* assignment, int num_slots,
                             double theta, int max_moves,
-                            const std::vector<bool>* frozen) {
+                            const std::vector<bool>* frozen,
+                            const std::vector<double>* capacity) {
   ELASTICUTOR_CHECK(assignment != nullptr);
   ELASTICUTOR_CHECK(assignment->size() == shard_load.size());
+  ELASTICUTOR_CHECK(capacity == nullptr ||
+                    static_cast<int>(capacity->size()) == num_slots);
   std::vector<Move> moves;
   if (num_slots <= 1) return moves;
 
-  // Effective slot set: frozen slots are excluded from the balance.
+  // Effective slot set: frozen and zero-capacity slots are excluded from
+  // the balance.
   auto is_frozen = [&](int slot) {
-    return frozen != nullptr && (*frozen)[slot];
+    if (frozen != nullptr && (*frozen)[slot]) return true;
+    return CapOf(capacity, slot) <= 0.0;
+  };
+  auto norm = [&](double load, int slot) {
+    return load / CapOf(capacity, slot);
   };
 
   std::vector<double> slot_load(num_slots, 0.0);
@@ -42,33 +65,39 @@ std::vector<Move> PlanMoves(const std::vector<double>& shard_load,
   }
 
   int active = 0;
-  double total = 0.0;
+  double total = 0.0, total_cap = 0.0;
   for (int i = 0; i < num_slots; ++i) {
     if (!is_frozen(i)) {
       ++active;
       total += slot_load[i];
+      total_cap += CapOf(capacity, i);
     }
   }
-  if (active <= 1 || total <= 0.0) return moves;
-  const double avg = total / active;
+  if (active <= 1 || total <= 0.0 || total_cap <= 0.0) return moves;
+  // Balanced-state normalized load (capacity-weighted average).
+  const double avg = total / total_cap;
 
   while (static_cast<int>(moves.size()) < max_moves) {
-    // Most- and least-loaded active slots.
+    // Most- and least-loaded active slots by normalized load.
     int src = -1, dst = -1;
     for (int i = 0; i < num_slots; ++i) {
       if (is_frozen(i)) continue;
-      if (src < 0 || slot_load[i] > slot_load[src]) src = i;
-      if (dst < 0 || slot_load[i] < slot_load[dst]) dst = i;
+      if (src < 0 || norm(slot_load[i], i) > norm(slot_load[src], src)) {
+        src = i;
+      }
+      if (dst < 0 || norm(slot_load[i], i) < norm(slot_load[dst], dst)) {
+        dst = i;
+      }
     }
-    double delta = slot_load[src] / avg;
+    double delta = norm(slot_load[src], src) / avg;
     if (delta <= theta || src == dst) break;
 
-    // Highest load among slots other than src and dst (for the δ' of a
-    // candidate move).
+    // Highest normalized load among slots other than src and dst (for the
+    // δ' of a candidate move).
     double max_other = 0.0;
     for (int i = 0; i < num_slots; ++i) {
       if (is_frozen(i) || i == src || i == dst) continue;
-      max_other = std::max(max_other, slot_load[i]);
+      max_other = std::max(max_other, norm(slot_load[i], i));
     }
 
     // Pick the shard on src whose move to dst reduces δ the most.
@@ -78,15 +107,15 @@ std::vector<Move> PlanMoves(const std::vector<double>& shard_load,
       if ((*assignment)[s] != src) continue;
       double w = shard_load[s];
       if (w <= 0.0) continue;
-      double new_max =
-          std::max({max_other, slot_load[src] - w, slot_load[dst] + w});
+      double new_max = std::max({max_other, norm(slot_load[src] - w, src),
+                                 norm(slot_load[dst] + w, dst)});
       if (new_max < best_new_max) {
         best_new_max = new_max;
         best_shard = static_cast<int>(s);
       }
     }
-    if (best_shard < 0) break;                    // src has no movable load.
-    if (best_new_max >= slot_load[src]) break;    // No move improves δ.
+    if (best_shard < 0) break;  // src has no movable load.
+    if (best_new_max >= norm(slot_load[src], src)) break;  // No improvement.
 
     slot_load[src] -= shard_load[best_shard];
     slot_load[dst] += shard_load[best_shard];
@@ -96,12 +125,14 @@ std::vector<Move> PlanMoves(const std::vector<double>& shard_load,
   return moves;
 }
 
-std::vector<Move> PlanEvacuation(const std::vector<int>& shards,
-                                 const std::vector<double>& shard_load,
-                                 std::vector<double>* slot_load, int from_slot,
-                                 const std::vector<bool>& allowed) {
+Result<std::vector<Move>> PlanEvacuation(
+    const std::vector<int>& shards, const std::vector<double>& shard_load,
+    std::vector<double>* slot_load, int from_slot,
+    const std::vector<bool>& allowed, const std::vector<double>* capacity) {
   ELASTICUTOR_CHECK(slot_load != nullptr);
   ELASTICUTOR_CHECK(slot_load->size() == allowed.size());
+  ELASTICUTOR_CHECK(capacity == nullptr ||
+                    capacity->size() == allowed.size());
   std::vector<int> order = shards;
   std::sort(order.begin(), order.end(), [&](int a, int b) {
     return shard_load[a] > shard_load[b];  // Heaviest first (FFD).
@@ -109,14 +140,24 @@ std::vector<Move> PlanEvacuation(const std::vector<int>& shards,
   std::vector<Move> moves;
   moves.reserve(order.size());
   for (int shard : order) {
+    // Destination with the lowest normalized load after receiving the
+    // shard; zero-capacity slots can never receive.
     int best = -1;
+    double best_norm = std::numeric_limits<double>::infinity();
     for (size_t i = 0; i < slot_load->size(); ++i) {
       if (!allowed[i] || static_cast<int>(i) == from_slot) continue;
-      if (best < 0 || (*slot_load)[i] < (*slot_load)[best]) {
+      double cap = CapOf(capacity, static_cast<int>(i));
+      if (cap <= 0.0) continue;
+      double after = ((*slot_load)[i] + shard_load[shard]) / cap;
+      if (after < best_norm) {
+        best_norm = after;
         best = static_cast<int>(i);
       }
     }
-    ELASTICUTOR_CHECK_MSG(best >= 0, "no destination slot for evacuation");
+    if (best < 0) {
+      return Status::FailedPrecondition(
+          "no destination slot for evacuation");
+    }
     (*slot_load)[best] += shard_load[shard];
     moves.push_back(Move{shard, from_slot, best});
   }

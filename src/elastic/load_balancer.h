@@ -10,9 +10,21 @@
 // The move count is what the heuristic minimizes implicitly: shards are only
 // ever moved off the most-loaded slot, and the loop stops as soon as the
 // imbalance target is met.
+//
+// Capacity model: the paper's formulation assumes homogeneous slot speeds.
+// Every planner entry point optionally takes per-slot capacities (relative
+// service rates; 1.0 = nominal). With capacities, the quantity balanced is
+// the *normalized* load load_i / cap_i — the wall-clock seconds of work per
+// second a slot actually faces — so a slot on a 4x-straggler node (capacity
+// 0.25) sheds shards even when raw loads look balanced. A capacity <= 0 is
+// treated like a frozen slot (it neither gives nor receives; evacuation
+// never targets it). A null capacity vector means all slots weigh 1 and the
+// heuristic degenerates to the paper's.
 #pragma once
 
 #include <vector>
+
+#include "common/status.h"
 
 namespace elasticutor {
 namespace balance {
@@ -23,25 +35,34 @@ struct Move {
   int to;
 };
 
-/// Plans moves until max/avg <= theta (or no move improves, or max_moves).
-/// `assignment` maps shard -> slot and is updated in place to the planned
-/// final assignment. Slots listed in `frozen` (same size as num_slots)
-/// neither give nor receive shards.
+/// Plans moves until max/avg normalized load <= theta (or no move improves,
+/// or max_moves). `assignment` maps shard -> slot and is updated in place to
+/// the planned final assignment. Slots listed in `frozen` (same size as
+/// num_slots) neither give nor receive shards; so do slots whose `capacity`
+/// entry is <= 0.
 std::vector<Move> PlanMoves(const std::vector<double>& shard_load,
                             std::vector<int>* assignment, int num_slots,
                             double theta, int max_moves,
-                            const std::vector<bool>* frozen = nullptr);
+                            const std::vector<bool>* frozen = nullptr,
+                            const std::vector<double>* capacity = nullptr);
 
 /// Plans the evacuation of `shards` (e.g. of a task being removed):
-/// assigns each, heaviest first, to the least-loaded allowed slot.
-/// `slot_load` is updated in place. Returns shard -> destination slot pairs.
-std::vector<Move> PlanEvacuation(const std::vector<int>& shards,
-                                 const std::vector<double>& shard_load,
-                                 std::vector<double>* slot_load, int from_slot,
-                                 const std::vector<bool>& allowed);
+/// assigns each, heaviest first, to the allowed slot with the lowest
+/// resulting normalized load. `slot_load` is updated in place. Returns
+/// shard -> destination slot pairs, or FailedPrecondition when no allowed
+/// destination slot exists (e.g. a full-cluster fault) — the caller degrades
+/// gracefully instead of aborting.
+Result<std::vector<Move>> PlanEvacuation(
+    const std::vector<int>& shards, const std::vector<double>& shard_load,
+    std::vector<double>* slot_load, int from_slot,
+    const std::vector<bool>& allowed,
+    const std::vector<double>* capacity = nullptr);
 
-/// max/avg over slots; 1.0 when all loads are zero or there are no slots.
-double ImbalanceFactor(const std::vector<double>& slot_load);
+/// max/avg over per-slot normalized loads (load_i / cap_i); 1.0 when all
+/// loads are zero or there are no slots. Without capacities this is the
+/// paper's δ = max load / avg load.
+double ImbalanceFactor(const std::vector<double>& slot_load,
+                       const std::vector<double>* capacity = nullptr);
 
 }  // namespace balance
 }  // namespace elasticutor

@@ -66,6 +66,21 @@ class EngineMetrics {
 
   void OnElasticityOp(const ElasticityOp& op) { ops_.push_back(op); }
 
+  /// Attributes task busy time to the node it ran on (straggler/failover
+  /// scenarios report where the cluster's processing actually happened).
+  void OnBusy(int32_t node, SimDuration ns) {
+    if (node >= static_cast<int32_t>(busy_ns_by_node_.size())) {
+      busy_ns_by_node_.resize(node + 1, 0);
+    }
+    busy_ns_by_node_[node] += ns;
+  }
+
+  /// Cumulative busy ns per node since the last warm-up reset. Nodes that
+  /// never ran a task may be absent (treat as zero).
+  const std::vector<int64_t>& busy_ns_by_node() const {
+    return busy_ns_by_node_;
+  }
+
   int64_t sink_count() const { return sink_count_; }
   const Histogram& latency() const { return latency_; }
   const TimeSeries& sink_throughput_series() const { return sink_throughput_; }
@@ -90,6 +105,7 @@ class EngineMetrics {
     sink_count_ = 0;
     latency_.Reset();
     ops_.clear();
+    busy_ns_by_node_.clear();
   }
 
  private:
@@ -99,6 +115,7 @@ class EngineMetrics {
   TimeSeries sink_latency_sum_;
   TimeSeries sink_latency_count_;
   std::vector<ElasticityOp> ops_;
+  std::vector<int64_t> busy_ns_by_node_;
 };
 
 /// Checks that tuples of the same key are processed in arrival order at each

@@ -69,6 +69,7 @@ void SingleTaskExecutor::StartNext() {
   cost = static_cast<SimDuration>(
       static_cast<double>(cost) * rt_->faults()->cpu_factor(home_node_));
   metrics_.busy_ns += cost;
+  rt_->metrics()->OnBusy(home_node_, cost);
   rt_->sim()->After(cost, [this, t]() { OnProcessingComplete(t); });
 }
 

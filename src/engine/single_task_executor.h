@@ -23,7 +23,9 @@ class SingleTaskExecutor : public ExecutorBase {
 
   void OnTupleArrive(Tuple t) override;
   bool CanAccept() const override;
-  int64_t queued() const override { return static_cast<int64_t>(queue_.size()); }
+  int64_t queued() const override {
+    return static_cast<int64_t>(queue_.size());
+  }
 
   /// True when the input queue is empty and no tuple is being processed
   /// (drain barrier of the RC repartitioning protocol).

@@ -33,6 +33,13 @@ struct RcConfig {
   /// Whether the controller may also change the number of executors per
   /// operator (operator scaling) using the shared performance model.
   bool enable_rescale = true;
+
+  /// Capacity-aware repartitioning: weight the shared balancing heuristic
+  /// by per-executor capacities derived from the fault plane's node CPU
+  /// factors, so key repartitioning dilutes load away from straggler nodes
+  /// (RC's executors cannot move, so dilution is its only reaction). Off =
+  /// the homogeneous baseline (kept for ablation).
+  bool capacity_aware = true;
 };
 
 }  // namespace elasticutor

@@ -17,8 +17,9 @@ RcController::RcController(Runtime* rt, const Cluster* cluster,
     state.lambda = Ewma(0.5);
     state.mu = Ewma(0.5);
     const OperatorSpec& spec = rt_->topology().spec(op);
-    state.mu.Add(1e9 /
-                 static_cast<double>(std::max<SimDuration>(spec.mean_cost_ns, 1)));
+    double cost_ns =
+        static_cast<double>(std::max<SimDuration>(spec.mean_cost_ns, 1));
+    state.mu.Add(1e9 / cost_ns);
     ops_.push_back(std::move(state));
   }
 }
@@ -27,6 +28,15 @@ std::shared_ptr<SingleTaskExecutor> RcController::exec(
     OperatorId op, ExecutorIndex index) const {
   return std::static_pointer_cast<SingleTaskExecutor>(
       rt_->executor(op, index));
+}
+
+std::vector<double> RcController::ExecutorCapacities(OperatorId op) const {
+  std::vector<double> caps(rt_->executors(op).size(), 1.0);
+  for (size_t e = 0; e < caps.size(); ++e) {
+    NodeId node = exec(op, static_cast<ExecutorIndex>(e))->home_node();
+    caps[e] = CoreSpeed(rt_->faults()->cpu_factor(node));
+  }
+  return caps;
 }
 
 void RcController::Start() {
@@ -49,8 +59,8 @@ void RcController::MeasureInterval(SimDuration dt) {
     }
     s.interval_load.assign(routed.size(), 0.0);
     for (size_t i = 0; i < routed.size(); ++i) {
-      s.interval_load[i] =
-          static_cast<double>(std::max<int64_t>(0, routed[i] - s.prev_routed[i]));
+      int64_t delta = std::max<int64_t>(0, routed[i] - s.prev_routed[i]);
+      s.interval_load[i] = static_cast<double>(delta);
       s.prev_routed[i] = routed[i];
     }
 
@@ -122,13 +132,17 @@ void RcController::RunOnce() {
   if (chosen < 0) {
     double worst = cfg.imbalance_threshold;
     for (auto& s : ops_) {
-      // Per-executor offered load from the interval's shard loads.
+      // Per-executor offered load from the interval's shard loads,
+      // normalized by fault-plane-derived executor capacities: a straggler
+      // node's executors look overloaded even when raw shares are equal.
       const auto& map = rt_->partition(s.op)->map();
       std::vector<double> loads(rt_->executors(s.op).size(), 0.0);
       for (size_t shard = 0; shard < s.interval_load.size(); ++shard) {
         loads[map[shard]] += s.interval_load[shard];
       }
-      double delta = balance::ImbalanceFactor(loads);
+      std::vector<double> caps = ExecutorCapacities(s.op);
+      double delta = balance::ImbalanceFactor(
+          loads, cfg.capacity_aware ? &caps : nullptr);
       if (delta > worst) {
         worst = delta;
         chosen = s.op;
@@ -180,6 +194,7 @@ Status RcController::ProbeMoveShard(OperatorId op, ShardId shard,
 
 Status RcController::StartRepartition(OperatorId op, int new_count) {
   OperatorPartition* part = rt_->partition(op);
+  const RcConfig& cfg = rt_->config().rc;
   const int old_count = static_cast<int>(rt_->executors(op).size());
   new_count = std::max(1, new_count);
 
@@ -194,11 +209,53 @@ Status RcController::StartRepartition(OperatorId op, int new_count) {
     }
   }
 
+  // Pick nodes for executors beyond old_count before planning, so the
+  // planner sees their capacities. Placement prefers the fastest node with
+  // a free core (fault-plane CPU factor): scale-out avoids stragglers.
+  std::vector<NodeId> grow_nodes;
+  {
+    std::vector<int> free(cluster_->num_nodes(), 0);
+    for (int i = 0; i < cluster_->num_nodes(); ++i) {
+      free[i] = ledger_->FreeOn(i);
+    }
+    for (int e = old_count; e < new_count; ++e) {
+      NodeId node = -1;
+      for (int i = 0; i < cluster_->num_nodes(); ++i) {
+        NodeId candidate = (e + i) % cluster_->num_nodes();
+        if (free[candidate] <= 0) continue;
+        if (node < 0 ||
+            (cfg.capacity_aware &&
+             rt_->faults()->cpu_factor(candidate) <
+                 rt_->faults()->cpu_factor(node))) {
+          node = candidate;
+        }
+        if (!cfg.capacity_aware) break;  // Baseline: first fit.
+      }
+      if (node < 0) {
+        return Status::ResourceExhausted("no free core for new RC executor");
+      }
+      --free[node];
+      grow_nodes.push_back(node);
+    }
+  }
+
+  // Per-slot capacities from the fault plane: an executor pinned to a
+  // straggler node serves at 1/cpu_factor of nominal speed.
+  int slots = std::max(old_count, new_count);
+  std::vector<double> capacity = ExecutorCapacities(op);
+  capacity.resize(slots, 1.0);
+  for (int e = old_count; e < slots; ++e) {
+    NodeId node = grow_nodes[e - old_count];
+    capacity[e] = CoreSpeed(rt_->faults()->cpu_factor(node));
+  }
+  const std::vector<double>* caps = cfg.capacity_aware ? &capacity : nullptr;
+
   // Plan the new map: evacuate executors beyond new_count, then rebalance.
   std::vector<int> assignment = part->map();
-  int slots = std::max(old_count, new_count);
   std::vector<double> slot_load(slots, 0.0);
-  for (int s = 0; s < num_shards; ++s) slot_load[assignment[s]] += shard_load[s];
+  for (int s = 0; s < num_shards; ++s) {
+    slot_load[assignment[s]] += shard_load[s];
+  }
 
   if (new_count < old_count) {
     std::vector<bool> allowed(slots, false);
@@ -209,13 +266,17 @@ Status RcController::StartRepartition(OperatorId op, int new_count) {
         if (assignment[s] == victim) owned.push_back(s);
       }
       auto evac = balance::PlanEvacuation(owned, shard_load, &slot_load,
-                                          victim, allowed);
-      for (const auto& mv : evac) assignment[mv.shard] = mv.to;
+                                          victim, allowed, caps);
+      if (!evac.ok()) return evac.status();
+      for (const auto& mv : *evac) assignment[mv.shard] = mv.to;
     }
   }
+  std::vector<double> plan_capacity(capacity.begin(),
+                                    capacity.begin() + new_count);
   balance::PlanMoves(shard_load, &assignment, new_count,
-                     rt_->config().rc.imbalance_threshold,
-                     /*max_moves=*/256);
+                     cfg.imbalance_threshold,
+                     /*max_moves=*/256, /*frozen=*/nullptr,
+                     caps != nullptr ? &plan_capacity : nullptr);
   // One sequential reassignment per shard whose final owner changed.
   std::vector<balance::Move> moves;
   for (int s = 0; s < num_shards; ++s) {
@@ -231,17 +292,7 @@ Status RcController::StartRepartition(OperatorId op, int new_count) {
   // routing cannot reach them until the per-move map updates land.
   auto executors = rt_->executors(op);
   for (int e = old_count; e < new_count; ++e) {
-    NodeId node = -1;
-    for (int i = 0; i < cluster_->num_nodes(); ++i) {
-      NodeId candidate = (e + i) % cluster_->num_nodes();
-      if (ledger_->FreeOn(candidate) > 0) {
-        node = candidate;
-        break;
-      }
-    }
-    if (node < 0) {
-      return Status::ResourceExhausted("no free core for new RC executor");
-    }
+    NodeId node = grow_nodes[e - old_count];
     ELASTICUTOR_CHECK(ledger_->Acquire(node, MakeExecutorId(op, e)) >= 0);
     auto ex = std::make_shared<SingleTaskExecutor>(rt_, op, e, node);
     executors.push_back(ex);

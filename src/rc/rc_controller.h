@@ -85,6 +85,9 @@ class RcController {
 
   std::shared_ptr<SingleTaskExecutor> exec(OperatorId op,
                                            ExecutorIndex index) const;
+  /// Per-executor capacities (1/cpu_factor of the home node) from the fault
+  /// plane — the read path that makes repartitioning straggler-aware.
+  std::vector<double> ExecutorCapacities(OperatorId op) const;
   void MeasureInterval(SimDuration dt);
   Status StartRepartition(OperatorId op, int new_count);
   void DrainPoll();

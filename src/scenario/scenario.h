@@ -49,7 +49,7 @@ const char* ScenarioEventTypeName(ScenarioEventType type);
 struct ScenarioEvent {
   ScenarioEventType type = ScenarioEventType::kRateStep;
   SimTime at = 0;
-  SimDuration duration = 0;  // Window length (ramp/slowdown/NIC; sine: 0 = forever).
+  SimDuration duration = 0;  // Window (ramp/slowdown/NIC; sine: 0 = forever).
 
   // Rate.
   double rate_factor = 1.0;   // Step target / ramp end.

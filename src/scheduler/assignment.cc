@@ -18,12 +18,25 @@ struct WorkingState {
   std::vector<int> free_cores;      // Per node.
 };
 
+// Penalty (in cost bytes) for allocating a core on a slow node: a node at
+// speed 1/f forfeits (f - 1) nominal cores' worth of work, priced against
+// the executor's state size so it stays commensurable with migration cost
+// (the +1 keeps the preference strict even for stateless executors).
+double SlownessPenalty(const AssignmentInput& in, int node, int j) {
+  if (in.node_speed.empty()) return 0.0;
+  double speed = in.node_speed[node];
+  if (speed >= 1.0 || speed <= 0.0) return 0.0;
+  return (1.0 / speed - 1.0) * (in.state_bytes[j] + 1.0);
+}
+
 double CostAlloc(const AssignmentInput& in, const WorkingState& w, int node,
                  int j) {
   int xj = w.total[j];
-  if (xj <= 0) return 0.0;
+  double penalty = SlownessPenalty(in, node, j);
+  if (xj <= 0) return penalty;
   return in.state_bytes[j] * (xj - w.x[node][j]) /
-         (static_cast<double>(xj) * (xj + 1));
+             (static_cast<double>(xj) * (xj + 1)) +
+         penalty;
 }
 
 double CostDealloc(const AssignmentInput& in, const WorkingState& w, int node,

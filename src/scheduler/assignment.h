@@ -31,6 +31,11 @@ struct AssignmentInput {
   std::vector<double> data_intensity;      // Bytes/s per core.
   std::vector<std::vector<int>> current;   // x̃[node][executor].
   double phi = 512.0 * 1024.0;             // Initial φ̃.
+  /// Relative per-core speed of each node (perf_model.h CoreSpeed of the
+  /// fault plane's cpu_factor; 1 = nominal). Empty = all nominal. The
+  /// greedy penalizes allocating on slow nodes, so scale-out placement
+  /// avoids stragglers unless migration savings dominate.
+  std::vector<double> node_speed;
 };
 
 struct AssignmentOutput {

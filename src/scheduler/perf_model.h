@@ -22,6 +22,14 @@ struct ExecutorDemand {
   double mu = 1.0;      // Per-core service rate, tuples/s.
 };
 
+/// Relative capacity of one core on a node with service-time multiplier
+/// `cpu_factor` (the NodeFaultPlane read path): a core on a 4x straggler
+/// node sustains 0.25x the nominal per-core service rate µ, so it is worth
+/// a quarter core to the placement layer.
+inline double CoreSpeed(double cpu_factor) {
+  return 1.0 / (cpu_factor > 1e-6 ? cpu_factor : 1e-6);
+}
+
 /// Erlang-C: probability that an arrival to an M/M/k queue waits.
 /// Requires rho = lambda/(k*mu) < 1.
 double ErlangC(int k, double lambda, double mu);

@@ -61,8 +61,6 @@ void DynamicScheduler::MeasureInterval(SimDuration dt) {
       s.mu.Add(static_cast<double>(processed) / (ToSeconds(busy)));
     }
     int cores = std::max(1, s.executor->num_tasks());
-    s.last_util = static_cast<double>(busy) /
-                  (static_cast<double>(cores) * static_cast<double>(dt));
     s.intensity.Add(static_cast<double>(bytes) / dt_s / cores);
   }
 }
@@ -100,13 +98,20 @@ void DynamicScheduler::RunOnce() {
 
   std::vector<int> targets = ComputeTargets();
   // Deadband: a ±1-core difference is within measurement noise; chasing it
-  // would churn shards every cycle. Exception: an executor running at its
-  // capacity ceiling gets its +1 — pinning it would cap the whole pipeline
-  // at min_j(µ_j·k_j / demand-share_j).
+  // would churn shards every cycle. Exception: a starved executor gets its
+  // increase — pinning it would cap the whole pipeline at
+  // min_j(µ_j·k_j / demand-share_j). Starvation is offered demand at or
+  // beyond current capacity (ρ = λ/µk ≳ 1), *not* busy-time utilization:
+  // back-pressure retry gaps keep even a drowning executor's tasks
+  // partially idle (and on a straggler node µ itself has collapsed), so a
+  // utilization test would never fire exactly when it matters.
+  std::vector<bool> starved(states_.size(), false);
   for (size_t j = 0; j < states_.size(); ++j) {
     int current = states_[j].executor->num_tasks();
-    bool starved = states_[j].last_util > 0.95 && targets[j] > current;
-    if (!starved && std::abs(targets[j] - current) <= 1) {
+    starved[j] = targets[j] > current &&
+                 states_[j].lambda.value() >=
+                     0.95 * std::max(states_[j].mu.value(), 1e-9) * current;
+    if (!starved[j] && std::abs(targets[j] - current) <= 1) {
       targets[j] = std::max(1, current);
     }
   }
@@ -142,9 +147,15 @@ void DynamicScheduler::RunOnce() {
   // an evacuation.)
   AssignmentInput in;
   in.node_capacity.resize(cluster_->num_nodes());
+  in.node_speed.resize(cluster_->num_nodes());
   for (int i = 0; i < cluster_->num_nodes(); ++i) {
     in.node_capacity[i] =
         rt_->faults()->available(i) ? cluster_->cores(i) : 0;
+    // Fault-plane-derived per-core speed (perf_model.h): the assignment
+    // greedy steers new cores away from straggler nodes.
+    in.node_speed[i] = rt_->faults()->available(i)
+                           ? CoreSpeed(rt_->faults()->cpu_factor(i))
+                           : 0.0;
   }
   const int m = static_cast<int>(states_.size());
   in.home.resize(m);
@@ -171,23 +182,33 @@ void DynamicScheduler::RunOnce() {
       in.target[j] = std::max(1, current_total);
     }
   }
-  // The pin-to-current overrides can push Σ targets over capacity; shave the
-  // largest non-pinned targets until the problem is structurally feasible.
+  // The pin-to-current overrides can push Σ targets over capacity; shave
+  // back to feasibility, largest targets first. Prefer shaving executors
+  // that are *not* starved: under an undetected straggler the starved
+  // executors (whose µ collapsed with the node's speed) are exactly the
+  // ones that must grow — shaving them first would pin the whole cluster
+  // at the status quo while the deadband pins everyone else.
   {
     int total_target = 0;
     for (int j = 0; j < m; ++j) total_target += in.target[j];
-    while (total_target > available_cores) {
-      int victim = -1;
-      for (int j = 0; j < m; ++j) {
-        if (states_[j].executor->transition_pending() || in.target[j] <= 1) {
-          continue;
+    auto shave = [&](bool allow_starved) {
+      while (total_target > available_cores) {
+        int victim = -1;
+        for (int j = 0; j < m; ++j) {
+          if (states_[j].executor->transition_pending() ||
+              in.target[j] <= 1) {
+            continue;
+          }
+          if (!allow_starved && starved[j]) continue;
+          if (victim < 0 || in.target[j] > in.target[victim]) victim = j;
         }
-        if (victim < 0 || in.target[j] > in.target[victim]) victim = j;
+        if (victim < 0) return;
+        --in.target[victim];
+        --total_target;
       }
-      if (victim < 0) break;
-      --in.target[victim];
-      --total_target;
-    }
+    };
+    shave(/*allow_starved=*/false);
+    shave(/*allow_starved=*/true);
   }
 
   AssignmentOutput out =

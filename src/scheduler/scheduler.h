@@ -43,8 +43,8 @@ class DynamicScheduler {
   /// Mean wall-clock time of the allocation+assignment computation (ms) —
   /// Table 3's "scheduling time".
   double avg_scheduling_wall_ms() const {
-    return cycles_ == 0 ? 0.0
-                        : scheduling_wall_ms_total_ / static_cast<double>(cycles_);
+    if (cycles_ == 0) return 0.0;
+    return scheduling_wall_ms_total_ / static_cast<double>(cycles_);
   }
   double last_phi_used() const { return last_phi_used_; }
   int64_t core_moves_issued() const { return core_moves_issued_; }
@@ -67,7 +67,6 @@ class DynamicScheduler {
     Ewma lambda;
     Ewma mu;
     Ewma intensity;
-    double last_util = 0.0;  // busy / (cores x interval) of the last window.
   };
 
   void MeasureInterval(SimDuration dt);

@@ -119,7 +119,9 @@ class LocalSharedBackend : public StateBackend {
  public:
   LocalSharedBackend() = default;
 
-  StateBackendKind kind() const override { return StateBackendKind::kLocalShared; }
+  StateBackendKind kind() const override {
+    return StateBackendKind::kLocalShared;
+  }
   ProcessStateStore* AddProcess(NodeId node) override;
   void RemoveProcess(NodeId node) override;
   ProcessStateStore* store(NodeId node) override;
@@ -167,7 +169,9 @@ class ExternalKvBackend : public StateBackend {
       : home_(home), net_(net), access_ns_(access_ns),
         value_bytes_(value_bytes) {}
 
-  StateBackendKind kind() const override { return StateBackendKind::kExternalKv; }
+  StateBackendKind kind() const override {
+    return StateBackendKind::kExternalKv;
+  }
   ProcessStateStore* AddProcess(NodeId) override { return &store_; }
   void RemoveProcess(NodeId) override {}
   ProcessStateStore* store(NodeId) override { return &store_; }

@@ -147,7 +147,8 @@ OperatorLogic PriceAlarmLogic() {
 OperatorLogic SpikeDetectorLogic() {
   return [](const Tuple& t, StateAccessor& state, EmitContext*) {
     auto* s = state.GetOrCreate<SpikeState>();
-    s->ewma = s->ewma == 0.0 ? t.payload.f0 : 0.9 * s->ewma + 0.1 * t.payload.f0;
+    s->ewma = s->ewma == 0.0 ? t.payload.f0
+                             : 0.9 * s->ewma + 0.1 * t.payload.f0;
   };
 }
 OperatorLogic CircuitBreakerLogic() {

@@ -56,13 +56,120 @@ TEST(LoadBalancerTest, EvacuationSpreadsHeaviestFirst) {
   std::vector<double> shard_load = {5.0, 3.0, 1.0};
   std::vector<double> slot_load = {0.0, 0.0, 0.0};
   std::vector<bool> allowed = {false, true, true};
-  auto moves = balance::PlanEvacuation({0, 1, 2}, shard_load, &slot_load,
-                                       /*from=*/0, allowed);
+  auto plan = balance::PlanEvacuation({0, 1, 2}, shard_load, &slot_load,
+                                      /*from=*/0, allowed);
+  ASSERT_TRUE(plan.ok());
+  const auto& moves = *plan;
   ASSERT_EQ(moves.size(), 3u);
   EXPECT_EQ(moves[0].shard, 0);  // Heaviest placed first.
   // Greedy least-loaded: 5 -> slot1, 3 -> slot2, 1 -> slot2.
   EXPECT_NEAR(slot_load[1], 5.0, 1e-9);
   EXPECT_NEAR(slot_load[2], 4.0, 1e-9);
+}
+
+TEST(LoadBalancerTest, EvacuationWithNoDestinationReturnsStatus) {
+  // Full-cluster fault: every candidate destination is disallowed. The
+  // planner must report failure instead of CHECK-aborting the process.
+  std::vector<double> shard_load = {1.0};
+  std::vector<double> slot_load = {1.0, 0.0};
+  std::vector<bool> allowed = {false, false};
+  auto plan = balance::PlanEvacuation({0}, shard_load, &slot_load,
+                                      /*from=*/0, allowed);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NEAR(slot_load[0], 1.0, 1e-9);  // Untouched on failure.
+}
+
+// ---- Capacity-aware planner ----
+
+TEST(LoadBalancerTest, ImbalanceFactorNormalizesByCapacity) {
+  // Equal raw loads, but slot 1 is half speed: normalized loads {2, 4}
+  // against a balanced level of (2+2)/(1+0.5) = 8/3 -> delta = 1.5.
+  std::vector<double> load = {2.0, 2.0};
+  std::vector<double> caps = {1.0, 0.5};
+  EXPECT_DOUBLE_EQ(balance::ImbalanceFactor(load, &caps), 1.5);
+  // Unit capacities reproduce the paper's max/avg exactly.
+  std::vector<double> unit = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(balance::ImbalanceFactor({4, 2}, &unit),
+                   balance::ImbalanceFactor({4, 2}));
+}
+
+TEST(LoadBalancerTest, SlowSlotShedsLoadUnderCapacity) {
+  // 10 equal shards split evenly over a nominal slot and a 4x-slow slot.
+  // Raw loads are balanced (the homogeneous planner would not move), but
+  // normalized loads are {5, 20}: the slow slot must shed down to ~1/5 of
+  // the total.
+  std::vector<double> load(10, 1.0);
+  std::vector<int> assignment = {0, 1, 0, 1, 0, 1, 0, 1, 0, 1};
+  std::vector<double> caps = {1.0, 0.25};
+
+  std::vector<int> untouched = assignment;
+  auto none = balance::PlanMoves(load, &untouched, 2, 1.2, 1000);
+  EXPECT_TRUE(none.empty());  // Homogeneous view: already balanced.
+
+  auto moves = balance::PlanMoves(load, &assignment, 2, 1.2, 1000,
+                                  /*frozen=*/nullptr, &caps);
+  EXPECT_FALSE(moves.empty());
+  std::vector<double> slot(2, 0.0);
+  for (size_t s = 0; s < load.size(); ++s) slot[assignment[s]] += load[s];
+  EXPECT_LE(balance::ImbalanceFactor(slot, &caps), 1.2);
+  EXPECT_LT(slot[1], slot[0]);  // The slow slot carries the small share.
+  EXPECT_NEAR(slot[1], 2.0, 1.01);  // ~ total * 0.25/1.25.
+}
+
+TEST(LoadBalancerTest, FrozenSlotKeepsLoadDespiteSpareCapacity) {
+  // Slot 2 is fast and idle but frozen: the planner must balance over the
+  // other two only, never routing anything to (or off) the frozen slot.
+  std::vector<double> load(12, 1.0);
+  std::vector<int> assignment(12, 0);
+  std::vector<bool> frozen = {false, false, true};
+  std::vector<double> caps = {1.0, 1.0, 100.0};
+  auto moves = balance::PlanMoves(load, &assignment, 3, 1.2, 1000, &frozen,
+                                  &caps);
+  for (const auto& m : moves) EXPECT_NE(m.to, 2);
+  for (int slot : assignment) EXPECT_NE(slot, 2);
+  std::vector<double> slot(3, 0.0);
+  for (size_t s = 0; s < load.size(); ++s) slot[assignment[s]] += load[s];
+  // δ over the two live slots only (the planner stops at θ = 1.2, i.e. a
+  // 7/5 split of the 12 unit shards).
+  EXPECT_LE(balance::ImbalanceFactor({slot[0], slot[1]}), 1.2);
+  EXPECT_NEAR(slot[0] + slot[1], 12.0, 1e-9);
+}
+
+TEST(LoadBalancerTest, ZeroCapacitySlotTreatedAsFrozen) {
+  // A dead slot (capacity 0) neither gives nor receives, exactly like a
+  // frozen slot — and does not divide-by-zero the normalization.
+  std::vector<double> load(8, 1.0);
+  std::vector<int> assignment = {0, 0, 0, 0, 0, 0, 2, 2};
+  std::vector<double> caps = {1.0, 1.0, 0.0};
+  auto moves = balance::PlanMoves(load, &assignment, 3, 1.2, 1000,
+                                  /*frozen=*/nullptr, &caps);
+  for (const auto& m : moves) {
+    EXPECT_NE(m.to, 2);
+    EXPECT_NE(m.from, 2);
+  }
+  EXPECT_EQ(assignment[6], 2);
+  EXPECT_EQ(assignment[7], 2);
+  std::vector<double> slot(3, 0.0);
+  for (size_t s = 0; s < load.size(); ++s) slot[assignment[s]] += load[s];
+  EXPECT_NEAR(slot[0], 3.0, 1e-9);  // The live slots split the rest.
+  EXPECT_NEAR(slot[1], 3.0, 1e-9);
+}
+
+TEST(LoadBalancerTest, EvacuationPrefersFastSlots) {
+  // One heavy shard, destinations at speed 1.0 vs 0.25 with equal (zero)
+  // load: the fast slot wins; zero-capacity slots are never destinations.
+  std::vector<double> shard_load = {4.0, 1.0};
+  std::vector<double> slot_load = {0.0, 0.0, 0.0, 0.0};
+  std::vector<bool> allowed = {false, true, true, true};
+  std::vector<double> caps = {1.0, 0.25, 1.0, 0.0};
+  auto plan = balance::PlanEvacuation({0, 1}, shard_load, &slot_load,
+                                      /*from=*/0, allowed, &caps);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->size(), 2u);
+  EXPECT_EQ((*plan)[0].to, 2);  // 4.0/1.0 beats 4.0/0.25.
+  EXPECT_EQ((*plan)[1].to, 1);  // Then (4+1)/1 = 5 vs 1/0.25 = 4.
+  for (const auto& m : *plan) EXPECT_NE(m.to, 3);
 }
 
 TEST(LoadBalancerTest, MoveCountBounded) {
@@ -301,6 +408,64 @@ TEST(ElasticExecutorTest, ExternalKvChargesAccessBytesNotMigration) {
   ASSERT_GT(ops.size(), before);
   EXPECT_EQ(ops.back().moved_bytes, 0);
   EXPECT_EQ(rig.engine->net()->inter_node_bytes(Purpose::kStateMigration), 0);
+  EXPECT_EQ(rig.engine->order_violations(), 0);
+}
+
+// The tentpole property of capacity-aware balancing: an *undetected*
+// straggler (node slowed via the fault plane, no crash signal) sheds shards
+// because the per-task service-rate EWMA reveals its real speed, even
+// though offered load shares look balanced.
+TEST(ElasticExecutorTest, StragglerTaskShedsShards) {
+  ElasticRig rig;
+  NodeId home = rig.exec->home_node();
+  NodeId slow = (home + 1) % 4;
+  rig.AddCore(slow);
+  rig.engine->Start();
+  rig.engine->RunFor(Seconds(2));  // Balanced while both nodes are healthy.
+  int slow_before = rig.exec->shards_on_task_count(slow);
+  EXPECT_GT(slow_before, 8) << "healthy tasks should split ~evenly";
+
+  rig.engine->faults()->SetCpuFactor(slow, 4.0);
+  rig.engine->RunFor(Seconds(4));
+  int slow_after = rig.exec->shards_on_task_count(slow);
+  int home_after = rig.exec->shards_on_task_count(home);
+  // Speed estimate converges toward 0.25 and the planner drains the slow
+  // task toward ~1/5 of the *load* (shard counts track it loosely under
+  // the zipf key skew).
+  EXPECT_LT(rig.exec->TaskSpeedOn(slow), 0.5);
+  EXPECT_LT(slow_after, slow_before - 2);
+  EXPECT_LT(slow_after, home_after / 2);
+  EXPECT_EQ(rig.engine->order_violations(), 0);
+
+  // Recovery: the node heals, the EWMA climbs back, shards return.
+  rig.engine->faults()->SetCpuFactor(slow, 1.0);
+  rig.engine->RunFor(Seconds(4));
+  EXPECT_GT(rig.exec->TaskSpeedOn(slow), 0.7);
+  EXPECT_GT(rig.exec->shards_on_task_count(slow), slow_after);
+}
+
+// Edge of the capacity model: a *severe* straggler (50x) gets drained to
+// zero shards, after which the task accrues no busy time and thus no speed
+// observations. The recovery drift must still bring its estimate — and its
+// shards — back once the node heals, or the core is silently stranded.
+TEST(ElasticExecutorTest, FullyDrainedTaskRecoversAfterHeal) {
+  ElasticRig rig;
+  NodeId home = rig.exec->home_node();
+  NodeId slow = (home + 1) % 4;
+  rig.AddCore(slow);
+  rig.engine->Start();
+  rig.engine->RunFor(Seconds(2));
+
+  rig.engine->faults()->SetCpuFactor(slow, 50.0);
+  rig.engine->RunFor(Seconds(6));
+  int slow_during = rig.exec->shards_on_task_count(slow);
+  EXPECT_LE(slow_during, 2) << "a 50x straggler should be drained (almost) dry";
+
+  rig.engine->faults()->SetCpuFactor(slow, 1.0);
+  rig.engine->RunFor(Seconds(8));  // Drift probes it; measurements confirm.
+  EXPECT_GT(rig.exec->TaskSpeedOn(slow), 0.6);
+  EXPECT_GT(rig.exec->shards_on_task_count(slow), 8)
+      << "healed task must win back a real share of the shards";
   EXPECT_EQ(rig.engine->order_violations(), 0);
 }
 

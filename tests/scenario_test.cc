@@ -352,24 +352,12 @@ TEST(RecoveryTest, NoDipMeansInstantRecovery) {
 // NIC fade + crash/rejoin) twice under the elastic paradigm.
 // ---------------------------------------------------------------------------
 
-std::string RunScenarioFingerprint() {
+std::string RunScenarioFingerprint(const Scenario& s) {
   auto workload = BuildMicroWorkload(SmallTraceOptions(), /*seed=*/99);
   EXPECT_TRUE(workload.ok());
   Engine engine(workload->topology, SmallConfig(Paradigm::kElastic));
   EXPECT_TRUE(engine.Setup().ok());
 
-  Scenario s;
-  s.name = "determinism-mix";
-  s.events.push_back(scn::ShuffleCadence(0, 30.0));
-  s.events.push_back(scn::HotspotOn(Seconds(1), 0.25, 16));
-  s.events.push_back(scn::RateStep(Seconds(1), 1.5));
-  s.events.push_back(scn::NodeSlowdown(Seconds(2), Seconds(2), 1, 4.0));
-  s.events.push_back(scn::NicDegrade(Seconds(2), Seconds(2), 3, 0.2,
-                                     Micros(300)));
-  s.events.push_back(scn::NodeCrash(Seconds(4), 2));
-  s.events.push_back(scn::HotspotOff(Seconds(5)));
-  s.events.push_back(scn::RateStep(Seconds(5), 1.0));
-  s.events.push_back(scn::NodeRejoin(Seconds(6), 2));
   ScenarioDriver driver(s, &engine, workload->keys);
   driver.Install();
 
@@ -400,9 +388,36 @@ std::string RunScenarioFingerprint() {
   return buf;
 }
 
+Scenario DeterminismMix() {
+  Scenario s;
+  s.name = "determinism-mix";
+  s.events.push_back(scn::ShuffleCadence(0, 30.0));
+  s.events.push_back(scn::HotspotOn(Seconds(1), 0.25, 16));
+  s.events.push_back(scn::RateStep(Seconds(1), 1.5));
+  s.events.push_back(scn::NodeSlowdown(Seconds(2), Seconds(2), 1, 4.0));
+  s.events.push_back(scn::NicDegrade(Seconds(2), Seconds(2), 3, 0.2,
+                                     Micros(300)));
+  s.events.push_back(scn::NodeCrash(Seconds(4), 2));
+  s.events.push_back(scn::HotspotOff(Seconds(5)));
+  s.events.push_back(scn::RateStep(Seconds(5), 1.0));
+  s.events.push_back(scn::NodeRejoin(Seconds(6), 2));
+  return s;
+}
+
 TEST(ScenarioDeterminismTest, IdenticalScenarioIdenticalMetrics) {
-  std::string first = RunScenarioFingerprint();
-  std::string second = RunScenarioFingerprint();
+  std::string first = RunScenarioFingerprint(DeterminismMix());
+  std::string second = RunScenarioFingerprint(DeterminismMix());
+  EXPECT_EQ(first, second);
+}
+
+// Capacity-aware balancing reacts to an undetected straggler through the
+// per-task service-rate EWMA; this regression pins down that the whole
+// detect -> shed -> recover loop stays byte-for-byte deterministic.
+TEST(ScenarioDeterminismTest, StragglerScenarioIsDeterministic) {
+  Scenario s = scn::Straggler(Seconds(2), Seconds(4), /*node=*/1,
+                              /*cpu_factor=*/4.0);
+  std::string first = RunScenarioFingerprint(s);
+  std::string second = RunScenarioFingerprint(s);
   EXPECT_EQ(first, second);
 }
 
