@@ -24,6 +24,7 @@ ALL_BENCHES=(
   bench_ablation_balancer
   bench_ablation_phi
   bench_ablation_state_sharing
+  bench_core_speed
   bench_fig06_dynamics
   bench_fig07_instantaneous
   bench_fig08_reassignment_breakdown

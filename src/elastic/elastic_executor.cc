@@ -71,7 +71,15 @@ bool ElasticExecutor::CanAccept() const {
   return total_queued_ + reserved() < cap;
 }
 
-void ElasticExecutor::OnTupleArrive(Tuple t) {
+void ElasticExecutor::OnTupleArrive(Tuple t) { AdmitOne(std::move(t)); }
+
+void ElasticExecutor::OnTupleBatch(const Tuple* tuples, size_t count) {
+  // Bulk arrival path (channel micro-batching): one delivery event admits
+  // the whole run, in order.
+  for (size_t i = 0; i < count; ++i) AdmitOne(tuples[i]);
+}
+
+void ElasticExecutor::AdmitOne(Tuple t) {
   ConsumeReservation();
   rt_->StampArrival(op_, &t);
   ++metrics_.arrivals;
@@ -181,9 +189,8 @@ void ElasticExecutor::OnProcessingComplete(const TaskPtr& task, Tuple t) {
   ++metrics_.processed;
   rt_->OnProcessed(op_, t);
 
-  auto batch = emit.take_batch();
-  if (!batch->empty()) {
-    EnqueueEmitter(task, std::move(*batch));
+  if (!emit.empty()) {
+    EnqueueEmitter(task, emit.TakeJob());
   }
   TaskStartNext(task);
 }
@@ -193,46 +200,94 @@ void ElasticExecutor::OnProcessingComplete(const TaskPtr& task, Tuple t) {
 // ---------------------------------------------------------------------------
 
 void ElasticExecutor::EnqueueEmitter(const TaskPtr& task,
-                                     std::vector<Runtime::PendingEmit> outs) {
+                                     Runtime::FlushJob* job) {
+  std::vector<Runtime::PendingEmit>& outs = job->emits;
   task->outputs_outstanding += static_cast<int>(outs.size());
   if (task->node == home_node_) {
-    for (auto& out : outs) {
-      emitter_queue_.push_back(EmitterEntry{std::move(out), task});
+    for (const auto& out : outs) {
+      emitter_queue_.push_back(EmitterEntry{out, task});
     }
+    rt_->ReleaseFlushJob(job);
     RunEmitter();
     return;
   }
-  // Remote task -> emitter transfer. One message carries the batch.
+  // Remote task -> emitter transfer. One message carries the batch; the
+  // pooled job itself rides in the delivery closure (releasing it here and
+  // moving the vector out would strip the pool entry's capacity and
+  // re-allocate on every remote output batch).
   int64_t bytes = 0;
   for (const auto& out : outs) bytes += out.tuple.size_bytes;
   rt_->net()->Send(task->node, home_node_, bytes, Purpose::kRemoteTask,
-                   [this, task, outs = std::move(outs)]() mutable {
-                     for (auto& out : outs) {
-                       emitter_queue_.push_back(
-                           EmitterEntry{std::move(out), task});
+                   [this, task, job]() {
+                     for (const auto& out : job->emits) {
+                       emitter_queue_.push_back(EmitterEntry{out, task});
                      }
+                     rt_->ReleaseFlushJob(job);
                      RunEmitter();
                    });
 }
 
 void ElasticExecutor::RunEmitter() {
   if (emitter_flushing_) return;
+  const size_t max_batch = static_cast<size_t>(
+      std::max(1, rt_->config().max_batch_tuples));
   while (!emitter_queue_.empty()) {
-    EmitterEntry& head = emitter_queue_.front();
-    if (!rt_->TryRoute(home_node_, head.emit.to_op, head.emit.tuple,
-                       &metrics_)) {
-      // Downstream full or paused: single retry loop keeps FIFO order
-      // through the single exit. Jittered like every back-pressure retry.
-      emitter_flushing_ = true;
-      SimDuration delay = static_cast<SimDuration>(
-          rt_->config().emit_retry_ns * (0.5 + rng_.NextDouble()));
-      rt_->sim()->After(delay, [this]() {
-        emitter_flushing_ = false;
-        RunEmitter();
-      });
-      return;
+    if (max_batch == 1) {
+      // Tuple-at-a-time: route the head in place, no scratch copy.
+      if (rt_->RouteRun(home_node_, &emitter_queue_.front().emit, 1,
+                        &metrics_) == 0) {
+        ScheduleEmitterRetry();
+        return;
+      }
+      PopEmitted(1);
+      continue;
     }
-    TaskPtr task = std::move(head.task);
+    // Coalesce the queue's leading same-operator run into the scratch ONCE;
+    // RouteRun then consumes it in destination-executor sub-runs by offset
+    // (no re-copying), so outputs of many tasks bound for the same
+    // downstream channel share one message. Only leading runs batch — the
+    // single exit stays strictly FIFO. Nothing can append to the queue
+    // while this loop runs (completions are asynchronous events), so the
+    // snapshot stays aligned with the queue head.
+    emitter_scratch_.clear();
+    const OperatorId to_op = emitter_queue_.front().emit.to_op;
+    for (size_t i = 0;
+         i < emitter_queue_.size() && emitter_scratch_.size() < max_batch;
+         ++i) {
+      const EmitterEntry& entry = emitter_queue_[i];
+      if (entry.emit.to_op != to_op) break;
+      emitter_scratch_.push_back(entry.emit);
+    }
+    size_t offset = 0;
+    while (offset < emitter_scratch_.size()) {
+      size_t routed =
+          rt_->RouteRun(home_node_, emitter_scratch_.data() + offset,
+                        emitter_scratch_.size() - offset, &metrics_);
+      if (routed == 0) {
+        ScheduleEmitterRetry();
+        return;
+      }
+      offset += routed;
+      PopEmitted(routed);
+    }
+  }
+}
+
+void ElasticExecutor::ScheduleEmitterRetry() {
+  // Downstream full or paused: single retry loop keeps FIFO order through
+  // the single exit. Jittered like every back-pressure retry.
+  emitter_flushing_ = true;
+  SimDuration delay = static_cast<SimDuration>(
+      rt_->config().emit_retry_ns * (0.5 + rng_.NextDouble()));
+  rt_->sim()->After(delay, [this]() {
+    emitter_flushing_ = false;
+    RunEmitter();
+  });
+}
+
+void ElasticExecutor::PopEmitted(size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    TaskPtr task = std::move(emitter_queue_.front().task);
     emitter_queue_.pop_front();
     --task->outputs_outstanding;
     if (task->waiting_credit && !task->busy &&
@@ -343,17 +398,20 @@ Status ElasticExecutor::RemoveCore(NodeId node, EventFn done) {
   victim->draining = true;
   ++removals_in_progress_;
 
-  auto remaining = std::make_shared<int>(static_cast<int>(moves.size()));
-  EventFn shared_done = [this, victim, remaining, done]() {
-    if (--*remaining > 0) return;
-    TryFinalizeRemoval(victim, done);
-  };
   if (moves.empty()) {
-    TryFinalizeRemoval(victim, done);
+    TryFinalizeRemoval(victim, std::move(done));
     return Status::OK();
   }
+  // EventFn is move-only; `done` fires once, after the LAST evacuation, so
+  // the per-move continuations share it (and the countdown) explicitly.
+  auto remaining = std::make_shared<int>(static_cast<int>(moves.size()));
+  auto shared_done = std::make_shared<EventFn>(std::move(done));
   for (const auto& move : moves) {
-    ReassignShard(move.shard, move.to, shared_done);
+    ReassignShard(move.shard, move.to,
+                  [this, victim, remaining, shared_done]() {
+                    if (--*remaining > 0) return;
+                    TryFinalizeRemoval(victim, std::move(*shared_done));
+                  });
   }
   return Status::OK();
 }
@@ -364,8 +422,8 @@ void ElasticExecutor::TryFinalizeRemoval(const TaskPtr& victim, EventFn done) {
   if (!victim->pending.empty() || victim->busy ||
       victim->outputs_outstanding > 0) {
     rt_->sim()->After(Millis(1),
-                      [this, victim, done]() {
-                        TryFinalizeRemoval(victim, done);
+                      [this, victim, done = std::move(done)]() mutable {
+                        TryFinalizeRemoval(victim, std::move(done));
                       });
     return;
   }

@@ -59,6 +59,8 @@ class ElasticExecutor : public ExecutorBase {
 
   // ---- ExecutorBase ----
   void OnTupleArrive(Tuple t) override;  // Receiver daemon.
+  /// Receiver daemon, micro-batch arrival (one message, `count` tuples).
+  void OnTupleBatch(const Tuple* tuples, size_t count) override;
   bool CanAccept() const override;
   int64_t queued() const override { return total_queued_; }
   void Start() override;
@@ -166,13 +168,19 @@ class ElasticExecutor : public ExecutorBase {
   };
 
   // Data path.
+  void AdmitOne(Tuple t);
   void RouteToTask(int local_shard, const Tuple& t);
   void EnqueueToTask(const TaskPtr& task, QueueItem item);
   void TaskStartNext(const TaskPtr& task);
   void OnProcessingComplete(const TaskPtr& task, Tuple t);
-  void EnqueueEmitter(const TaskPtr& task,
-                      std::vector<Runtime::PendingEmit> outs);
+  /// Appends a task's outputs to the emitter queue (over the network for a
+  /// remote task) and releases the job back to the runtime pool.
+  void EnqueueEmitter(const TaskPtr& task, Runtime::FlushJob* job);
   void RunEmitter();
+  void ScheduleEmitterRetry();
+  /// Pops `count` routed entries off the emitter queue, returning output
+  /// credit to their tasks (resuming any that were credit-blocked).
+  void PopEmitted(size_t count);
 
   // Reassignment protocol.
   void ReassignShard(int local_shard, int to_task, EventFn done);
@@ -217,6 +225,9 @@ class ElasticExecutor : public ExecutorBase {
 
   // Emitter daemon.
   std::deque<EmitterEntry> emitter_queue_;
+  // Scratch for coalescing the queue's leading same-destination run into
+  // one Runtime::RouteRun call (capacity reused across runs).
+  std::vector<Runtime::PendingEmit> emitter_scratch_;
   bool emitter_flushing_ = false;
 
   // Reassignments in flight.

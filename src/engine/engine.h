@@ -65,6 +65,13 @@ class Engine {
   /// Latency histogram over completed sink tuples since the last reset.
   const Histogram& LatencyHistogram() const { return metrics_->latency(); }
   int64_t order_violations() const;
+  /// Deterministic hot-path cost counters (events / heap allocs / messages
+  /// per routed tuple) since the last warm-up reset.
+  PerfCounters Perf() const {
+    return metrics_->PerfWindow(sim_->events_executed(),
+                                EventFn::heap_allocations(),
+                                net_->messages_sent());
+  }
 
   // ---- Accessors ----
   Simulator* sim() { return sim_.get(); }

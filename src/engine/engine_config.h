@@ -48,6 +48,12 @@ struct EngineConfig {
   /// tasks pipeline processing with output transfer while still propagating
   /// back-pressure.
   int task_output_credit = 64;
+  /// Channel micro-batching: maximum CONSECUTIVE same-destination emissions
+  /// coalesced into one network message / delivery event (see
+  /// Runtime::RouteRun). 1 = tuple-at-a-time (the historical data path,
+  /// byte-identical results); higher values amortize per-message overhead
+  /// and scheduler events without reordering anything.
+  int max_batch_tuples = 1;
 
   // ---- Service times ----
   /// Exponentially distributed per-tuple CPU cost (matches the M/M/k model);

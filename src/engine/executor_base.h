@@ -26,6 +26,15 @@ class ExecutorBase : public std::enable_shared_from_this<ExecutorBase> {
   /// A tuple from upstream arrived at this executor's home node.
   virtual void OnTupleArrive(Tuple t) = 0;
 
+  /// A micro-batch from upstream arrived in one network message (channel
+  /// micro-batching, EngineConfig::max_batch_tuples). All tuples were
+  /// admitted (one reservation each) when the batch was routed. The default
+  /// unrolls to the per-tuple path; executors with a cheaper bulk path
+  /// override it.
+  virtual void OnTupleBatch(const Tuple* tuples, size_t count) {
+    for (size_t i = 0; i < count; ++i) OnTupleArrive(tuples[i]);
+  }
+
   /// Back-pressure gate: senders check this before dispatching.
   virtual bool CanAccept() const = 0;
 

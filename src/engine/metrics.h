@@ -35,6 +35,30 @@ struct ExecutorMetrics {
   }
 };
 
+/// Deterministic hot-path cost counters over a measurement window (started
+/// by EngineMetrics::BeginPerfWindow, normally at the warm-up reset). The
+/// per-routed-tuple ratios are exact at a fixed seed/scale, so CI can gate
+/// the simulator's per-tuple overheads without flaky wall-clock assertions
+/// (bench_core_speed reports both).
+struct PerfCounters {
+  int64_t routed_tuples = 0;        // Admissions through Runtime routing.
+  int64_t events_fired = 0;         // Simulator events executed.
+  int64_t callback_heap_allocs = 0; // EventFn inline-storage misses.
+  int64_t messages_sent = 0;        // Network messages (batches count once).
+
+  double events_per_tuple() const { return Ratio(events_fired); }
+  double heap_allocs_per_tuple() const { return Ratio(callback_heap_allocs); }
+  double messages_per_tuple() const { return Ratio(messages_sent); }
+
+ private:
+  double Ratio(int64_t count) const {
+    return routed_tuples > 0
+               ? static_cast<double>(count) /
+                     static_cast<double>(routed_tuples)
+               : 0.0;
+  }
+};
+
 /// One elasticity operation (shard reassignment / RC repartition) breakdown.
 /// The routing-pause window decomposes as pause_ns = sync_ns + migration_ns;
 /// under chunked-live migration most of the state moves during precopy_ns,
@@ -65,6 +89,30 @@ class EngineMetrics {
   }
 
   void OnElasticityOp(const ElasticityOp& op) { ops_.push_back(op); }
+
+  /// Called by the runtime for every admitted (routed) tuple; `n` > 1 when a
+  /// micro-batch routes several tuples in one message.
+  void OnTuplesRouted(int64_t n) { routed_tuples_ += n; }
+  int64_t routed_tuples() const { return routed_tuples_; }
+
+  /// Starts a perf-counter window: subsequent PerfWindow() calls report
+  /// deltas from this point. The simulator/EventFn totals are passed in
+  /// because they live below the engine layer; Network messages are windowed
+  /// by Network::ResetCounters (performed by the same warm-up reset).
+  void BeginPerfWindow(int64_t events_now, int64_t heap_allocs_now) {
+    routed_tuples_ = 0;
+    perf_events_base_ = events_now;
+    perf_allocs_base_ = heap_allocs_now;
+  }
+  PerfCounters PerfWindow(int64_t events_now, int64_t heap_allocs_now,
+                          int64_t messages_since_reset) const {
+    PerfCounters perf;
+    perf.routed_tuples = routed_tuples_;
+    perf.events_fired = events_now - perf_events_base_;
+    perf.callback_heap_allocs = heap_allocs_now - perf_allocs_base_;
+    perf.messages_sent = messages_since_reset;
+    return perf;
+  }
 
   /// Attributes task busy time to the node it ran on (straggler/failover
   /// scenarios report where the cluster's processing actually happened).
@@ -106,10 +154,14 @@ class EngineMetrics {
     latency_.Reset();
     ops_.clear();
     busy_ns_by_node_.clear();
+    routed_tuples_ = 0;
   }
 
  private:
   int64_t sink_count_ = 0;
+  int64_t routed_tuples_ = 0;
+  int64_t perf_events_base_ = 0;
+  int64_t perf_allocs_base_ = 0;
   Histogram latency_;
   TimeSeries sink_throughput_;
   TimeSeries sink_latency_sum_;

@@ -1,6 +1,48 @@
 #include "engine/runtime.h"
 
+#include <algorithm>
+
+#include "sim/event_fn.h"
+
 namespace elasticutor {
+
+namespace {
+
+// Delivery closures are concrete structs (not lambdas) so their size is
+// explicit: both fit EventFn's inline storage even inside the Network's
+// Delivery<> wrapper — the per-tuple data path never touches the heap.
+
+/// Unbatched delivery: one tuple straight to its executor.
+struct DeliverOne {
+  ExecutorBase* target;
+  Tuple tuple;
+  void operator()() { target->OnTupleArrive(tuple); }
+};
+static_assert(sizeof(DeliverOne) + sizeof(void*) <= EventFn::kInlineBytes,
+              "single-tuple delivery must stay inline in EventFn");
+
+}  // namespace
+
+/// Batched delivery: the tuples travel in a pooled vector referenced by raw
+/// pointer; the pool entry is recycled after the handoff.
+struct Runtime::BatchDeliver {
+  Runtime* rt;
+  ExecutorBase* target;
+  std::vector<Tuple>* batch;
+  void operator()() {
+    target->OnTupleBatch(batch->data(), batch->size());
+    rt->ReleaseTupleBatch(batch);
+  }
+};
+
+/// Back-pressure retry for an in-flight flush job. The job owns all state
+/// (emits, emitter, continuation), so the scheduled closure is two pointers
+/// — inline in EventFn even while the rest of the system is saturated.
+struct Runtime::FlushRetry {
+  Runtime* rt;
+  FlushJob* job;
+  void operator()() { rt->FlushJobStep(job); }
+};
 
 Runtime::Runtime(Simulator* sim, Network* net, MigrationEngine* migration,
                  const NodeFaultPlane* faults, const Topology* topology,
@@ -13,6 +55,7 @@ Runtime::Runtime(Simulator* sim, Network* net, MigrationEngine* migration,
       config_(config),
       metrics_(metrics),
       validate_(config->validate_key_order),
+      max_batch_(static_cast<size_t>(std::max(1, config->max_batch_tuples))),
       rng_(config->seed, 0x5eed5eed) {
   int n = topology_->num_operators();
   partitions_.resize(n);
@@ -31,49 +74,120 @@ void Runtime::SetExecutors(OperatorId op, std::vector<ExecutorPtr> executors) {
 
 bool Runtime::TryRoute(NodeId from, OperatorId to_op, const Tuple& t,
                        ExecutorMetrics* emitter_metrics) {
-  OperatorPartition* part = partitions_.at(to_op).get();
-  if (part->paused()) return false;
-  ExecutorIndex ei = part->ExecutorOfKey(t.key);
-  ExecutorPtr target = executors_.at(to_op).at(ei);
-  if (!target->CanAccept()) return false;
-
-  target->ReserveSlot();  // Admission is decided here, not on arrival.
-  ++inflight_.at(to_op);
-  if (emitter_metrics != nullptr) {
-    emitter_metrics->bytes_out += t.size_bytes;
-  }
-  Tuple copy = t;
-  NodeId dst = target->home_node();  // Before the move (evaluation order).
-  net_->Send(from, dst, t.size_bytes, Purpose::kInterOperator,
-             [target = std::move(target), copy]() mutable {
-               target->OnTupleArrive(copy);
-             });
-  return true;
+  // A single-tuple run: delegating keeps the admission semantics (paused
+  // check, reservation, accounting) in exactly one place, so the batch-1
+  // path can never diverge from the tuple-at-a-time one.
+  PendingEmit emit{to_op, t};
+  return RouteRun(from, &emit, 1, emitter_metrics) == 1;
 }
 
-void Runtime::FlushBatchFrom(ExecutorPtr emitter,
-                             std::shared_ptr<std::vector<PendingEmit>> batch,
-                             size_t next, EventFn done) {
-  while (next < batch->size()) {
-    const PendingEmit& emit = (*batch)[next];
-    if (TryRoute(emitter->home_node(), emit.to_op, emit.tuple,
-                 &emitter->metrics())) {
-      ++next;
-      continue;
-    }
-    // Blocked: retry the remaining suffix later (jittered to avoid
-    // synchronized herds). The emitter stays alive via the captured
-    // shared_ptr.
-    SimDuration delay = static_cast<SimDuration>(
-        config_->emit_retry_ns * (0.5 + rng_.NextDouble()));
-    sim_->After(delay,
-                [this, emitter = std::move(emitter), batch = std::move(batch),
-                 next, done = std::move(done)]() mutable {
-                  FlushBatchFrom(std::move(emitter), std::move(batch), next,
-                                 std::move(done));
-                });
-    return;
+size_t Runtime::RouteRun(NodeId from, const PendingEmit* emits, size_t n,
+                         ExecutorMetrics* emitter_metrics) {
+  ELASTICUTOR_CHECK(n > 0);
+  const OperatorId to_op = emits[0].to_op;
+  OperatorPartition* part = partitions_.at(to_op).get();
+  if (part->paused()) return 0;
+  const ExecutorIndex ei = part->ExecutorOfKey(emits[0].tuple.key);
+  ExecutorBase* target = executors_.at(to_op).at(ei).get();
+  if (!target->CanAccept()) return 0;
+
+  // Multi-slot reservation: extend the run while the next emission shares
+  // this destination and the target still has a slot. CanAccept() sees the
+  // reservations made so far, so a run can never overshoot the queue bound.
+  target->ReserveSlot();
+  size_t k = 1;
+  while (k < n && k < max_batch_ && emits[k].to_op == to_op &&
+         part->ExecutorOfKey(emits[k].tuple.key) == ei &&
+         target->CanAccept()) {
+    target->ReserveSlot();
+    ++k;
   }
+
+  inflight_.at(to_op) += static_cast<int64_t>(k);
+  int64_t bytes = 0;
+  for (size_t i = 0; i < k; ++i) bytes += emits[i].tuple.size_bytes;
+  if (emitter_metrics != nullptr) {
+    emitter_metrics->bytes_out += bytes;
+  }
+  metrics_->OnTuplesRouted(static_cast<int64_t>(k));
+
+  NodeId dst = target->home_node();
+  if (k == 1) {
+    net_->Send(from, dst, bytes, Purpose::kInterOperator,
+               DeliverOne{target, emits[0].tuple});
+    return 1;
+  }
+  // One message, one per-message overhead, one delivery event for the run.
+  std::vector<Tuple>* batch = AcquireTupleBatch();
+  batch->reserve(k);
+  for (size_t i = 0; i < k; ++i) batch->push_back(emits[i].tuple);
+  net_->Send(from, dst, bytes, Purpose::kInterOperator,
+             BatchDeliver{this, target, batch});
+  return k;
+}
+
+Runtime::FlushJob* Runtime::AcquireFlushJob() {
+  if (free_jobs_.empty()) {
+    job_pool_.push_back(std::make_unique<FlushJob>());
+    return job_pool_.back().get();
+  }
+  FlushJob* job = free_jobs_.back();
+  free_jobs_.pop_back();
+  return job;
+}
+
+void Runtime::ReleaseFlushJob(FlushJob* job) {
+  job->emits.clear();  // Keeps capacity for the next acquisition.
+  job->emitter.reset();
+  job->next = 0;
+  job->done = nullptr;
+  free_jobs_.push_back(job);
+}
+
+std::vector<Tuple>* Runtime::AcquireTupleBatch() {
+  if (free_batches_.empty()) {
+    batch_pool_.push_back(std::make_unique<std::vector<Tuple>>());
+    return batch_pool_.back().get();
+  }
+  std::vector<Tuple>* batch = free_batches_.back();
+  free_batches_.pop_back();
+  return batch;
+}
+
+void Runtime::ReleaseTupleBatch(std::vector<Tuple>* batch) {
+  batch->clear();
+  free_batches_.push_back(batch);
+}
+
+void Runtime::FlushBatch(ExecutorPtr emitter, FlushJob* job, EventFn done) {
+  job->emitter = std::move(emitter);
+  job->next = 0;
+  job->done = std::move(done);
+  FlushJobStep(job);
+}
+
+void Runtime::FlushJobStep(FlushJob* job) {
+  while (job->next < job->emits.size()) {
+    size_t routed =
+        RouteRun(job->emitter->home_node(), job->emits.data() + job->next,
+                 job->emits.size() - job->next, &job->emitter->metrics());
+    if (routed == 0) {
+      // Blocked: retry the remaining suffix later (jittered to avoid
+      // synchronized herds). The emitter stays alive via the job.
+      SimDuration delay = static_cast<SimDuration>(
+          config_->emit_retry_ns * (0.5 + rng_.NextDouble()));
+      sim_->After(delay, FlushRetry{this, job});
+      return;
+    }
+    job->next += routed;
+  }
+  // The job returns to the pool before `done` runs (so a re-entrant flush
+  // can reuse it), but the emitter must outlive `done` — the continuation
+  // typically captures the emitter's raw `this` (see FlushBatch's
+  // contract).
+  ExecutorPtr emitter = std::move(job->emitter);
+  EventFn done = std::move(job->done);
+  ReleaseFlushJob(job);
   if (done) done();
 }
 
@@ -96,6 +210,8 @@ void Runtime::StampArrival(OperatorId op, Tuple* t) {
 void Runtime::ResetMetricsAfterWarmup() {
   metrics_->ResetAfterWarmup();
   net_->ResetCounters();
+  metrics_->BeginPerfWindow(sim_->events_executed(),
+                            EventFn::heap_allocations());
   for (auto& execs : executors_) {
     for (auto& e : execs) e->metrics().Reset();
   }

@@ -2,12 +2,23 @@
 // routing state (partition + executor set + in-flight counters) and
 // implements the inter-operator data path with back-pressure:
 //
-//   emitter --TryRoute--> [paused? full?] --Network::Send--> OnTupleArrive
+//   emitter --RouteRun--> [paused? full?] --Network::Send--> OnTupleBatch
 //
 // A blocked emitter retries after EngineConfig::emit_retry_ns; because a
 // task does not start its next input until its current outputs are flushed,
 // back-pressure propagates upstream to the spouts (bounded queues
 // everywhere => bounded latency, §5.2).
+//
+// Channel micro-batching: RouteRun coalesces CONSECUTIVE emissions bound
+// for the same destination executor (up to EngineConfig::max_batch_tuples)
+// into one Network message with one delivery event, reserving one admission
+// slot per tuple up front. Only leading runs coalesce, so emission order —
+// and with it per-(src,dst) FIFO and the labeling protocol — is preserved
+// exactly; at max_batch_tuples == 1 the data path is tuple-at-a-time.
+//
+// Emission batches and delivery payloads live in free-list pools whose
+// entries keep their capacity, so the steady-state data path performs no
+// heap allocation (EventFn::heap_allocations() stays flat; benches gate it).
 #pragma once
 
 #include <functional>
@@ -50,24 +61,49 @@ class Runtime {
   }
 
   // ---- Data path ----
-  /// Attempts to deliver `t` to `to_op` (routing by key). Returns false if
-  /// the operator is paused or the target executor's queues are full.
-  /// On success the tuple is in flight and inflight(to_op) was incremented;
-  /// `emitter_metrics` (optional) gets bytes_out credit.
-  bool TryRoute(NodeId from, OperatorId to_op, const Tuple& t,
-                ExecutorMetrics* emitter_metrics);
-
   struct PendingEmit {
     OperatorId to_op;
     Tuple tuple;
   };
-  /// Drains `batch` in order (retrying while blocked), then runs `done`.
-  /// `emitter` is kept alive for the duration of the flush.
-  void FlushBatch(ExecutorPtr emitter,
-                  std::shared_ptr<std::vector<PendingEmit>> batch,
-                  EventFn done) {
-    FlushBatchFrom(std::move(emitter), std::move(batch), 0, std::move(done));
-  }
+
+  /// Attempts to deliver `t` to `to_op` (routing by key). Returns false if
+  /// the operator is paused or the target executor's queues are full.
+  /// On success the tuple is in flight and inflight(to_op) was incremented;
+  /// `emitter_metrics` (optional) gets bytes_out credit.
+  ///
+  /// Delivery closures borrow the target executor by raw pointer: executor
+  /// sets only shrink at the RC pause barrier, which waits for
+  /// inflight(op) == 0, so no delivery can outlive its target.
+  bool TryRoute(NodeId from, OperatorId to_op, const Tuple& t,
+                ExecutorMetrics* emitter_metrics);
+
+  /// Routes a maximal leading run of `emits[0..n)` that shares emits[0]'s
+  /// destination (same to_op AND same destination executor), capped at
+  /// EngineConfig::max_batch_tuples, as ONE network message with one
+  /// delivery event and one admission reservation per tuple. Returns the
+  /// number of tuples consumed; 0 means blocked (paused or first slot
+  /// unavailable — the caller retries later).
+  size_t RouteRun(NodeId from, const PendingEmit* emits, size_t n,
+                  ExecutorMetrics* emitter_metrics);
+
+  // ---- Pooled emission batches ----
+  /// One in-flight output flush: the emissions of one processed tuple plus
+  /// the retry state needed to drain them under back-pressure. Jobs are
+  /// pooled; `emits` keeps its capacity across reuse so the steady-state
+  /// emit path does not allocate.
+  struct FlushJob {
+    std::vector<PendingEmit> emits;
+    ExecutorPtr emitter;
+    size_t next = 0;
+    EventFn done;
+  };
+  FlushJob* AcquireFlushJob();
+  void ReleaseFlushJob(FlushJob* job);
+
+  /// Drains `job->emits` in order (coalescing same-destination runs,
+  /// retrying while blocked), then runs `done` and releases the job back to
+  /// the pool. `emitter` is kept alive for the duration of the flush.
+  void FlushBatch(ExecutorPtr emitter, FlushJob* job, EventFn done);
 
   /// Records offered demand for `to_op` (called exactly once per tuple, at
   /// its first emission attempt — before any back-pressure).
@@ -107,13 +143,19 @@ class Runtime {
   EngineMetrics* metrics() { return metrics_; }
   Rng* rng() { return &rng_; }
 
-  /// Resets executor + engine counters (after warm-up).
+  /// Resets executor + engine counters (after warm-up) and starts a new
+  /// perf-counter window (events/allocs/messages per routed tuple).
   void ResetMetricsAfterWarmup();
 
  private:
-  void FlushBatchFrom(ExecutorPtr emitter,
-                      std::shared_ptr<std::vector<PendingEmit>> batch,
-                      size_t next, EventFn done);
+  struct FlushRetry;
+  struct BatchDeliver;
+
+  /// Drains the job from job->next; schedules itself on back-pressure.
+  void FlushJobStep(FlushJob* job);
+
+  std::vector<Tuple>* AcquireTupleBatch();
+  void ReleaseTupleBatch(std::vector<Tuple>* batch);
 
   Simulator* sim_;
   Network* net_;
@@ -123,12 +165,20 @@ class Runtime {
   const EngineConfig* config_;
   EngineMetrics* metrics_;
   bool validate_;
+  size_t max_batch_;
   Rng rng_;
 
   std::vector<std::unique_ptr<OperatorPartition>> partitions_;
   std::vector<std::vector<ExecutorPtr>> executors_;
   std::vector<int64_t> inflight_;
   OrderValidator validator_;
+
+  // Free-list pools (owned storage + free pointers). Entries retain vector
+  // capacity, so after warm-up both pools stop allocating.
+  std::vector<std::unique_ptr<FlushJob>> job_pool_;
+  std::vector<FlushJob*> free_jobs_;
+  std::vector<std::unique_ptr<std::vector<Tuple>>> batch_pool_;
+  std::vector<std::vector<Tuple>*> free_batches_;
 };
 
 }  // namespace elasticutor

@@ -43,12 +43,24 @@ bool SingleTaskExecutor::CanAccept() const {
          rt_->config().executor_queue_cap;
 }
 
-void SingleTaskExecutor::OnTupleArrive(Tuple t) {
+void SingleTaskExecutor::Admit(const Tuple& t) {
   ConsumeReservation();
-  rt_->StampArrival(op_, &t);
   ++metrics_.arrivals;
   metrics_.bytes_in += t.size_bytes;
   queue_.push_back(t);
+  rt_->StampArrival(op_, &queue_.back());
+}
+
+void SingleTaskExecutor::OnTupleArrive(Tuple t) {
+  Admit(t);
+  metrics_.queued = static_cast<int64_t>(queue_.size());
+  if (!busy_) StartNext();
+}
+
+void SingleTaskExecutor::OnTupleBatch(const Tuple* tuples, size_t count) {
+  // Bulk arrival path (channel micro-batching): admit the whole run, then
+  // kick the processing loop once.
+  for (size_t i = 0; i < count; ++i) Admit(tuples[i]);
   metrics_.queued = static_cast<int64_t>(queue_.size());
   if (!busy_) StartNext();
 }
@@ -91,8 +103,7 @@ void SingleTaskExecutor::OnProcessingComplete(Tuple t) {
   }
   // The single thread does not take the next tuple until outputs are
   // dispatched (this is how back-pressure propagates upstream).
-  auto batch = emit.take_batch();
-  rt_->FlushBatch(shared_from_this(), std::move(batch),
+  rt_->FlushBatch(shared_from_this(), emit.TakeJob(),
                   [this]() { StartNext(); });
 }
 

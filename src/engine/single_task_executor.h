@@ -9,6 +9,7 @@
 
 #include <deque>
 #include <memory>
+#include <utility>
 
 #include "engine/executor_base.h"
 #include "engine/runtime.h"
@@ -22,6 +23,7 @@ class SingleTaskExecutor : public ExecutorBase {
                      NodeId home);
 
   void OnTupleArrive(Tuple t) override;
+  void OnTupleBatch(const Tuple* tuples, size_t count) override;
   bool CanAccept() const override;
   int64_t queued() const override {
     return static_cast<int64_t>(queue_.size());
@@ -41,6 +43,7 @@ class SingleTaskExecutor : public ExecutorBase {
   void ResetShardLoad() { shard_load_.clear(); }
 
  private:
+  void Admit(const Tuple& t);
   void StartNext();
   void OnProcessingComplete(Tuple t);
 
@@ -51,12 +54,18 @@ class SingleTaskExecutor : public ExecutorBase {
   Rng service_rng_;
 };
 
-/// EmitContext that buffers outputs for Runtime::FlushBatch.
+/// EmitContext that collects outputs into a pooled Runtime::FlushJob for
+/// Runtime::FlushBatch. A context that was never Emit()ted into (or whose
+/// job was not taken) returns the job to the pool on destruction, so the
+/// steady-state emit path performs no allocation.
 class BatchEmitContext : public EmitContext {
  public:
   BatchEmitContext(Runtime* rt, OperatorId from_op, SimTime created_at)
-      : rt_(rt), created_at_(created_at) {
+      : rt_(rt), created_at_(created_at), job_(rt->AcquireFlushJob()) {
     downstream_ = &rt->topology().downstream(from_op);
+  }
+  ~BatchEmitContext() override {
+    if (job_ != nullptr) rt_->ReleaseFlushJob(job_);
   }
 
   void Emit(uint64_t key, int32_t size_bytes,
@@ -68,21 +77,20 @@ class BatchEmitContext : public EmitContext {
     out.payload = payload;
     for (OperatorId to : *downstream_) {
       rt_->CountOffered(to, key);  // Demand signal, pre-back-pressure.
-      batch_->push_back(Runtime::PendingEmit{to, out});
+      job_->emits.push_back(Runtime::PendingEmit{to, out});
     }
   }
 
-  std::shared_ptr<std::vector<Runtime::PendingEmit>> take_batch() {
-    return std::move(batch_);
-  }
-  bool empty() const { return batch_->empty(); }
+  /// Hands the filled job to the caller (who routes it through
+  /// Runtime::FlushBatch or drains it into an emitter queue and releases).
+  Runtime::FlushJob* TakeJob() { return std::exchange(job_, nullptr); }
+  bool empty() const { return job_->emits.empty(); }
 
  private:
   Runtime* rt_;
   SimTime created_at_;
   const std::vector<OperatorId>* downstream_;
-  std::shared_ptr<std::vector<Runtime::PendingEmit>> batch_ =
-      std::make_shared<std::vector<Runtime::PendingEmit>>();
+  Runtime::FlushJob* job_;
 };
 
 /// Applies the operator's logic (or default selectivity-based emission) for

@@ -1,5 +1,7 @@
 #include "engine/spout.h"
 
+#include <algorithm>
+
 namespace elasticutor {
 
 SpoutExecutor::SpoutExecutor(Runtime* rt, OperatorId op, ExecutorIndex index,
@@ -31,30 +33,45 @@ bool SpoutExecutor::TryEmitDownstream(const Tuple& t) {
 void SpoutExecutor::SaturationLoop() {
   if (stopped_) return;
   const SourceSpec& src = rt_->topology().spec(op_).source;
-  if (!held_.has_value()) {
-    held_ = src.factory(&rng_, rt_->sim()->now());
-    // Event time is the first emission attempt: back-pressure stalls (e.g.
-    // RC pause barriers) count toward latency, as in Storm's complete
-    // latency metric.
-    held_->created_at = rt_->sim()->now();
-    rt_->CountOffered(rt_->topology().downstream(op_)[0], held_->key);
+  const OperatorId down = rt_->topology().downstream(op_)[0];
+  const size_t gen_batch =
+      static_cast<size_t>(std::max(1, rt_->config().max_batch_tuples));
+  if (held_run_.empty()) {
+    for (size_t i = 0; i < gen_batch; ++i) {
+      Tuple t = src.factory(&rng_, rt_->sim()->now());
+      // Event time is the first emission attempt: back-pressure stalls
+      // (e.g. RC pause barriers) count toward latency, as in Storm's
+      // complete latency metric.
+      t.created_at = rt_->sim()->now();
+      rt_->CountOffered(down, t.key);
+      held_run_.push_back(Runtime::PendingEmit{down, t});
+    }
+    held_next_ = 0;
   }
-  // Head-of-line semantics (Storm spout): a blocked tuple is retried, not
+  // Head-of-line semantics (Storm spout): blocked tuples are retried, not
   // replaced — a saturated hot executor therefore throttles this spout.
-  if (TryEmitDownstream(*held_)) {
-    held_.reset();
-    ++emitted_;
-    ++metrics_.processed;
-    metrics_.busy_ns += src.gen_overhead_ns;
-    rt_->sim()->After(src.gen_overhead_ns, [this]() { SaturationLoop(); });
-  } else {
-    ++blocked_attempts_;
-    // Jittered back-off: synchronized retries would otherwise arrive in
-    // thundering herds that slam queues to their cap and drain them empty.
-    SimDuration delay = static_cast<SimDuration>(
-        rt_->config().emit_retry_ns * (0.5 + rng_.NextDouble()));
-    rt_->sim()->After(delay, [this]() { SaturationLoop(); });
+  // RouteRun coalesces same-destination prefixes into single messages.
+  while (held_next_ < held_run_.size()) {
+    size_t routed = rt_->RouteRun(home_node_, held_run_.data() + held_next_,
+                                  held_run_.size() - held_next_, &metrics_);
+    if (routed == 0) {
+      ++blocked_attempts_;
+      // Jittered back-off: synchronized retries would otherwise arrive in
+      // thundering herds that slam queues to their cap and drain them empty.
+      SimDuration delay = static_cast<SimDuration>(
+          rt_->config().emit_retry_ns * (0.5 + rng_.NextDouble()));
+      rt_->sim()->After(delay, [this]() { SaturationLoop(); });
+      return;
+    }
+    held_next_ += routed;
+    emitted_ += static_cast<int64_t>(routed);
+    metrics_.processed += static_cast<int64_t>(routed);
   }
+  held_run_.clear();
+  SimDuration gen =
+      src.gen_overhead_ns * static_cast<SimDuration>(gen_batch);
+  metrics_.busy_ns += gen;
+  rt_->sim()->After(gen, [this]() { SaturationLoop(); });
 }
 
 void SpoutExecutor::ScheduleNextTraceArrival() {

@@ -6,10 +6,16 @@
 //  * kTrace — tuples arrive by a Poisson process at rate_fn(t); arrivals
 //    that cannot be dispatched queue in an unbounded spout backlog, so
 //    measured latency includes the backlog delay (event-time latency).
+//
+// Under channel micro-batching (EngineConfig::max_batch_tuples > 1) the
+// saturation loop generates and emits up to that many tuples per generation
+// event (Runtime::RouteRun coalesces same-destination runs into single
+// messages), so spout-side events amortize like delivery events. At the
+// default of 1 the loop is the historical tuple-at-a-time path.
 #pragma once
 
 #include <deque>
-#include <optional>
+#include <vector>
 
 #include "engine/executor_base.h"
 #include "engine/runtime.h"
@@ -47,7 +53,11 @@ class SpoutExecutor : public ExecutorBase {
   bool draining_ = false;
   int64_t emitted_ = 0;
   int64_t blocked_attempts_ = 0;
-  std::optional<Tuple> held_;  // Saturation mode: blocked head-of-line tuple.
+  // Saturation mode: the generated-but-not-yet-routed run (head-of-line
+  // semantics: blocked tuples are retried, never replaced). Capacity is
+  // reused across generations.
+  std::vector<Runtime::PendingEmit> held_run_;
+  size_t held_next_ = 0;
   std::deque<Tuple> backlog_;  // Trace mode only.
   Rng rng_;
 };

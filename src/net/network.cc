@@ -27,18 +27,13 @@ void Network::SetExtraDelay(NodeId node, SimDuration extra) {
   extra_delay_.at(node) = extra;
 }
 
-void Network::Send(NodeId src, NodeId dst, int64_t bytes, Purpose purpose,
-                   EventFn deliver) {
+SimTime Network::AdmitMessage(NodeId src, NodeId dst, int64_t bytes,
+                              Purpose purpose) {
   ELASTICUTOR_CHECK(bytes >= 0);
   ++messages_sent_;
   if (src == dst) {
     intra_bytes_[static_cast<int>(purpose)] += bytes;
-    sim_->After(config_.intra_node_ns,
-                [this, fn = std::move(deliver)]() mutable {
-                  ++messages_delivered_;
-                  fn();
-                });
-    return;
+    return sim_->now() + config_.intra_node_ns;
   }
   int64_t wire_bytes = bytes + config_.per_message_overhead_bytes;
   inter_bytes_[static_cast<int>(purpose)] += wire_bytes;
@@ -52,10 +47,7 @@ void Network::Send(NodeId src, NodeId dst, int64_t bytes, Purpose purpose,
                    extra_delay_[dst];
   arrive = std::max(arrive, last_arrival_[src][dst]);
   last_arrival_[src][dst] = arrive;
-  sim_->At(arrive, [this, fn = std::move(deliver)]() mutable {
-    ++messages_delivered_;
-    fn();
-  });
+  return arrive;
 }
 
 void Network::Rpc(NodeId src, NodeId dst, int64_t req_bytes,

@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.h"  // NodeId.
@@ -41,8 +42,17 @@ class Network {
   /// when the message arrives. Per-(src,dst) FIFO ordering is guaranteed
   /// (egress serialization is monotone), which the shard-reassignment
   /// labeling protocol relies on.
+  ///
+  /// Templated on the callable so the delivery wrapper captures the
+  /// concrete closure (not a type-erased EventFn whose footprint is always
+  /// kInlineBytes): per-tuple delivery closures stay within EventFn's
+  /// inline storage and the hot path schedules without allocating.
+  template <typename F>
   void Send(NodeId src, NodeId dst, int64_t bytes, Purpose purpose,
-            EventFn deliver);
+            F deliver) {
+    SimTime arrive = AdmitMessage(src, dst, bytes, purpose);
+    sim_->At(arrive, Delivery<F>{this, std::move(deliver)});
+  }
 
   /// Request/response helper: `at_dst` runs when the request arrives (after
   /// `handler_delay`), then a response of `resp_bytes` is sent back and
@@ -86,6 +96,20 @@ class Network {
   SimDuration extra_delay(NodeId node) const { return extra_delay_.at(node); }
 
  private:
+  template <typename F>
+  struct Delivery {
+    Network* net;
+    F fn;
+    void operator()() {
+      ++net->messages_delivered_;
+      fn();
+    }
+  };
+
+  /// Serializes the message on the egress model and returns its arrival
+  /// time; updates byte/message counters and the per-channel FIFO floor.
+  SimTime AdmitMessage(NodeId src, NodeId dst, int64_t bytes, Purpose purpose);
+
   Simulator* sim_;
   NetworkConfig config_;
   std::vector<SimTime> egress_free_at_;

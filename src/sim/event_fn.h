@@ -1,0 +1,148 @@
+// EventFn — the scheduler's callback type: a move-only, type-erased
+// `void()` callable with inline (small-buffer) storage.
+//
+// The discrete-event hot path schedules two callbacks per routed tuple (the
+// network delivery and the processing completion), each capturing a full
+// 64-byte Tuple. With std::function those captures exceed libstdc++'s
+// 16-byte SBO and every scheduled event costs a heap allocation. EventFn
+// reserves kInlineBytes of inline storage so all steady-state closures are
+// allocation-free; callables that do not fit fall back to the heap and are
+// counted in a process-wide counter (heap_allocations()), which benches and
+// tests assert to be flat in steady state — a deterministic, CI-gateable
+// stand-in for wall-clock.
+//
+// Move-only on purpose: the event queue is the sole owner of a scheduled
+// callback, and copyability is what forces std::function to allocate
+// sharable state. Callers that need to run one continuation from several
+// places wrap it in a shared_ptr explicitly (see ElasticExecutor::
+// RemoveCore) — the cost is then visible at the call site.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/status.h"
+
+namespace elasticutor {
+
+class EventFn {
+ public:
+  /// Inline capacity. Sized for the largest steady-state closure — a Tuple
+  /// (64 B) + a shared_ptr (16 B) + two raw pointers — plus the Network
+  /// delivery wrapper's extra pointer, so one level of concrete-type
+  /// wrapping (Network::Send) still fits inline.
+  static constexpr size_t kInlineBytes = 104;
+  static constexpr size_t kStorageAlign = 16;
+
+  EventFn() = default;
+  EventFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        !std::is_same_v<D, std::nullptr_t> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    constexpr bool kFits = sizeof(D) <= kInlineBytes &&
+                           alignof(D) <= kStorageAlign &&
+                           std::is_nothrow_move_constructible_v<D>;
+    if constexpr (kFits) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
+      ops_ = &kHeapOps<D>;
+      ++heap_allocs_;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { MoveFrom(std::move(other)); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  EventFn& operator=(std::nullptr_t) {
+    Destroy();
+    ops_ = nullptr;
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { Destroy(); }
+
+  void operator()() {
+    ELASTICUTOR_CHECK_MSG(ops_ != nullptr, "invoking an empty EventFn");
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the wrapped callable lives on the heap (did not fit inline).
+  bool on_heap() const { return ops_ != nullptr && ops_->heap; }
+
+  /// Process-wide count of inline-storage misses (heap fallbacks) since
+  /// start. Benches diff it across a measurement window: in steady state it
+  /// must not grow with traffic.
+  static int64_t heap_allocations() { return heap_allocs_; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    void (*move)(void* dst, void* src);  // Move-construct dst, destroy src.
+    void (*destroy)(void* self);
+    bool heap;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      /*invoke=*/[](void* self) { (*static_cast<D*>(self))(); },
+      /*move=*/
+      [](void* dst, void* src) {
+        D* from = static_cast<D*>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      /*destroy=*/[](void* self) { static_cast<D*>(self)->~D(); },
+      /*heap=*/false,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      /*invoke=*/[](void* self) { (**static_cast<D**>(self))(); },
+      /*move=*/
+      [](void* dst, void* src) {  // Pointer transfer; no allocation.
+        *static_cast<D**>(dst) = *static_cast<D**>(src);
+      },
+      /*destroy=*/[](void* self) { delete *static_cast<D**>(self); },
+      /*heap=*/true,
+  };
+
+  void MoveFrom(EventFn&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->move(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Destroy() {
+    if (ops_ != nullptr) ops_->destroy(storage_);
+  }
+
+  inline static int64_t heap_allocs_ = 0;
+
+  alignas(kStorageAlign) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace elasticutor

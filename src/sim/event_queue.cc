@@ -1,59 +1,104 @@
 #include "sim/event_queue.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/status.h"
 
 namespace elasticutor {
 
 EventId EventQueue::Push(SimTime time, EventFn fn) {
-  EventId id = next_id_++;
-  heap_.push_back(Node{time, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), NodeGreater{});
-  return id;
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  heap_.push_back(HeapEntry{time, next_seq_++, slot, s.gen});
+  SiftUp(heap_.size() - 1);
+  ++live_;
+  return MakeId(slot, s.gen);
+}
+
+EventFn EventQueue::TakeAndFree(uint32_t slot) {
+  Slot& s = slots_[slot];
+  EventFn fn = std::move(s.fn);
+  s.fn = nullptr;
+  ++s.gen;  // Outstanding ids (and stale heap entries) stop matching.
+  free_slots_.push_back(slot);
+  --live_;
+  return fn;
 }
 
 bool EventQueue::Cancel(EventId id) {
-  if (std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end()) {
-    return false;  // Already cancelled (and not yet skipped).
+  uint32_t slot = static_cast<uint32_t>(id);
+  uint32_t gen = static_cast<uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen) {
+    return false;  // Already executed or cancelled.
   }
-  // Ids of executed events are not tracked; membership in the heap is the
-  // only liveness signal. Cancel is rare, so the linear scan is fine.
-  auto live = std::find_if(heap_.begin(), heap_.end(),
-                           [id](const Node& n) { return n.id == id; });
-  if (live == heap_.end()) return false;
-  cancelled_.push_back(id);
+  TakeAndFree(slot);  // The callback dies now; the heap entry goes stale.
   return true;
 }
 
-void EventQueue::SkipCancelled() {
-  while (!heap_.empty() && !cancelled_.empty()) {
-    EventId top = heap_.front().id;
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), top);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), NodeGreater{});
-    heap_.pop_back();
+void EventQueue::SiftUp(size_t i) const {
+  HeapEntry entry = heap_[i];
+  while (i > 0) {
+    size_t parent = (i - 1) / kArity;
+    if (!Before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
   }
+  heap_[i] = entry;
 }
 
-bool EventQueue::empty() {
-  SkipCancelled();
+void EventQueue::SiftDown(size_t i) const {
+  const size_t n = heap_.size();
+  HeapEntry entry = heap_[i];
+  while (true) {
+    size_t first = i * kArity + 1;
+    if (first >= n) break;
+    size_t best = first;
+    size_t last = first + kArity < n ? first + kArity : n;
+    for (size_t c = first + 1; c < last; ++c) {
+      if (Before(heap_[c], heap_[best])) best = c;
+    }
+    if (!Before(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::RemoveTop() const {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+void EventQueue::SkipStale() const {
+  while (!heap_.empty() && !Live(heap_.front())) RemoveTop();
+}
+
+bool EventQueue::empty() const {
+  SkipStale();
   return heap_.empty();
 }
 
-SimTime EventQueue::PeekTime() {
-  SkipCancelled();
+SimTime EventQueue::PeekTime() const {
+  SkipStale();
   return heap_.empty() ? kSimTimeMax : heap_.front().time;
 }
 
 EventQueue::Entry EventQueue::Pop() {
-  SkipCancelled();
+  SkipStale();
   ELASTICUTOR_CHECK_MSG(!heap_.empty(), "Pop on empty event queue");
-  std::pop_heap(heap_.begin(), heap_.end(), NodeGreater{});
-  Node node = std::move(heap_.back());
-  heap_.pop_back();
-  return Entry{node.time, node.id, std::move(node.fn)};
+  HeapEntry top = heap_.front();
+  RemoveTop();
+  EventId id = MakeId(top.slot, top.gen);
+  return Entry{top.time, id, TakeAndFree(top.slot)};
 }
 
 }  // namespace elasticutor

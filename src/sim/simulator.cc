@@ -33,20 +33,21 @@ uint64_t Simulator::RunUntil(SimTime until) {
 void Simulator::Periodic(SimTime start, SimDuration period,
                          std::function<bool(SimTime)> fn) {
   ELASTICUTOR_CHECK_MSG(period > 0, "periodic period must be positive");
-  // The simulator owns periodic tasks; the tick closure holds only a raw
-  // pointer (no reference cycle). Tasks live until the simulator dies.
-  auto task = std::make_shared<PeriodicTask>();
+  // The simulator owns periodic tasks; each tick closure holds only a raw
+  // pointer (16 bytes — always inline in EventFn). Tasks live until the
+  // simulator dies.
+  auto task = std::make_unique<PeriodicTask>();
   task->fn = std::move(fn);
   task->period = period;
-  Simulator* sim = this;
   PeriodicTask* raw = task.get();
-  task->tick = [sim, raw]() {
-    if (raw->fn(sim->now())) {
-      sim->After(raw->period, raw->tick);
-    }
-  };
   periodic_tasks_.push_back(std::move(task));
-  At(start, raw->tick);
+  At(start, [this, raw]() { PeriodicTick(raw); });
+}
+
+void Simulator::PeriodicTick(PeriodicTask* task) {
+  if (task->fn(now_)) {
+    After(task->period, [this, task]() { PeriodicTick(task); });
+  }
 }
 
 }  // namespace elasticutor

@@ -50,13 +50,14 @@ class Simulator {
   struct PeriodicTask {
     std::function<bool(SimTime)> fn;
     SimDuration period = 0;
-    std::function<void()> tick;
   };
+
+  void PeriodicTick(PeriodicTask* task);
 
   EventQueue queue_;
   SimTime now_ = 0;
   uint64_t events_executed_ = 0;
-  std::vector<std::shared_ptr<PeriodicTask>> periodic_tasks_;
+  std::vector<std::unique_ptr<PeriodicTask>> periodic_tasks_;
 };
 
 }  // namespace elasticutor

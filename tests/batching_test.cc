@@ -1,0 +1,135 @@
+// Regressions for channel micro-batching (EngineConfig::max_batch_tuples):
+// batching must change HOW tuples travel (messages, events), never WHAT the
+// system computes — per-key order holds at every batch size, runs are
+// byte-for-byte deterministic, and the steady-state data path performs no
+// callback heap allocation.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "elasticutor/elasticutor.h"
+
+namespace elasticutor {
+namespace {
+
+struct RunSignature {
+  int64_t sink_count = 0;
+  int64_t routed = 0;
+  int64_t inter_bytes = 0;
+  int64_t messages = 0;
+  uint64_t events = 0;
+  double mean_latency = 0.0;
+
+  bool operator==(const RunSignature& other) const {
+    return sink_count == other.sink_count && routed == other.routed &&
+           inter_bytes == other.inter_bytes && messages == other.messages &&
+           events == other.events && mean_latency == other.mean_latency;
+  }
+};
+
+RunSignature RunMicro(Paradigm paradigm, int batch, uint64_t seed,
+                      int64_t* order_violations = nullptr,
+                      int64_t* heap_allocs_steady = nullptr) {
+  MicroOptions options;
+  options.generator_executors = 2;
+  options.calculator_executors = 2;
+  options.shards_per_executor = 8;
+  options.calc_cost_ns = Micros(20);
+  auto workload = BuildMicroWorkload(options, seed);
+  ELASTICUTOR_CHECK(workload.ok());
+  EngineConfig config;
+  config.paradigm = paradigm;
+  config.num_nodes = 2;
+  config.cores_per_node = 4;
+  config.max_batch_tuples = batch;
+  config.validate_key_order = true;
+  Engine engine(workload->topology, config);
+  ELASTICUTOR_CHECK(engine.Setup().ok());
+  engine.Start();
+  engine.RunFor(Seconds(1));
+  engine.ResetMetricsAfterWarmup();
+  int64_t allocs_before = EventFn::heap_allocations();
+  engine.RunFor(Seconds(2));
+  if (order_violations != nullptr) {
+    *order_violations = engine.order_violations();
+  }
+  if (heap_allocs_steady != nullptr) {
+    *heap_allocs_steady = EventFn::heap_allocations() - allocs_before;
+  }
+  RunSignature sig;
+  sig.sink_count = engine.metrics()->sink_count();
+  sig.routed = engine.metrics()->routed_tuples();
+  sig.inter_bytes = engine.net()->total_inter_node_bytes();
+  sig.messages = engine.net()->messages_sent();
+  sig.events = engine.sim()->events_executed();
+  sig.mean_latency = engine.LatencyHistogram().mean();
+  return sig;
+}
+
+class BatchingTest
+    : public ::testing::TestWithParam<std::tuple<Paradigm, int>> {};
+
+TEST_P(BatchingTest, PreservesPerKeyOrderAndDeterminism) {
+  auto [paradigm, batch] = GetParam();
+  int64_t violations = -1;
+  RunSignature first = RunMicro(paradigm, batch, 7, &violations);
+  EXPECT_EQ(violations, 0) << "micro-batching must not reorder keys";
+  EXPECT_GT(first.sink_count, 1000);
+  // Byte-for-byte determinism: a second run with the same seed reproduces
+  // every counter (events, messages, wire bytes, latency) exactly.
+  RunSignature second = RunMicro(paradigm, batch, 7);
+  EXPECT_TRUE(first == second)
+      << "runs diverged: sink " << first.sink_count << "/"
+      << second.sink_count << " events " << first.events << "/"
+      << second.events;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParadigmsAndBatchSizes, BatchingTest,
+    ::testing::Combine(::testing::Values(Paradigm::kStatic,
+                                         Paradigm::kElastic),
+                       ::testing::Values(1, 8, 64)),
+    [](const ::testing::TestParamInfo<std::tuple<Paradigm, int>>& info) {
+      return std::string(ParadigmName(std::get<0>(info.param)) ==
+                                 std::string("static")
+                             ? "static"
+                             : "elastic") +
+             "_b" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BatchingTest, BatchSizeOneMatchesHistoricalPath) {
+  // max_batch_tuples == 1 must be the tuple-at-a-time data path: exactly
+  // one message per routed tuple.
+  RunSignature sig = RunMicro(Paradigm::kStatic, 1, 3);
+  EXPECT_EQ(sig.messages, sig.routed);
+}
+
+TEST(BatchingTest, BatchingReducesMessagesAndEvents) {
+  RunSignature b1 = RunMicro(Paradigm::kStatic, 1, 3);
+  RunSignature b8 = RunMicro(Paradigm::kStatic, 8, 3);
+  // Same modeled computation...
+  EXPECT_GT(b8.sink_count, b1.sink_count / 2);
+  // ...but fewer messages per routed tuple (runs coalesce).
+  double b1_msgs = static_cast<double>(b1.messages) / b1.routed;
+  double b8_msgs = static_cast<double>(b8.messages) / b8.routed;
+  EXPECT_LT(b8_msgs, b1_msgs);
+  double b1_events = static_cast<double>(b1.events) / b1.routed;
+  double b8_events = static_cast<double>(b8.events) / b8.routed;
+  EXPECT_LT(b8_events, b1_events);
+}
+
+TEST(BatchingTest, SteadyStateIsCallbackAllocationFree) {
+  // After warm-up the data path must not miss EventFn's inline storage —
+  // the allocation-free property bench_core_speed gates in CI.
+  for (int batch : {1, 8}) {
+    int64_t allocs = -1;
+    RunSignature sig = RunMicro(Paradigm::kStatic, batch, 11, nullptr,
+                                &allocs);
+    EXPECT_GT(sig.sink_count, 1000);
+    EXPECT_EQ(allocs, 0) << "batch " << batch
+                         << ": steady-state EventFn heap fallback";
+  }
+}
+
+}  // namespace
+}  // namespace elasticutor

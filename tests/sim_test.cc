@@ -1,9 +1,15 @@
 // Unit tests for the discrete-event simulator: ordering, determinism,
-// cancellation, periodic processes.
+// cancellation, periodic processes, the inline callback type, and a
+// randomized index-heap stress test against a multimap reference model.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <map>
+#include <random>
+#include <utility>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 
@@ -52,6 +58,141 @@ TEST(EventQueueTest, CancelReportsLiveness) {
   while (!q.empty()) q.Pop().fn();
   EXPECT_FALSE(q.Cancel(executed)) << "cancelling an executed event is a "
                                       "no-op that reports failure";
+}
+
+TEST(EventQueueTest, CancelDoesNotHitRecycledSlot) {
+  // Slots are recycled through a free list; an id issued for an executed
+  // event must not cancel whatever event reuses its slot later.
+  EventQueue q;
+  int fired = 0;
+  EventId old_id = q.Push(10, [&]() { ++fired; });
+  q.Pop().fn();  // Executes and frees the slot.
+  EventId fresh = q.Push(20, [&]() { ++fired; });
+  EXPECT_FALSE(q.Cancel(old_id)) << "stale id must not cancel a reused slot";
+  EXPECT_EQ(q.PeekTime(), 20);
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(q.Cancel(fresh));
+}
+
+TEST(EventQueueTest, ConstAccessorsSkipCancelled) {
+  EventQueue q;
+  EventId a = q.Push(10, []() {});
+  q.Push(30, []() {});
+  ASSERT_TRUE(q.Cancel(a));
+  const EventQueue& cq = q;  // empty()/PeekTime() are logically const.
+  EXPECT_FALSE(cq.empty());
+  EXPECT_EQ(cq.PeekTime(), 30);
+  EXPECT_EQ(cq.live_size(), 1u);
+}
+
+TEST(EventQueueTest, RandomizedStressMatchesMultimapModel) {
+  // Reference model: a multimap ordered by (time, push sequence) plus a
+  // liveness map, driven through a seeded interleaving of push/pop/cancel.
+  EventQueue q;
+  std::multimap<std::pair<SimTime, uint64_t>, int> model;  // -> tag.
+  std::map<EventId,
+           std::multimap<std::pair<SimTime, uint64_t>, int>::iterator>
+      live;
+  std::vector<EventId> issued;
+  std::mt19937_64 rng(20260728);
+  uint64_t seq = 0;
+  int next_tag = 0;
+  int last_fired = -1;
+
+  for (int step = 0; step < 20000; ++step) {
+    int op = static_cast<int>(rng() % 10);
+    if (op < 5 || model.empty()) {  // Push.
+      SimTime time = static_cast<SimTime>(rng() % 1000);
+      int tag = next_tag++;
+      EventId id = q.Push(time, [&last_fired, tag]() { last_fired = tag; });
+      auto it = model.emplace(std::make_pair(time, seq++), tag);
+      ASSERT_TRUE(live.emplace(id, it).second) << "duplicate live id";
+      issued.push_back(id);
+    } else if (op < 8) {  // Pop.
+      ASSERT_FALSE(q.empty());
+      ASSERT_EQ(q.PeekTime(), model.begin()->first.first);
+      EventQueue::Entry entry = q.Pop();
+      entry.fn();
+      ASSERT_EQ(last_fired, model.begin()->second)
+          << "pop order diverged from the reference model";
+      ASSERT_EQ(entry.time, model.begin()->first.first);
+      ASSERT_EQ(live.count(entry.id), 1u);
+      live.erase(entry.id);
+      model.erase(model.begin());
+    } else if (!issued.empty()) {  // Cancel a random (possibly dead) id.
+      EventId id = issued[rng() % issued.size()];
+      auto it = live.find(id);
+      bool expect_live = it != live.end();
+      ASSERT_EQ(q.Cancel(id), expect_live);
+      if (expect_live) {
+        model.erase(it->second);
+        live.erase(it);
+      }
+    }
+    ASSERT_EQ(q.live_size(), model.size());
+  }
+  while (!model.empty()) {
+    ASSERT_FALSE(q.empty());
+    EventQueue::Entry entry = q.Pop();
+    entry.fn();
+    ASSERT_EQ(last_fired, model.begin()->second);
+    model.erase(model.begin());
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventFnTest, SmallClosuresStayInline) {
+  int64_t before = EventFn::heap_allocations();
+  int hits = 0;
+  EventFn fn([&hits]() { ++hits; });
+  EXPECT_FALSE(fn.on_heap());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(EventFn::heap_allocations(), before);
+}
+
+TEST(EventFnTest, TupleSizedCapturesStayInline) {
+  // The hot-path closures capture a 64-byte Tuple plus a pointer or two;
+  // they must never fall back to the heap.
+  int64_t before = EventFn::heap_allocations();
+  struct {
+    std::array<unsigned char, 64> tuple{};
+    void* target = nullptr;
+    void* extra = nullptr;
+  } capture;
+  EventFn fn([capture]() { (void)capture; });
+  EXPECT_FALSE(fn.on_heap());
+  EXPECT_EQ(EventFn::heap_allocations(), before);
+}
+
+TEST(EventFnTest, OversizedCapturesFallBackToHeapAndCount) {
+  int64_t before = EventFn::heap_allocations();
+  std::array<unsigned char, 256> big{};
+  big[0] = 7;
+  unsigned char seen = 0;
+  EventFn fn([big, &seen]() { seen = big[0]; });
+  EXPECT_TRUE(fn.on_heap());
+  EXPECT_EQ(EventFn::heap_allocations(), before + 1);
+  EventFn moved = std::move(fn);  // Pointer transfer: no new allocation.
+  EXPECT_EQ(EventFn::heap_allocations(), before + 1);
+  moved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(EventFnTest, MoveAndNullSemantics) {
+  int calls = 0;
+  EventFn a([&calls]() { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(a));
+  EventFn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(calls, 1);
+  b = nullptr;
+  EXPECT_FALSE(static_cast<bool>(b));
+  EventFn empty;
+  EXPECT_FALSE(static_cast<bool>(empty));
 }
 
 TEST(SimulatorTest, CancelReturnsWhetherEventWasPending) {
