@@ -1,0 +1,145 @@
+// Native-backend speed: real tuples/s of the multithreaded runtime
+// (exec/native_runtime.h) as worker threads scale 1 -> 2 -> 4 -> 8, plus
+// the two health signals of the native data path: batches_alloc (the batch
+// pool's total allocations, bounded by pipeline capacity — not tuple
+// count — once recycling works) and channel contention (push_blocks /
+// pop_waits per 1k tuples).
+//
+// Unlike the figure benches this measures the HARNESS on real hardware, so
+// tuples/s and the speedup column are machine-dependent: the `cores` column
+// reports std::thread::hardware_concurrency(), and CI only gates the
+// speedup when the machine actually has that many cores (the `min_cores`
+// conditional in scripts/check_bench_json.py). batches_alloc is gated
+// unconditionally — pooling correctness does not depend on core count.
+//
+// Per-tuple work is a deterministic hash spin (kSpinRounds) on top of the
+// per-key counter update, heavy enough that worker CPU (not source-side
+// generation or channel locking) dominates and the sweep exposes scaling.
+#include <chrono>
+#include <thread>
+
+#include "harness/experiment.h"
+
+using namespace elasticutor;
+using namespace elasticutor::bench;
+
+namespace {
+
+const int kWorkerCounts[] = {1, 2, 4, 8};
+constexpr int64_t kBaseTuplesPerSource = 400000;
+constexpr int kSources = 2;
+constexpr int kSpinRounds = 120;
+
+// Deterministic CPU burn: a few hundred ns of integer hashing per tuple.
+uint64_t SpinHash(uint64_t seed) {
+  uint64_t h = seed ^ 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < kSpinRounds; ++i) {
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+struct RowResult {
+  int64_t tuples = 0;
+  double wall_ms = 0.0;
+  double wall_tps = 0.0;
+  int64_t allocs = 0;
+  int64_t push_blocks = 0;
+  int64_t pop_waits = 0;
+  int64_t batches_pushed = 0;
+};
+
+RowResult RunOne(int workers, int64_t tuples_per_source) {
+  MicroOptions options;
+  options.num_keys = 4096;
+  options.zipf_skew = 0.5;
+  options.generator_executors = kSources;
+  options.calculator_executors = workers;
+  options.shards_per_executor = 16;
+  options.shard_state_bytes = 1 << 10;
+  options.mode = SourceSpec::Mode::kSaturation;
+  auto workload = BuildMicroWorkload(options, /*seed=*/42);
+  ELASTICUTOR_CHECK(workload.ok());
+  workload->topology.mutable_spec(workload->generator).source.max_tuples =
+      tuples_per_source;
+  OperatorSpec& calc = workload->topology.mutable_spec(workload->calculator);
+  calc.logic = [](const Tuple& t, StateAccessor& state, EmitContext*) {
+    int64_t* acc = state.GetOrCreate<int64_t>();
+    *acc += static_cast<int64_t>(SpinHash(t.key + static_cast<uint64_t>(*acc)));
+  };
+
+  EngineConfig config;
+  config.paradigm = Paradigm::kStatic;
+  config.backend = exec::BackendKind::kNative;
+  config.native.workers_per_operator = workers;
+  config.native.batch_tuples = 64;
+  config.native.channel_capacity_batches = 64;
+  config.num_nodes = 4;
+  config.seed = 42;
+  Engine engine(workload->topology, config);
+  ELASTICUTOR_CHECK(engine.Setup().ok());
+
+  auto wall_start = std::chrono::steady_clock::now();
+  engine.Start();
+  engine.RunToCompletion();
+  auto wall_end = std::chrono::steady_clock::now();
+
+  exec::NativeRuntime* native = engine.native();
+  RowResult r;
+  r.tuples = native->total_processed();
+  ELASTICUTOR_CHECK(r.tuples == kSources * tuples_per_source);
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start)
+          .count();
+  r.wall_tps = r.wall_ms > 0.0
+                   ? static_cast<double>(r.tuples) / (r.wall_ms / 1e3)
+                   : 0.0;
+  r.allocs = native->batches_allocated();
+  r.push_blocks = native->push_blocks();
+  r.pop_waits = native->pop_waits();
+  r.batches_pushed = native->batches_pushed();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchInit(argc, argv);
+  Banner("native speed",
+         "real multithreaded throughput of the native execution backend");
+
+  // Tuple budget scales with ELASTICUTOR_BENCH_SCALE (it is the bench's
+  // duration knob: saturation sources have no time axis).
+  const int64_t tuples_per_source = std::max<int64_t>(
+      2000, static_cast<int64_t>(kBaseTuplesPerSource * TimeScale()));
+  const int64_t total = kSources * tuples_per_source;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  TablePrinter table({"workers", "cores", "tuples", "wall_ms", "tup/s",
+                      "speedup_vs_1", "batches_alloc", "push_blocks_per_kt",
+                      "pop_waits_per_kt", "batches_pushed"});
+  table.PrintHeader();
+  double base_tps = 0.0;
+  for (int workers : kWorkerCounts) {
+    RowResult r = RunOne(workers, tuples_per_source);
+    if (workers == 1) base_tps = r.wall_tps;
+    const double speedup =
+        base_tps > 0.0 && r.wall_tps > 0.0 ? r.wall_tps / base_tps : 0.0;
+    const double per_kt = 1000.0 / static_cast<double>(total);
+    table.PrintRow({FmtInt(workers), FmtInt(cores), FmtInt(r.tuples),
+                    Fmt(r.wall_ms, 1), Fmt(r.wall_tps, 0), Fmt(speedup, 2),
+                    FmtInt(r.allocs),
+                    Fmt(static_cast<double>(r.push_blocks) * per_kt, 3),
+                    Fmt(static_cast<double>(r.pop_waits) * per_kt, 3),
+                    FmtInt(r.batches_pushed)});
+  }
+  std::printf(
+      "\ntuples/s and speedup are machine-dependent (CI gates the speedup "
+      "only on machines with enough cores — see min_cores in "
+      "bench/expectations.json); batches_alloc is capacity-bounded, not "
+      "tuple-bounded: the pool goes flat once every channel's pipeline is "
+      "primed.\n");
+  return 0;
+}

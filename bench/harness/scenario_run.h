@@ -56,7 +56,7 @@ inline ScenarioPhaseResult RunScenarioPhases(Engine* engine,
   engine->RunFor(baseline_window);
   r.p99_pre_ms = static_cast<double>(engine->LatencyHistogram().P99()) / 1e6;
 
-  const SimTime disturb_at = engine->sim()->now();
+  const SimTime disturb_at = engine->exec()->now();
   engine->ResetMetricsAfterWarmup();  // Post-window gets its own histogram
                                       // and per-node busy attribution.
   engine->RunFor(post_window);
@@ -66,7 +66,7 @@ inline ScenarioPhaseResult RunScenarioPhases(Engine* engine,
   r.post_tput = engine->MeasuredThroughput();
   r.recovery = MeasureRecovery(engine->metrics()->sink_throughput_series(),
                                disturb_at - baseline_window, disturb_at,
-                               engine->sim()->now(), recovery_threshold);
+                               engine->exec()->now(), recovery_threshold);
   r.baseline_tps = r.recovery.baseline_tps;
   return r;
 }

@@ -58,8 +58,8 @@ int main() {
   engine.Start();
 
   // Flip the distribution at t = 20 s, back at t = 45 s.
-  engine.sim()->At(bench::Scaled(Seconds(20)), [hot]() { *hot = true; });
-  engine.sim()->At(bench::Scaled(Seconds(45)), [hot]() { *hot = false; });
+  engine.exec()->At(bench::Scaled(Seconds(20)), [hot]() { *hot = true; });
+  engine.exec()->At(bench::Scaled(Seconds(45)), [hot]() { *hot = false; });
 
   std::printf("hot-key storm between t=20s and t=45s (60%% of traffic on 32 "
               "of %d keys)\n\n", kKeys);

@@ -35,6 +35,7 @@ ALL_BENCHES=(
   bench_fig13_parameters
   bench_fig15_sse_trace
   bench_fig16_sse_application
+  bench_native_speed
   bench_scn_failover
   bench_scn_flash_crowd
   bench_table2_scheduler_optimizations

@@ -37,7 +37,7 @@ void ElasticExecutor::Start() {
                         "elastic executor started with no cores");
   const BalancerConfig& cfg = rt_->config().balancer;
   if (!cfg.enabled) return;
-  rt_->sim()->Periodic(cfg.interval_ns, cfg.interval_ns,
+  rt_->exec()->Periodic(cfg.interval_ns, cfg.interval_ns,
                        [this](SimTime) {
                          RunBalanceRound();
                          return true;
@@ -137,7 +137,7 @@ void ElasticExecutor::TaskStartNext(const TaskPtr& task) {
     if (task->pending.front().is_label()) {
       int label_id = task->pending.front().label_id;
       task->pending.pop_front();
-      rt_->sim()->After(
+      rt_->exec()->After(
           0, [this, task, label_id]() { OnLabel(task, label_id); });
       continue;
     }
@@ -167,7 +167,7 @@ void ElasticExecutor::TaskStartNext(const TaskPtr& task) {
     task->work_ns += nominal + access;
     task->busy_ns += cost;
     rt_->metrics()->OnBusy(task->node, cost);
-    rt_->sim()->After(cost, [this, task, t]() {
+    rt_->exec()->After(cost, [this, task, t]() {
       task->busy = false;
       OnProcessingComplete(task, t);
     });
@@ -184,8 +184,8 @@ void ElasticExecutor::OnProcessingComplete(const TaskPtr& task, Tuple t) {
   // (the external KV routes every task to the home-standing store; the
   // shared backend to the task's process store).
   ProcessStateStore* store = backend_->AccessStore(task->node);
-  ApplyOperatorLogic(rt_, spec, op_, t, store, global_shard(local), &emit,
-                     &task->rng);
+  ApplyOperatorLogic(rt_->topology(), spec, op_, t, store,
+                     global_shard(local), &emit, &task->rng);
   ++metrics_.processed;
   rt_->OnProcessed(op_, t);
 
@@ -279,7 +279,7 @@ void ElasticExecutor::ScheduleEmitterRetry() {
   emitter_flushing_ = true;
   SimDuration delay = static_cast<SimDuration>(
       rt_->config().emit_retry_ns * (0.5 + rng_.NextDouble()));
-  rt_->sim()->After(delay, [this]() {
+  rt_->exec()->After(delay, [this]() {
     emitter_flushing_ = false;
     RunEmitter();
   });
@@ -421,7 +421,7 @@ void ElasticExecutor::TryFinalizeRemoval(const TaskPtr& victim, EventFn done) {
   // outputs, or (if remote) data that was on the wire when draining started.
   if (!victim->pending.empty() || victim->busy ||
       victim->outputs_outstanding > 0) {
-    rt_->sim()->After(Millis(1),
+    rt_->exec()->After(Millis(1),
                       [this, victim, done = std::move(done)]() mutable {
                         TryFinalizeRemoval(victim, std::move(done));
                       });
@@ -487,7 +487,7 @@ void ElasticExecutor::PauseAndLabel(int label_id) {
   ELASTICUTOR_CHECK(it != pending_reassigns_.end());
   Reassign& rec = it->second;
   shard_paused_[rec.local_shard] = 1;  // 2. Pause routing for the shard.
-  rec.pause_start = rt_->sim()->now();
+  rec.pause_start = rt_->exec()->now();
   SendLabel(task(rec.from_task), label_id);  // 3. Labeling tuple, FIFO path.
 }
 
@@ -508,7 +508,7 @@ void ElasticExecutor::OnLabel(const TaskPtr& from, int label_id) {
   auto it = pending_reassigns_.find(label_id);
   ELASTICUTOR_CHECK(it != pending_reassigns_.end());
   Reassign& rec = it->second;
-  rec.sync_done = rt_->sim()->now();  // Pending tuples all processed.
+  rec.sync_done = rt_->exec()->now();  // Pending tuples all processed.
   (void)from;
 
   if (!rec.migration) {
@@ -548,7 +548,7 @@ void ElasticExecutor::FinishReassign(int label_id,
     RouteToTask(rec.local_shard, t);
   }
 
-  SimTime now = rt_->sim()->now();
+  SimTime now = rt_->exec()->now();
   ElasticityOp op;
   op.inter_node = from_node != to_node;
   op.sync_ns = rec.sync_done - rec.pause_start;

@@ -35,6 +35,10 @@
 #include "engine/engine_config.h"
 #include "engine/operator.h"
 #include "engine/topology.h"
+#include "exec/execution_backend.h"
+#include "exec/native_backend.h"
+#include "exec/native_runtime.h"
+#include "exec/sim_backend.h"
 #include "net/network.h"
 #include "rc/rc_controller.h"
 #include "scenario/library.h"
@@ -44,7 +48,6 @@
 #include "scheduler/assignment.h"
 #include "scheduler/perf_model.h"
 #include "scheduler/scheduler.h"
-#include "sim/simulator.h"
 #include "state/migration_engine.h"
 #include "state/state_backend.h"
 #include "state/state_store.h"

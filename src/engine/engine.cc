@@ -5,6 +5,9 @@
 
 #include "elastic/elastic_executor.h"
 #include "engine/single_task_executor.h"
+#include "exec/native_backend.h"
+#include "exec/native_runtime.h"
+#include "exec/sim_backend.h"
 #include "rc/rc_controller.h"
 #include "scheduler/scheduler.h"
 #include "state/migration_engine.h"
@@ -25,16 +28,21 @@ const char* ParadigmName(Paradigm p) {
 
 Engine::Engine(Topology topology, EngineConfig config)
     : topology_(std::move(topology)), config_(config) {
-  sim_ = std::make_unique<Simulator>();
+  if (config_.backend == exec::BackendKind::kNative) {
+    exec_ = std::make_unique<exec::NativeBackend>();
+  } else {
+    exec_ = std::make_unique<exec::SimBackend>();
+  }
   cluster_ = std::make_unique<Cluster>(config_.num_nodes,
                                        config_.cores_per_node);
   ledger_ = std::make_unique<CoreLedger>(*cluster_);
   faults_ = std::make_unique<NodeFaultPlane>(config_.num_nodes);
-  net_ = std::make_unique<Network>(sim_.get(), config_.num_nodes, config_.net);
-  migration_ = std::make_unique<MigrationEngine>(sim_.get(), net_.get(),
+  net_ = std::make_unique<Network>(exec_.get(), config_.num_nodes,
+                                   config_.net);
+  migration_ = std::make_unique<MigrationEngine>(exec_.get(), net_.get(),
                                                  config_.state.migration);
   metrics_ = std::make_unique<EngineMetrics>();
-  runtime_ = std::make_unique<Runtime>(sim_.get(), net_.get(),
+  runtime_ = std::make_unique<Runtime>(exec_.get(), net_.get(),
                                        migration_.get(), faults_.get(),
                                        &topology_, &config_, metrics_.get());
 }
@@ -205,6 +213,17 @@ Status Engine::Setup() {
   if (setup_done_) return Status::FailedPrecondition("Setup called twice");
   provisioned_ = ComputeStaticProvisioning();
 
+  if (config_.backend == exec::BackendKind::kNative) {
+    // Native: the thread/channel dataflow replaces the simulated executor
+    // wiring entirely (no controllers — elasticity is sim-only).
+    native_ = std::make_unique<exec::NativeRuntime>(
+        &topology_, &config_,
+        static_cast<exec::NativeBackend*>(exec_.get()), metrics_.get());
+    ELASTICUTOR_RETURN_NOT_OK(native_->Setup());
+    setup_done_ = true;
+    return Status::OK();
+  }
+
   int source_home = 0;
   int elastic_home = 0;
   for (OperatorId op : topology_.topo_order()) {
@@ -247,6 +266,10 @@ Status Engine::Setup() {
 
 void Engine::Start() {
   ELASTICUTOR_CHECK_MSG(setup_done_, "Start before Setup");
+  if (native_ != nullptr) {
+    native_->Start();
+    return;
+  }
   for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
     for (const auto& ex : runtime_->executors(op)) {
       ex->Start();
@@ -258,10 +281,36 @@ void Engine::Start() {
 
 void Engine::ResetMetricsAfterWarmup() {
   runtime_->ResetMetricsAfterWarmup();
-  metrics_reset_at_ = sim_->now();
+  metrics_reset_at_ = exec_->now();
+}
+
+void Engine::RunToCompletion() {
+  if (native_ != nullptr) {
+    native_->WaitDrained();
+    return;
+  }
+  for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
+    const OperatorSpec& spec = topology_.spec(op);
+    ELASTICUTOR_CHECK_MSG(!spec.is_source || spec.source.max_tuples > 0,
+                          "RunToCompletion requires max_tuples on every "
+                          "source (unbounded sources never drain)");
+  }
+  // Budgeted sources fall silent once their tuples are routed; the event
+  // queue then drains and RunUntil returns early. Periodic control
+  // processes (balancer/scheduler/RC ticks) would keep the queue non-empty
+  // forever, so step in bounded windows until the sinks stop moving.
+  int64_t last_sinks = -1;
+  while (metrics_->sink_count() != last_sinks) {
+    last_sinks = metrics_->sink_count();
+    exec_->RunUntil(exec_->now() + Seconds(60));
+  }
 }
 
 void Engine::StopSources() {
+  if (native_ != nullptr) {
+    native_->StopSources();
+    return;
+  }
   for (OperatorId op = 0; op < topology_.num_operators(); ++op) {
     if (!topology_.spec(op).is_source) continue;
     for (const auto& ex : runtime_->executors(op)) {
@@ -285,7 +334,7 @@ void Engine::ShapeSourceRates(std::function<double(SimTime)> factor) {
 }
 
 double Engine::MeasuredThroughput() const {
-  SimDuration elapsed = sim_->now() - metrics_reset_at_;
+  SimDuration elapsed = exec_->now() - metrics_reset_at_;
   if (elapsed <= 0) return 0.0;
   return static_cast<double>(metrics_->sink_count()) / ToSeconds(elapsed);
 }

@@ -1,6 +1,12 @@
-// Engine: top-level driver. Owns the simulator, network, cluster, runtime,
-// executors and the paradigm-specific controller; provides the run/measure
-// API used by examples, tests and benches.
+// Engine: top-level driver. Owns the execution backend, network, cluster,
+// runtime, executors and the paradigm-specific controller; provides the
+// run/measure API used by examples, tests and benches.
+//
+// The backend (EngineConfig::backend) decides what actually executes:
+//  * kSim (default)  — discrete-event simulation, deterministic; all
+//    paradigms, all tests/figures.
+//  * kNative         — real OS threads via exec::NativeRuntime; static
+//    dataflow only, wall-clock time. Same Engine API.
 //
 //   Engine engine(topology, config);
 //   ELASTICUTOR_CHECK(engine.Setup().ok());
@@ -21,10 +27,14 @@
 #include "engine/runtime.h"
 #include "engine/spout.h"
 #include "engine/topology.h"
+#include "exec/execution_backend.h"
 #include "net/network.h"
-#include "sim/simulator.h"
 
 namespace elasticutor {
+
+namespace exec {
+class NativeRuntime;
+}  // namespace exec
 
 class ElasticExecutor;
 class DynamicScheduler;
@@ -43,10 +53,19 @@ class Engine {
   /// Starts sources, balancers and the scheduler/controller.
   void Start();
 
+  /// Advances virtual time by `duration`. Sim: runs the event loop. Native:
+  /// sleeps wall-clock on the driver thread (firing timers) while the
+  /// dataflow threads run.
   void RunFor(SimDuration duration) {
-    sim_->RunUntil(sim_->now() + duration);
+    exec_->RunUntil(exec_->now() + duration);
   }
-  void RunUntil(SimTime t) { sim_->RunUntil(t); }
+  void RunUntil(SimTime t) { exec_->RunUntil(t); }
+
+  /// Runs until every source's SourceSpec::max_tuples budget is exhausted
+  /// AND the dataflow has fully drained (requires a budget on every source;
+  /// checked). The basis of the sim-vs-native equivalence tests: after this
+  /// returns, both backends have processed the identical tuple multiset.
+  void RunToCompletion();
 
   /// Clears metric counters; call at the end of the warm-up phase.
   void ResetMetricsAfterWarmup();
@@ -68,13 +87,16 @@ class Engine {
   /// Deterministic hot-path cost counters (events / heap allocs / messages
   /// per routed tuple) since the last warm-up reset.
   PerfCounters Perf() const {
-    return metrics_->PerfWindow(sim_->events_executed(),
-                                EventFn::heap_allocations(),
-                                net_->messages_sent());
+    return metrics_->PerfWindow(
+        static_cast<int64_t>(exec_->events_executed()),
+        EventFn::heap_allocations(), net_->messages_sent());
   }
 
   // ---- Accessors ----
-  Simulator* sim() { return sim_.get(); }
+  /// The execution backend (virtual clock + deferred-call scheduling).
+  exec::ExecutionBackend* exec() { return exec_.get(); }
+  /// The native runtime (threads/channels); null under the sim backend.
+  exec::NativeRuntime* native() { return native_.get(); }
   Network* net() { return net_.get(); }
   Runtime* runtime() { return runtime_.get(); }
   EngineMetrics* metrics() { return metrics_.get(); }
@@ -110,7 +132,8 @@ class Engine {
   Topology topology_;
   EngineConfig config_;
 
-  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<exec::ExecutionBackend> exec_;
+  std::unique_ptr<exec::NativeRuntime> native_;  // kNative backend only.
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<CoreLedger> ledger_;
   std::unique_ptr<NodeFaultPlane> faults_;

@@ -6,6 +6,7 @@
 
 #include "common/units.h"
 #include "elastic/balancer_config.h"
+#include "exec/execution_backend.h"
 #include "net/network.h"
 #include "rc/rc_config.h"
 #include "scheduler/scheduler_config.h"
@@ -23,8 +24,30 @@ enum class Paradigm {
 
 const char* ParadigmName(Paradigm p);
 
+/// Knobs of the native multithreaded runtime (exec/native_runtime.h); only
+/// read when `EngineConfig::backend == BackendKind::kNative`.
+struct NativeRuntimeOptions {
+  /// Worker threads per non-source operator (0 = the operator's
+  /// static_executors, or 1 when that is unset). Sources get one thread per
+  /// source executor.
+  int workers_per_operator = 0;
+  /// Tuples accumulated per cross-thread micro-batch (the native analog of
+  /// max_batch_tuples; batches are flushed early when the producer idles).
+  int batch_tuples = 64;
+  /// Bounded channel depth, in batches, per worker input (back-pressure).
+  int channel_capacity_batches = 64;
+};
+
 struct EngineConfig {
   Paradigm paradigm = Paradigm::kElastic;
+
+  // ---- Execution backend (exec/execution_backend.h) ----
+  /// kSim (default): single-threaded discrete-event simulation, the
+  /// deterministic path every figure bench and test runs on. kNative: real
+  /// OS threads + monotonic clock; static dataflow only (no elasticity) —
+  /// see docs/architecture.md "Execution backends".
+  exec::BackendKind backend = exec::BackendKind::kSim;
+  NativeRuntimeOptions native;
 
   // ---- Cluster (paper testbed: 32 nodes x 8 cores, 1 Gbps) ----
   int num_nodes = 32;

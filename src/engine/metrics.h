@@ -129,6 +129,13 @@ class EngineMetrics {
     return busy_ns_by_node_;
   }
 
+  /// Bulk sink-count merge used by the native runtime AFTER its threads
+  /// joined: the native data path keeps per-worker counters (no shared
+  /// mutable metrics while running) and folds them in once, so EngineMetrics
+  /// itself stays single-threaded on every backend. Latency histograms and
+  /// time series are simulator-only (timing columns).
+  void MergeSinkCount(int64_t n) { sink_count_ += n; }
+
   int64_t sink_count() const { return sink_count_; }
   const Histogram& latency() const { return latency_; }
   const TimeSeries& sink_throughput_series() const { return sink_throughput_; }

@@ -47,6 +47,12 @@ struct SourceSpec {
   /// CPU time a source executor spends generating + emitting one tuple;
   /// bounds the per-executor offered rate.
   SimDuration gen_overhead_ns = Micros(10);
+
+  /// Tuple budget PER SOURCE EXECUTOR (0 = unlimited). When set, the
+  /// executor stops after emitting this many tuples, letting a run drain to
+  /// completion — the basis of the sim-vs-native equivalence tests, which
+  /// need both backends to process the exact same tuple multiset.
+  int64_t max_tuples = 0;
 };
 
 struct OperatorSpec {

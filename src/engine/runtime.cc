@@ -44,10 +44,11 @@ struct Runtime::FlushRetry {
   void operator()() { rt->FlushJobStep(job); }
 };
 
-Runtime::Runtime(Simulator* sim, Network* net, MigrationEngine* migration,
-                 const NodeFaultPlane* faults, const Topology* topology,
-                 const EngineConfig* config, EngineMetrics* metrics)
-    : sim_(sim),
+Runtime::Runtime(exec::ExecutionBackend* exec, Network* net,
+                 MigrationEngine* migration, const NodeFaultPlane* faults,
+                 const Topology* topology, const EngineConfig* config,
+                 EngineMetrics* metrics)
+    : exec_(exec),
       net_(net),
       migration_(migration),
       faults_(faults),
@@ -176,7 +177,7 @@ void Runtime::FlushJobStep(FlushJob* job) {
       // synchronized herds). The emitter stays alive via the job.
       SimDuration delay = static_cast<SimDuration>(
           config_->emit_retry_ns * (0.5 + rng_.NextDouble()));
-      sim_->After(delay, FlushRetry{this, job});
+      exec_->After(delay, FlushRetry{this, job});
       return;
     }
     job->next += routed;
@@ -197,7 +198,7 @@ void Runtime::OnProcessed(OperatorId op, const Tuple& t) {
     validator_.OnProcess(op, t.key, t.arrival_seq);
   }
   if (topology_->is_sink(op)) {
-    metrics_->OnSinkTuple(sim_->now(), t.created_at);
+    metrics_->OnSinkTuple(exec_->now(), t.created_at);
   }
 }
 
@@ -210,7 +211,7 @@ void Runtime::StampArrival(OperatorId op, Tuple* t) {
 void Runtime::ResetMetricsAfterWarmup() {
   metrics_->ResetAfterWarmup();
   net_->ResetCounters();
-  metrics_->BeginPerfWindow(sim_->events_executed(),
+  metrics_->BeginPerfWindow(exec_->events_executed(),
                             EventFn::heap_allocations());
   for (auto& execs : executors_) {
     for (auto& e : execs) e->metrics().Reset();

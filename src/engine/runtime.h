@@ -32,8 +32,8 @@
 #include "engine/metrics.h"
 #include "engine/partition.h"
 #include "engine/topology.h"
+#include "exec/execution_backend.h"
 #include "net/network.h"
-#include "sim/simulator.h"
 
 namespace elasticutor {
 
@@ -41,9 +41,10 @@ class MigrationEngine;
 
 class Runtime {
  public:
-  Runtime(Simulator* sim, Network* net, MigrationEngine* migration,
-          const NodeFaultPlane* faults, const Topology* topology,
-          const EngineConfig* config, EngineMetrics* metrics);
+  Runtime(exec::ExecutionBackend* exec, Network* net,
+          MigrationEngine* migration, const NodeFaultPlane* faults,
+          const Topology* topology, const EngineConfig* config,
+          EngineMetrics* metrics);
 
   // ---- Wiring ----
   void SetPartition(OperatorId op, std::unique_ptr<OperatorPartition> p);
@@ -128,7 +129,9 @@ class Runtime {
   }
 
   // ---- Accessors ----
-  Simulator* sim() { return sim_; }
+  /// The execution backend: virtual clock + deferred-call scheduling
+  /// (SimBackend by default; see exec/execution_backend.h).
+  exec::ExecutionBackend* exec() { return exec_; }
   Network* net() { return net_; }
   /// The shared shard-migration engine (single migration code path for the
   /// elastic executor and the RC repartitioner).
@@ -157,7 +160,7 @@ class Runtime {
   std::vector<Tuple>* AcquireTupleBatch();
   void ReleaseTupleBatch(std::vector<Tuple>* batch);
 
-  Simulator* sim_;
+  exec::ExecutionBackend* exec_;
   Network* net_;
   MigrationEngine* migration_;
   const NodeFaultPlane* faults_;

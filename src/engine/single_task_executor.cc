@@ -10,10 +10,10 @@ SimDuration SampleCost(const OperatorSpec& spec, const EngineConfig& config,
       rng->NextExponential(static_cast<double>(spec.mean_cost_ns)));
 }
 
-void ApplyOperatorLogic(Runtime* rt, const OperatorSpec& spec, OperatorId op,
-                        const Tuple& t, ProcessStateStore* store,
-                        ShardId shard, BatchEmitContext* emit, Rng* rng) {
-  (void)op;
+void ApplyOperatorLogic(const Topology& topology, const OperatorSpec& spec,
+                        OperatorId op, const Tuple& t,
+                        ProcessStateStore* store, ShardId shard,
+                        EmitContext* emit, Rng* rng) {
   if (spec.logic) {
     StateAccessor accessor(store, shard, t.key);
     spec.logic(t, accessor, emit);
@@ -24,7 +24,7 @@ void ApplyOperatorLogic(Runtime* rt, const OperatorSpec& spec, OperatorId op,
   StateAccessor accessor(store, shard, t.key);
   int64_t* counter = accessor.GetOrCreate<int64_t>();
   ++*counter;
-  if (rt->topology().downstream(op).empty()) return;
+  if (topology.downstream(op).empty()) return;
   double want = spec.selectivity;
   int outputs = static_cast<int>(want);
   if (rng->NextDouble() < want - outputs) ++outputs;
@@ -82,7 +82,7 @@ void SingleTaskExecutor::StartNext() {
       static_cast<double>(cost) * rt_->faults()->cpu_factor(home_node_));
   metrics_.busy_ns += cost;
   rt_->metrics()->OnBusy(home_node_, cost);
-  rt_->sim()->After(cost, [this, t]() { OnProcessingComplete(t); });
+  rt_->exec()->After(cost, [this, t]() { OnProcessingComplete(t); });
 }
 
 void SingleTaskExecutor::OnProcessingComplete(Tuple t) {
@@ -92,7 +92,8 @@ void SingleTaskExecutor::OnProcessingComplete(Tuple t) {
   ++shard_load_[shard];
 
   BatchEmitContext emit(rt_, op_, t.created_at);
-  ApplyOperatorLogic(rt_, spec, op_, t, &store_, shard, &emit, &service_rng_);
+  ApplyOperatorLogic(rt_->topology(), spec, op_, t, &store_, shard, &emit,
+                     &service_rng_);
 
   ++metrics_.processed;
   rt_->OnProcessed(op_, t);

@@ -94,10 +94,13 @@ class BatchEmitContext : public EmitContext {
 };
 
 /// Applies the operator's logic (or default selectivity-based emission) for
-/// one tuple. Shared by all executor implementations.
-void ApplyOperatorLogic(Runtime* rt, const OperatorSpec& spec, OperatorId op,
-                        const Tuple& t, ProcessStateStore* store,
-                        ShardId shard, BatchEmitContext* emit, Rng* rng);
+/// one tuple. Shared by every executor implementation on every execution
+/// backend (the native runtime calls it with its own EmitContext), so the
+/// per-tuple semantics cannot diverge between sim and native.
+void ApplyOperatorLogic(const Topology& topology, const OperatorSpec& spec,
+                        OperatorId op, const Tuple& t,
+                        ProcessStateStore* store, ShardId shard,
+                        EmitContext* emit, Rng* rng);
 
 /// Samples the CPU cost of processing `t` under `spec`.
 SimDuration SampleCost(const OperatorSpec& spec, const EngineConfig& config,

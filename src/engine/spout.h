@@ -38,6 +38,10 @@ class SpoutExecutor : public ExecutorBase {
   /// Stops generating (end of a measured run).
   void Stop() { stopped_ = true; }
 
+  /// True once the SourceSpec::max_tuples budget is exhausted (always false
+  /// for unbounded sources).
+  bool budget_exhausted() const { return budget_exhausted_; }
+
   int64_t emitted() const { return emitted_; }
   /// Emission attempts rejected by back-pressure (diagnostics).
   int64_t blocked_attempts() const { return blocked_attempts_; }
@@ -51,6 +55,8 @@ class SpoutExecutor : public ExecutorBase {
 
   bool stopped_ = false;
   bool draining_ = false;
+  bool budget_exhausted_ = false;
+  int64_t generated_ = 0;
   int64_t emitted_ = 0;
   int64_t blocked_attempts_ = 0;
   // Saturation mode: the generated-but-not-yet-routed run (head-of-line

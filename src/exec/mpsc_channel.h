@@ -1,0 +1,146 @@
+// Bounded MPSC channel of tuple micro-batches — the unit of cross-thread
+// handoff in the native runtime (the same micro-batches PR 5 introduced on
+// the simulated data path travel here between OS threads).
+//
+// Semantics:
+//  * Multiple producers, one consumer. Each producer registers up front
+//    (producer count is fixed at wiring time) and calls CloseProducer()
+//    exactly once when it finishes; when the last producer closes and the
+//    ring drains, Pop() returns nullptr and the consumer shuts down — the
+//    dataflow quiesces topologically, no poison pills.
+//  * Push blocks while the ring is full (bounded queue => back-pressure
+//    propagates upstream to the sources, mirroring the simulator's
+//    reservation-based admission).
+//  * Mutex + two condvars rather than a lock-free ring: batches amortize
+//    the lock over EngineConfig::native.batch_tuples tuples, so the lock is
+//    taken ~1/batch_tuples per tuple and contention shows up in the
+//    blocked/wait counters long before the mutex itself is the bottleneck.
+//    The counters (push_blocks / pop_waits) are reported by
+//    bench_native_speed as the channel-contention signal.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/status.h"
+
+namespace elasticutor {
+namespace exec {
+
+struct TupleBatchStorage;  // exec/batch_pool.h
+
+class MpscChannel {
+ public:
+  /// `capacity` bounds the number of in-flight batches; `producers` is the
+  /// number of CloseProducer() calls after which the channel is closed.
+  MpscChannel(size_t capacity, int producers)
+      : capacity_(capacity), producers_open_(producers) {
+    ELASTICUTOR_CHECK(capacity > 0);
+    ELASTICUTOR_CHECK(producers > 0);
+  }
+
+  MpscChannel(const MpscChannel&) = delete;
+  MpscChannel& operator=(const MpscChannel&) = delete;
+
+  /// Blocks while full; returns false iff the channel was force-closed
+  /// (Abort) and the batch was not enqueued.
+  bool Push(TupleBatchStorage* batch) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (ring_.size() >= capacity_) {
+      ++push_blocks_;
+      not_full_.wait(lock,
+                     [this] { return ring_.size() < capacity_ || aborted_; });
+    }
+    if (aborted_) return false;
+    ring_.push_back(batch);
+    ++batches_pushed_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking pop; nullptr when currently empty (channel may still be
+  /// open). The consumer uses this to flush partial output batches before
+  /// committing to a blocking Pop().
+  TupleBatchStorage* TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return PopLocked();
+  }
+
+  /// Blocks until a batch arrives or the channel is closed (all producers
+  /// done) and drained; nullptr means "no more batches, ever".
+  TupleBatchStorage* Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (ring_.empty() && producers_open_ > 0 && !aborted_) {
+      ++pop_waits_;
+      not_empty_.wait(lock, [this] {
+        return !ring_.empty() || producers_open_ == 0 || aborted_;
+      });
+    }
+    return PopLocked();
+  }
+
+  /// A producer finished for good (source budget exhausted / stop request /
+  /// upstream channel closed).
+  void CloseProducer() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ELASTICUTOR_CHECK_MSG(producers_open_ > 0,
+                            "CloseProducer called more times than producers");
+      --producers_open_;
+      if (producers_open_ > 0) return;
+    }
+    not_empty_.notify_all();  // Consumer may be waiting on an empty ring.
+  }
+
+  /// Emergency teardown: unblocks producers and the consumer regardless of
+  /// ring state (batches still in the ring are returned by Pop until
+  /// drained).
+  void Abort() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      aborted_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  // ---- Contention counters (monotone; read after threads joined) ----
+  int64_t push_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return push_blocks_;
+  }
+  int64_t pop_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pop_waits_;
+  }
+  int64_t batches_pushed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batches_pushed_;
+  }
+
+ private:
+  TupleBatchStorage* PopLocked() {
+    if (ring_.empty()) return nullptr;
+    TupleBatchStorage* batch = ring_.front();
+    ring_.pop_front();
+    not_full_.notify_one();
+    return batch;
+  }
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<TupleBatchStorage*> ring_;
+  int producers_open_;
+  bool aborted_ = false;
+  int64_t push_blocks_ = 0;
+  int64_t pop_waits_ = 0;
+  int64_t batches_pushed_ = 0;
+};
+
+}  // namespace exec
+}  // namespace elasticutor

@@ -1,0 +1,136 @@
+#include "exec/native_backend.h"
+
+#include <utility>
+
+#include "common/status.h"
+
+namespace elasticutor {
+namespace exec {
+
+const char* BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kSim:
+      return "sim";
+    case BackendKind::kNative:
+      return "native";
+  }
+  return "unknown";
+}
+
+NativeBackend::NativeBackend() : epoch_(std::chrono::steady_clock::now()) {}
+
+NativeBackend::~NativeBackend() = default;
+
+SimTime NativeBackend::now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+EventId NativeBackend::ScheduleLocked(SimTime at, EventFn fn) {
+  const uint64_t id = next_id_++;
+  const auto key = std::make_pair(at, next_seq_++);
+  Timer timer;
+  timer.fn = std::move(fn);
+  timer.id = id;
+  const bool was_front = timers_.empty() || key < timers_.begin()->first;
+  timers_.emplace(key, std::move(timer));
+  id_index_.emplace(id, key);
+  if (was_front) wake_.notify_all();  // Driver may be sleeping past `at`.
+  return id;
+}
+
+EventId NativeBackend::At(SimTime at, EventFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ScheduleLocked(at, std::move(fn));
+}
+
+EventId NativeBackend::After(SimDuration delay, EventFn fn) {
+  if (delay < 0) delay = 0;
+  const SimTime at = now() + delay;
+  std::lock_guard<std::mutex> lock(mu_);
+  return ScheduleLocked(at, std::move(fn));
+}
+
+bool NativeBackend::Cancel(EventId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = id_index_.find(id);
+  if (it == id_index_.end()) return false;
+  timers_.erase(it->second);
+  id_index_.erase(it);
+  return true;
+}
+
+void NativeBackend::Periodic(SimTime start, SimDuration period,
+                             std::function<bool(SimTime)> fn) {
+  ELASTICUTOR_CHECK_MSG(period > 0, "periodic period must be positive");
+  auto task = std::make_unique<PeriodicTask>();
+  task->fn = std::move(fn);
+  task->period = period;
+  PeriodicTask* raw = task.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    periodic_tasks_.push_back(std::move(task));
+    ScheduleLocked(start, [this, raw]() { PeriodicTick(raw, now()); });
+  }
+}
+
+void NativeBackend::PeriodicTick(PeriodicTask* task, SimTime fired_at) {
+  if (task->fn(fired_at)) {
+    After(task->period, [this, task]() { PeriodicTick(task, now()); });
+  }
+}
+
+uint64_t NativeBackend::RunUntil(SimTime until) {
+  uint64_t executed = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stop_requested_) {
+      stop_requested_ = false;
+      break;
+    }
+    const SimTime wall = now();
+    if (!timers_.empty() && timers_.begin()->first.first <= wall) {
+      // Due: fire outside the lock so the callback may (re)schedule.
+      auto it = timers_.begin();
+      EventFn fn = std::move(it->second.fn);
+      id_index_.erase(it->second.id);
+      timers_.erase(it);
+      ++events_executed_;
+      lock.unlock();
+      fn();
+      ++executed;
+      lock.lock();
+      continue;
+    }
+    if (wall >= until) break;
+    // Sleep until the deadline, the next timer, or a wake (Stop / an
+    // earlier timer being scheduled from another thread).
+    SimTime wake_at = until;
+    if (!timers_.empty() && timers_.begin()->first.first < wake_at) {
+      wake_at = timers_.begin()->first.first;
+    }
+    if (wake_at == kSimTimeMax) {
+      wake_.wait(lock);
+    } else {
+      wake_.wait_for(lock, std::chrono::nanoseconds(wake_at - wall));
+    }
+  }
+  return executed;
+}
+
+void NativeBackend::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+}
+
+uint64_t NativeBackend::events_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_executed_;
+}
+
+}  // namespace exec
+}  // namespace elasticutor

@@ -1,0 +1,87 @@
+// NativeBackend — the ExecutionBackend of the native multithreaded runtime:
+// a monotonic-clock time source plus a thread-safe deferred-call queue.
+//
+// Virtual time IS wall time: now() returns nanoseconds of std::chrono::
+// steady_clock elapsed since backend construction, so engine-level code that
+// times out, samples rates or stamps tuples behaves sensibly on real
+// hardware without translation.
+//
+// Deferred calls (At/After/Periodic) may be scheduled from any thread; they
+// fire on the DRIVER thread — the thread inside RunUntil — one at a time,
+// never concurrently with each other. RunUntil(t) sleeps on a condition
+// variable until the next due call or the deadline, firing due calls as
+// wall time passes them; Stop() wakes the driver early. This mirrors the
+// simulator's single-threaded callback discipline, so control-plane code
+// written for SimBackend needs no locking when it runs here — only the
+// data plane (NativeRuntime's executor threads) is concurrent.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/execution_backend.h"
+
+namespace elasticutor {
+namespace exec {
+
+class NativeBackend final : public ExecutionBackend {
+ public:
+  NativeBackend();
+  ~NativeBackend() override;
+
+  BackendKind kind() const override { return BackendKind::kNative; }
+
+  /// Monotonic ns since construction. Callable from any thread.
+  SimTime now() const override;
+
+  EventId At(SimTime at, EventFn fn) override;
+  EventId After(SimDuration delay, EventFn fn) override;
+  bool Cancel(EventId id) override;
+  void Periodic(SimTime start, SimDuration period,
+                std::function<bool(SimTime)> fn) override;
+
+  /// Blocks the calling thread until wall time reaches `until`, firing due
+  /// deferred calls on this thread. kSimTimeMax runs until Stop().
+  uint64_t RunUntil(SimTime until) override;
+
+  /// Wakes a RunUntil in progress; it returns promptly without firing
+  /// further calls.
+  void Stop() override;
+
+  uint64_t events_executed() const override;
+
+ private:
+  struct PeriodicTask {
+    std::function<bool(SimTime)> fn;
+    SimDuration period = 0;
+  };
+  struct Timer {
+    EventFn fn;
+    uint64_t id = 0;
+  };
+
+  EventId ScheduleLocked(SimTime at, EventFn fn);
+  void PeriodicTick(PeriodicTask* task, SimTime fired_at);
+
+  const std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  // (due time, seq) -> timer: fires in (time, schedule-order), like the
+  // simulator's (time, seq) ordering.
+  std::map<std::pair<SimTime, uint64_t>, Timer> timers_;
+  std::map<uint64_t, std::pair<SimTime, uint64_t>> id_index_;
+  std::vector<std::unique_ptr<PeriodicTask>> periodic_tasks_;
+  uint64_t next_seq_ = 1;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace exec
+}  // namespace elasticutor

@@ -1,0 +1,337 @@
+#include "exec/native_runtime.h"
+
+#include <algorithm>
+
+#include "engine/single_task_executor.h"  // ApplyOperatorLogic.
+
+namespace elasticutor {
+namespace exec {
+
+/// EmitContext of a native producer: routes each emission into the partial
+/// batches of the thread's ports. Lives on the producer's stack for one
+/// tuple; no allocation, no locking beyond the channel push. (Friend of
+/// NativeRuntime — not in an anonymous namespace on purpose.)
+class NativeEmitContext final : public EmitContext {
+ public:
+  NativeEmitContext(NativeRuntime* rt,
+                    std::vector<NativeRuntime::ProducerPort>* ports,
+                    SimTime created_at)
+      : rt_(rt), ports_(ports), created_at_(created_at) {}
+
+  void Emit(uint64_t key, int32_t size_bytes,
+            const TuplePayload& payload) override {
+    Tuple out;
+    out.key = key;
+    out.size_bytes = size_bytes;
+    out.created_at = created_at_;
+    out.payload = payload;
+    for (auto& port : *ports_) rt_->EmitTo(&port, out);
+  }
+
+ private:
+  NativeRuntime* rt_;
+  std::vector<NativeRuntime::ProducerPort>* ports_;
+  SimTime created_at_;
+};
+
+NativeRuntime::NativeRuntime(const Topology* topology,
+                             const EngineConfig* config,
+                             NativeBackend* backend, EngineMetrics* metrics)
+    : topology_(topology),
+      config_(config),
+      backend_(backend),
+      metrics_(metrics) {}
+
+NativeRuntime::~NativeRuntime() {
+  if (started_ && !drained_) {
+    // Emergency teardown: unblock every thread and join.
+    stop_sources_.store(true, std::memory_order_relaxed);
+    for (auto& op_workers : workers_) {
+      for (auto& w : op_workers) w->input->Abort();
+    }
+    WaitDrained();
+  }
+}
+
+int NativeRuntime::WorkerCount(OperatorId op) const {
+  if (config_->native.workers_per_operator > 0) {
+    return config_->native.workers_per_operator;
+  }
+  const OperatorSpec& spec = topology_->spec(op);
+  return std::max(1, spec.static_executors);
+}
+
+Status NativeRuntime::Setup() {
+  if (setup_done_) return Status::FailedPrecondition("Setup called twice");
+  if (config_->paradigm != Paradigm::kStatic) {
+    return Status::InvalidArgument(
+        "the native backend runs the static dataflow only; elasticity "
+        "(elastic/RC paradigms) is simulator-only — see docs/architecture.md");
+  }
+  if (config_->validate_key_order) {
+    return Status::InvalidArgument(
+        "validate_key_order is simulator-only (the order validator is "
+        "single-threaded)");
+  }
+  batch_tuples_ =
+      static_cast<size_t>(std::max(1, config_->native.batch_tuples));
+  const size_t channel_cap = static_cast<size_t>(
+      std::max(1, config_->native.channel_capacity_batches));
+
+  const int n = topology_->num_operators();
+  partitions_.resize(n);
+  workers_.resize(n);
+
+  // Pass 1: partitions, workers and their input channels (no ports yet —
+  // ports need every destination channel to exist).
+  for (OperatorId op : topology_->topo_order()) {
+    const OperatorSpec& spec = topology_->spec(op);
+    if (spec.is_source) {
+      if (spec.source.mode != SourceSpec::Mode::kSaturation) {
+        return Status::InvalidArgument(
+            "native sources support saturation mode only (trace-mode "
+            "Poisson pacing is a simulator feature)");
+      }
+      if (topology_->downstream(op).size() != 1) {
+        return Status::InvalidArgument("source '" + spec.name +
+                                       "' must have exactly one downstream "
+                                       "operator");
+      }
+      continue;
+    }
+    const int count = WorkerCount(op);
+    auto partition = std::make_unique<OperatorPartition>(
+        spec.total_shards(), count, /*salt=*/op);
+    // Producers on this operator's channels: every upstream slot.
+    int producers = 0;
+    for (OperatorId up : topology_->upstream(op)) {
+      const OperatorSpec& up_spec = topology_->spec(up);
+      producers +=
+          up_spec.is_source ? up_spec.num_executors : WorkerCount(up);
+    }
+    for (int i = 0; i < count; ++i) {
+      auto w = std::make_unique<Worker>();
+      w->op = op;
+      w->index = i;
+      w->input = std::make_unique<MpscChannel>(channel_cap, producers);
+      workers_[op].push_back(std::move(w));
+    }
+    OperatorPartition* part = partition.get();
+    for (int s = 0; s < part->num_shards(); ++s) {
+      Worker* owner = workers_[op][part->ExecutorOfShard(s)].get();
+      ELASTICUTOR_RETURN_NOT_OK(
+          owner->store.CreateShard(s, spec.shard_state_bytes));
+    }
+    partitions_[op] = std::move(partition);
+  }
+
+  // Pass 2: rngs (mirroring the simulator's fork order exactly: topo order,
+  // executors in index order — so source streams are bit-identical to a sim
+  // run at the same seed) and producer ports.
+  Rng root(config_->seed, 0x5eed5eed);
+  for (OperatorId op : topology_->topo_order()) {
+    const OperatorSpec& spec = topology_->spec(op);
+    if (spec.is_source) {
+      for (int e = 0; e < spec.num_executors; ++e) {
+        auto s = std::make_unique<Source>();
+        s->op = op;
+        s->index = e;
+        s->rng = root.Fork(0x500 + MakeExecutorId(op, e));
+        BuildPorts(op, &s->ports);
+        sources_.push_back(std::move(s));
+      }
+      continue;
+    }
+    for (auto& w : workers_[op]) {
+      w->rng = root.Fork(MakeExecutorId(op, w->index));
+      BuildPorts(op, &w->ports);
+    }
+  }
+  setup_done_ = true;
+  return Status::OK();
+}
+
+void NativeRuntime::BuildPorts(OperatorId op,
+                               std::vector<ProducerPort>* ports) {
+  for (OperatorId to : topology_->downstream(op)) {
+    ProducerPort port;
+    port.to_op = to;
+    port.part = partitions_[to].get();
+    for (auto& w : workers_[to]) port.channels.push_back(w->input.get());
+    port.pending.assign(port.channels.size(), nullptr);
+    ports->push_back(std::move(port));
+  }
+}
+
+void NativeRuntime::Start() {
+  ELASTICUTOR_CHECK_MSG(setup_done_, "Start before Setup");
+  ELASTICUTOR_CHECK_MSG(!started_, "Start called twice");
+  started_ = true;
+  // Workers first so channels have their consumers before sources flood.
+  for (auto& op_workers : workers_) {
+    for (auto& w : op_workers) {
+      w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
+    }
+  }
+  for (auto& s : sources_) {
+    s->thread = std::thread([this, src = s.get()] { SourceLoop(src); });
+  }
+}
+
+void NativeRuntime::StopSources() {
+  stop_sources_.store(true, std::memory_order_relaxed);
+}
+
+void NativeRuntime::WaitDrained() {
+  if (!started_ || drained_) return;
+  for (auto& s : sources_) {
+    if (s->thread.joinable()) s->thread.join();
+  }
+  for (auto& op_workers : workers_) {
+    for (auto& w : op_workers) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+  drained_ = true;
+  // Single-threaded from here: merge per-worker counters into the engine
+  // metrics (EngineMetrics itself is not touched by running threads).
+  metrics_->MergeSinkCount(sink_count());
+}
+
+bool NativeRuntime::EmitTo(ProducerPort* port, const Tuple& t) {
+  const size_t wi =
+      static_cast<size_t>(port->part->ExecutorOfKey(t.key));
+  TupleBatchStorage*& batch = port->pending[wi];
+  if (batch == nullptr) batch = pool_.Acquire();
+  batch->tuples.push_back(t);
+  if (batch->tuples.size() < batch_tuples_) return true;
+  TupleBatchStorage* full = batch;
+  batch = nullptr;
+  if (!port->channels[wi]->Push(full)) {
+    pool_.Release(full);
+    return false;  // Aborted (emergency teardown).
+  }
+  return true;
+}
+
+void NativeRuntime::FlushPorts(std::vector<ProducerPort>* ports) {
+  for (auto& port : *ports) {
+    for (size_t wi = 0; wi < port.pending.size(); ++wi) {
+      TupleBatchStorage* batch = port.pending[wi];
+      if (batch == nullptr || batch->tuples.empty()) continue;
+      port.pending[wi] = nullptr;
+      if (!port.channels[wi]->Push(batch)) pool_.Release(batch);
+    }
+  }
+}
+
+void NativeRuntime::ClosePorts(std::vector<ProducerPort>* ports) {
+  FlushPorts(ports);
+  for (auto& port : *ports) {
+    for (MpscChannel* ch : port.channels) ch->CloseProducer();
+  }
+}
+
+void NativeRuntime::SourceLoop(Source* s) {
+  const SourceSpec& src = topology_->spec(s->op).source;
+  const int64_t budget = src.max_tuples;  // 0 = until StopSources.
+  while (budget == 0 || s->generated < budget) {
+    if (stop_sources_.load(std::memory_order_relaxed)) break;
+    Tuple t = src.factory(&s->rng, backend_->now());
+    t.created_at = backend_->now();
+    ++s->generated;
+    bool ok = true;
+    for (auto& port : s->ports) ok = EmitTo(&port, t) && ok;
+    if (!ok) break;  // Channels aborted.
+  }
+  ClosePorts(&s->ports);
+}
+
+void NativeRuntime::WorkerLoop(Worker* w) {
+  const OperatorSpec& spec = topology_->spec(w->op);
+  OperatorPartition* part = partitions_[w->op].get();
+  const bool is_sink = topology_->is_sink(w->op);
+  for (;;) {
+    TupleBatchStorage* batch = w->input->TryPop();
+    if (batch == nullptr) {
+      // Input momentarily idle: don't sit on partial output batches while
+      // blocking — downstream would starve behind our buffering.
+      FlushPorts(&w->ports);
+      batch = w->input->Pop();
+      if (batch == nullptr) break;  // All producers closed, ring drained.
+    }
+    for (const Tuple& t : batch->tuples) {
+      const ShardId shard = part->ShardOf(t.key);
+      NativeEmitContext emit(this, &w->ports, t.created_at);
+      ApplyOperatorLogic(*topology_, spec, w->op, t, &w->store, shard, &emit,
+                         &w->rng);
+      ++w->processed;
+      if (is_sink) ++w->sink_tuples;
+    }
+    pool_.Release(batch);
+  }
+  ClosePorts(&w->ports);
+}
+
+int64_t NativeRuntime::total_processed() const {
+  int64_t total = 0;
+  for (const auto& op_workers : workers_) {
+    for (const auto& w : op_workers) total += w->processed;
+  }
+  return total;
+}
+
+int64_t NativeRuntime::processed(OperatorId op) const {
+  int64_t total = 0;
+  for (const auto& w : workers_.at(op)) total += w->processed;
+  return total;
+}
+
+int64_t NativeRuntime::sink_count() const {
+  int64_t total = 0;
+  for (const auto& op_workers : workers_) {
+    for (const auto& w : op_workers) total += w->sink_tuples;
+  }
+  return total;
+}
+
+int64_t NativeRuntime::source_emitted() const {
+  int64_t total = 0;
+  for (const auto& s : sources_) total += s->generated;
+  return total;
+}
+
+int64_t NativeRuntime::push_blocks() const {
+  int64_t total = 0;
+  for (const auto& op_workers : workers_) {
+    for (const auto& w : op_workers) total += w->input->push_blocks();
+  }
+  return total;
+}
+
+int64_t NativeRuntime::pop_waits() const {
+  int64_t total = 0;
+  for (const auto& op_workers : workers_) {
+    for (const auto& w : op_workers) total += w->input->pop_waits();
+  }
+  return total;
+}
+
+int64_t NativeRuntime::batches_pushed() const {
+  int64_t total = 0;
+  for (const auto& op_workers : workers_) {
+    for (const auto& w : op_workers) total += w->input->batches_pushed();
+  }
+  return total;
+}
+
+int NativeRuntime::num_workers(OperatorId op) const {
+  return static_cast<int>(workers_.at(op).size());
+}
+
+ProcessStateStore* NativeRuntime::worker_store(OperatorId op, int worker) {
+  return &workers_.at(op).at(worker)->store;
+}
+
+}  // namespace exec
+}  // namespace elasticutor

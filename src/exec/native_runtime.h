@@ -1,0 +1,162 @@
+// NativeRuntime — real multithreaded execution of a (static) dataflow
+// topology, paired with NativeBackend. Where the simulator models executors
+// as event-driven callbacks on one thread, here every executor slot is an OS
+// thread:
+//
+//   source threads ──batches──▶ worker threads ──batches──▶ ... ──▶ sinks
+//
+// * One thread per source executor and per worker slot of each non-source
+//   operator (NativeRuntimeOptions::workers_per_operator).
+// * Tuples travel in pooled micro-batches (exec/batch_pool.h) over bounded
+//   MPSC channels (exec/mpsc_channel.h) — the native incarnation of the
+//   simulated data path's channel micro-batching; bounded channels give the
+//   same back-pressure-to-the-sources behavior as the simulator's admission
+//   reservations.
+// * Keys route through the same OperatorPartition hash as the simulator, and
+//   per-tuple semantics go through the same ApplyOperatorLogic, so per-key
+//   results are identical to a sim run over the same tuple multiset (the
+//   native_equivalence tests pin this down).
+// * Shutdown is topological: a finishing producer closes its slot on every
+//   downstream channel; a worker exits when all its producers closed and its
+//   channel drained, then closes downstream in turn. No poison pills, no
+//   sentinel tuples.
+// * Elasticity (shard reassignment, RC repartitioning, dynamic scheduling)
+//   is sim-only; Setup() rejects everything but the static paradigm.
+//
+// Threading contract: worker state (stores, rngs, counters) is strictly
+// thread-local while running; cross-thread communication happens only
+// through the channels. Aggregate accessors (total_processed() etc.) are
+// valid after WaitDrained() returned — they read joined threads' counters.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "engine/engine_config.h"
+#include "engine/metrics.h"
+#include "engine/partition.h"
+#include "engine/topology.h"
+#include "exec/batch_pool.h"
+#include "exec/mpsc_channel.h"
+#include "exec/native_backend.h"
+#include "state/state_store.h"
+
+namespace elasticutor {
+namespace exec {
+
+class NativeRuntime {
+ public:
+  NativeRuntime(const Topology* topology, const EngineConfig* config,
+                NativeBackend* backend, EngineMetrics* metrics);
+  ~NativeRuntime();
+
+  NativeRuntime(const NativeRuntime&) = delete;
+  NativeRuntime& operator=(const NativeRuntime&) = delete;
+
+  /// Builds partitions, channels, stores and per-slot rngs (mirroring the
+  /// simulator's deterministic fork order). Rejects non-static paradigms and
+  /// non-saturation sources.
+  Status Setup();
+
+  /// Launches all threads. Sources run until their SourceSpec::max_tuples
+  /// budget is exhausted (0 = until StopSources).
+  void Start();
+
+  /// Asks sources to stop after their current tuple; the dataflow then
+  /// drains and shuts down topologically.
+  void StopSources();
+
+  /// Blocks until every thread has exited, then merges per-worker counters
+  /// into EngineMetrics. Idempotent.
+  void WaitDrained();
+
+  // ---- Aggregates (valid after WaitDrained) ----
+  int64_t total_processed() const;
+  int64_t sink_count() const;
+  int64_t source_emitted() const;
+  int64_t processed(OperatorId op) const;
+  /// Channel-contention counters summed over all worker inputs.
+  int64_t push_blocks() const;
+  int64_t pop_waits() const;
+  int64_t batches_pushed() const;
+  /// Batches ever heap-allocated by the pool (flat in steady state).
+  int64_t batches_allocated() const { return pool_.allocated(); }
+
+  int num_workers(OperatorId op) const;
+  /// Per-worker state store (equivalence tests read per-key aggregates).
+  ProcessStateStore* worker_store(OperatorId op, int worker);
+
+ private:
+  friend class NativeEmitContext;
+
+  /// One output route of a producer thread: the partial batches it is
+  /// accumulating toward each worker of one downstream operator. Owned and
+  /// touched only by the producer's own thread.
+  struct ProducerPort {
+    OperatorId to_op = -1;
+    OperatorPartition* part = nullptr;
+    std::vector<MpscChannel*> channels;          // One per dest worker.
+    std::vector<TupleBatchStorage*> pending;     // Partial batch per worker.
+  };
+
+  struct Worker {
+    OperatorId op = -1;
+    int index = 0;
+    std::unique_ptr<MpscChannel> input;
+    ProcessStateStore store;
+    Rng rng{0, 0};
+    std::vector<ProducerPort> ports;  // One per downstream operator.
+    int64_t processed = 0;
+    int64_t sink_tuples = 0;
+    std::thread thread;
+  };
+
+  struct Source {
+    OperatorId op = -1;
+    int index = 0;
+    Rng rng{0, 0};
+    std::vector<ProducerPort> ports;
+    int64_t generated = 0;
+    std::thread thread;
+  };
+
+  void WorkerLoop(Worker* w);
+  void SourceLoop(Source* s);
+
+  /// Routes one tuple into the port's partial batch for its destination
+  /// worker, pushing the batch when full. Returns false iff the channel was
+  /// aborted (emergency teardown).
+  bool EmitTo(ProducerPort* port, const Tuple& t);
+  /// Pushes every non-empty partial batch (producer idle or finishing).
+  void FlushPorts(std::vector<ProducerPort>* ports);
+  /// FlushPorts + CloseProducer on every downstream channel (thread exit).
+  void ClosePorts(std::vector<ProducerPort>* ports);
+  /// Wires the producer's ports toward every downstream operator of `op`.
+  void BuildPorts(OperatorId op, std::vector<ProducerPort>* ports);
+
+  int WorkerCount(OperatorId op) const;
+
+  const Topology* topology_;
+  const EngineConfig* config_;
+  NativeBackend* backend_;
+  EngineMetrics* metrics_;
+
+  BatchPool pool_;
+  size_t batch_tuples_ = 64;
+
+  std::vector<std::unique_ptr<OperatorPartition>> partitions_;  // Per op.
+  std::vector<std::vector<std::unique_ptr<Worker>>> workers_;   // Per op.
+  std::vector<std::unique_ptr<Source>> sources_;
+
+  std::atomic<bool> stop_sources_{false};
+  bool setup_done_ = false;
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace exec
+}  // namespace elasticutor

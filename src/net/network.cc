@@ -6,8 +6,9 @@
 
 namespace elasticutor {
 
-Network::Network(Simulator* sim, int num_nodes, NetworkConfig config)
-    : sim_(sim),
+Network::Network(exec::ExecutionBackend* exec, int num_nodes,
+                 NetworkConfig config)
+    : exec_(exec),
       config_(config),
       egress_free_at_(num_nodes, 0),
       egress_factor_(num_nodes, 1.0),
@@ -33,14 +34,14 @@ SimTime Network::AdmitMessage(NodeId src, NodeId dst, int64_t bytes,
   ++messages_sent_;
   if (src == dst) {
     intra_bytes_[static_cast<int>(purpose)] += bytes;
-    return sim_->now() + config_.intra_node_ns;
+    return exec_->now() + config_.intra_node_ns;
   }
   int64_t wire_bytes = bytes + config_.per_message_overhead_bytes;
   inter_bytes_[static_cast<int>(purpose)] += wire_bytes;
   double tx_seconds = static_cast<double>(wire_bytes) /
                       (config_.bandwidth_bytes_per_sec * egress_factor_[src]);
   SimDuration tx = static_cast<SimDuration>(tx_seconds * 1e9);
-  SimTime start = std::max(sim_->now(), egress_free_at_[src]);
+  SimTime start = std::max(exec_->now(), egress_free_at_[src]);
   SimTime tx_done = start + tx;
   egress_free_at_[src] = tx_done;
   SimTime arrive = tx_done + config_.propagation_ns + extra_delay_[src] +
@@ -57,8 +58,8 @@ void Network::Rpc(NodeId src, NodeId dst, int64_t req_bytes,
        [this, src, dst, resp_bytes, handler_delay, at_dst = std::move(at_dst),
         reply = std::move(reply_at_src)]() mutable {
          if (at_dst) at_dst();
-         sim_->After(handler_delay, [this, src, dst, resp_bytes,
-                                     reply = std::move(reply)]() mutable {
+         exec_->After(handler_delay, [this, src, dst, resp_bytes,
+                                      reply = std::move(reply)]() mutable {
            Send(dst, src, resp_bytes, Purpose::kControl, std::move(reply));
          });
        });

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"  // NodeId.
-#include "sim/simulator.h"
+#include "exec/execution_backend.h"
 #include "sim/time.h"
 
 namespace elasticutor {
@@ -36,7 +36,7 @@ struct NetworkConfig {
 
 class Network {
  public:
-  Network(Simulator* sim, int num_nodes, NetworkConfig config);
+  Network(exec::ExecutionBackend* exec, int num_nodes, NetworkConfig config);
 
   /// Sends `bytes` from `src` to `dst`; `deliver` runs at the destination
   /// when the message arrives. Per-(src,dst) FIFO ordering is guaranteed
@@ -51,7 +51,7 @@ class Network {
   void Send(NodeId src, NodeId dst, int64_t bytes, Purpose purpose,
             F deliver) {
     SimTime arrive = AdmitMessage(src, dst, bytes, purpose);
-    sim_->At(arrive, Delivery<F>{this, std::move(deliver)});
+    exec_->At(arrive, Delivery<F>{this, std::move(deliver)});
   }
 
   /// Request/response helper: `at_dst` runs when the request arrives (after
@@ -110,7 +110,7 @@ class Network {
   /// time; updates byte/message counters and the per-channel FIFO floor.
   SimTime AdmitMessage(NodeId src, NodeId dst, int64_t bytes, Purpose purpose);
 
-  Simulator* sim_;
+  exec::ExecutionBackend* exec_;
   NetworkConfig config_;
   std::vector<SimTime> egress_free_at_;
   std::vector<double> egress_factor_;

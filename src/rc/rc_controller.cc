@@ -41,8 +41,8 @@ std::vector<double> RcController::ExecutorCapacities(OperatorId op) const {
 
 void RcController::Start() {
   SimDuration interval = rt_->config().rc.interval_ns;
-  last_run_ = rt_->sim()->now();
-  rt_->sim()->Periodic(rt_->sim()->now() + interval, interval,
+  last_run_ = rt_->exec()->now();
+  rt_->exec()->Periodic(rt_->exec()->now() + interval, interval,
                        [this](SimTime) {
                          RunOnce();
                          return true;
@@ -86,7 +86,7 @@ void RcController::MeasureInterval(SimDuration dt) {
 }
 
 void RcController::RunOnce() {
-  SimTime now = rt_->sim()->now();
+  SimTime now = rt_->exec()->now();
   SimDuration dt = now - last_run_;
   last_run_ = now;
   if (dt <= 0) dt = rt_->config().rc.interval_ns;
@@ -187,8 +187,8 @@ Status RcController::ProbeMoveShard(OperatorId op, ShardId shard,
   ++repartitions_started_;
 
   rt_->partition(op)->set_paused(true);
-  active_->start = rt_->sim()->now();
-  rt_->sim()->After(SyncCoordinationDelay(op), [this]() { DrainPoll(); });
+  active_->start = rt_->exec()->now();
+  rt_->exec()->After(SyncCoordinationDelay(op), [this]() { DrainPoll(); });
   return Status::OK();
 }
 
@@ -313,8 +313,8 @@ Status RcController::StartRepartition(OperatorId op, int new_count) {
 
   // (a) Pause all upstream executors of the operator.
   rt_->partition(active_->op)->set_paused(true);
-  active_->start = rt_->sim()->now();
-  rt_->sim()->After(SyncCoordinationDelay(active_->op),
+  active_->start = rt_->exec()->now();
+  rt_->exec()->After(SyncCoordinationDelay(active_->op),
                     [this]() { DrainPoll(); });
   return Status::OK();
 }
@@ -342,10 +342,10 @@ void RcController::DrainPoll() {
     }
   }
   if (!drained) {
-    rt_->sim()->After(Millis(1), [this]() { DrainPoll(); });
+    rt_->exec()->After(Millis(1), [this]() { DrainPoll(); });
     return;
   }
-  active_->drain_done = rt_->sim()->now();
+  active_->drain_done = rt_->exec()->now();
   MigrateBatch();
 }
 
@@ -380,7 +380,7 @@ void RcController::MigrateBatch() {
 void RcController::UpdateRoutingAndResume() {
   // (d) Update the routing tables of all upstream executors, then resume.
   SimDuration update_delay = SyncCoordinationDelay(active_->op);
-  rt_->sim()->After(update_delay, [this, update_delay]() {
+  rt_->exec()->After(update_delay, [this, update_delay]() {
     OperatorPartition* part = rt_->partition(active_->op);
     std::vector<int> map = part->map();
     for (const balance::Move& mv : active_->moves) {

@@ -70,15 +70,15 @@ void ScenarioDriver::Install() {
     engine_->ShapeSourceRates(
         [shaper = shaper_](SimTime t) { return shaper.FactorAt(t); });
   }
-  Simulator* sim = engine_->sim();
+  exec::ExecutionBackend* exec = engine_->exec();
   for (size_t i = 0; i < scenario_.events.size(); ++i) {
     const ScenarioEvent& e = scenario_.events[i];
     if (IsRateEvent(e.type)) continue;  // Handled analytically by the shaper.
     int seq = static_cast<int>(i);
-    sim->At(e.at, [this, e, seq]() { Execute(e, seq); });
+    exec->At(e.at, [this, e, seq]() { Execute(e, seq); });
     if (e.type == ScenarioEventType::kNodeSlowdown ||
         e.type == ScenarioEventType::kNicDegrade) {
-      sim->At(e.at + e.duration, [this, e, seq]() { Restore(e, seq); });
+      exec->At(e.at + e.duration, [this, e, seq]() { Restore(e, seq); });
     }
   }
 }
@@ -96,8 +96,8 @@ void ScenarioDriver::Execute(const ScenarioEvent& e, int seq) {
       if (e.omega_per_minute <= 0) break;  // Cadence 0 just stops the old one.
       SimDuration period = static_cast<SimDuration>(
           60.0 * kNanosPerSecond / e.omega_per_minute);
-      engine_->sim()->Periodic(
-          engine_->sim()->now() + period, period,
+      engine_->exec()->Periodic(
+          engine_->exec()->now() + period, period,
           [this, generation](SimTime) {
             if (generation != shuffle_generation_) return false;
             keys_->Shuffle();

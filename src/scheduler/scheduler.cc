@@ -30,8 +30,8 @@ DynamicScheduler::DynamicScheduler(
 
 void DynamicScheduler::Start() {
   SimDuration interval = rt_->config().scheduler.interval_ns;
-  last_run_ = rt_->sim()->now();
-  rt_->sim()->Periodic(rt_->sim()->now() + interval, interval,
+  last_run_ = rt_->exec()->now();
+  rt_->exec()->Periodic(rt_->exec()->now() + interval, interval,
                        [this](SimTime) {
                          RunOnce();
                          return true;
@@ -87,7 +87,7 @@ std::vector<int> DynamicScheduler::ComputeTargets() {
 }
 
 void DynamicScheduler::RunOnce() {
-  SimTime now = rt_->sim()->now();
+  SimTime now = rt_->exec()->now();
   SimDuration dt = now - last_run_;
   last_run_ = now;
   if (dt <= 0) dt = rt_->config().scheduler.interval_ns;

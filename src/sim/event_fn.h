@@ -18,6 +18,7 @@
 // RemoveCore) — the cost is then visible at the call site.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <new>
@@ -55,7 +56,7 @@ class EventFn {
     } else {
       *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
       ops_ = &kHeapOps<D>;
-      ++heap_allocs_;
+      heap_allocs_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -92,8 +93,12 @@ class EventFn {
 
   /// Process-wide count of inline-storage misses (heap fallbacks) since
   /// start. Benches diff it across a measurement window: in steady state it
-  /// must not grow with traffic.
-  static int64_t heap_allocations() { return heap_allocs_; }
+  /// must not grow with traffic. Atomic because EventFns are constructed on
+  /// every thread of the native backend (relaxed: it is a statistic, not a
+  /// synchronization point).
+  static int64_t heap_allocations() {
+    return heap_allocs_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Ops {
@@ -139,7 +144,7 @@ class EventFn {
     if (ops_ != nullptr) ops_->destroy(storage_);
   }
 
-  inline static int64_t heap_allocs_ = 0;
+  inline static std::atomic<int64_t> heap_allocs_{0};
 
   alignas(kStorageAlign) unsigned char storage_[kInlineBytes];
   const Ops* ops_ = nullptr;

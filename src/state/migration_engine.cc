@@ -24,7 +24,7 @@ void MigrationEngine::Transfer(NodeId from, NodeId to, int64_t bytes,
   }
   SimDuration copy = static_cast<SimDuration>(
       static_cast<double>(bytes) / local_rate * 1e9);
-  sim_->After(copy, std::move(done));
+  exec_->After(copy, std::move(done));
 }
 
 MigrationEngine::Handle MigrationEngine::Begin(ProcessStateStore* src,
@@ -41,7 +41,7 @@ MigrationEngine::Handle MigrationEngine::Begin(ProcessStateStore* src,
   m->to_ = to;
   m->strategy_ = strategy;
   m->local_copy_bytes_per_sec_ = local_copy_bytes_per_sec;
-  m->begin_at_ = sim_->now();
+  m->begin_at_ = exec_->now();
   m->stats_.inter_node = from != to;
   ++migrations_begun_;
 
@@ -99,7 +99,7 @@ void MigrationEngine::PumpPrecopy(const Handle& m) {
                }
                if (handle->chunks_in_flight_ == 0 && !handle->precopy_done_) {
                  handle->precopy_done_ = true;
-                 handle->stats_.precopy_ns = sim_->now() - handle->begin_at_;
+                 handle->stats_.precopy_ns = exec_->now() - handle->begin_at_;
                  if (handle->precopy_done_cb_) {
                    EventFn cb = std::move(handle->precopy_done_cb_);
                    handle->precopy_done_cb_ = nullptr;
@@ -139,13 +139,13 @@ void MigrationEngine::Finalize(const Handle& m, ProcessStateStore* dst,
   m->stats_.moved_bytes = m->stats_.precopy_bytes + remaining;
   bytes_shipped_ += remaining;
 
-  const SimTime finalize_start = sim_->now();
+  const SimTime finalize_start = exec_->now();
   Handle handle = m;
   EventFn install = [this, handle, dst, blob, finalize_start,
                      done = std::move(done)]() {
     ELASTICUTOR_CHECK(
         dst->InstallShard(handle->shard_, std::move(*blob)).ok());
-    handle->stats_.finalize_ns = sim_->now() - finalize_start;
+    handle->stats_.finalize_ns = exec_->now() - finalize_start;
     ++migrations_completed_;
     if (done) done(handle->stats_);
   };

@@ -37,8 +37,8 @@
 #include <functional>
 #include <memory>
 
+#include "exec/execution_backend.h"
 #include "net/network.h"
-#include "sim/simulator.h"
 #include "state/state_backend.h"
 #include "state/state_store.h"
 
@@ -92,8 +92,9 @@ class MigrationEngine {
   using Handle = std::shared_ptr<ShardMigration>;
   using DoneFn = std::function<void(const MigrationStats&)>;
 
-  MigrationEngine(Simulator* sim, Network* net, MigrationConfig config)
-      : sim_(sim), net_(net), config_(config) {}
+  MigrationEngine(exec::ExecutionBackend* exec, Network* net,
+                  MigrationConfig config)
+      : exec_(exec), net_(net), config_(config) {}
 
   /// Starts migrating `shard` out of `src` (the store of the process on
   /// `from`) toward the process on `to`. Under kChunkedLive this streams the
@@ -141,7 +142,7 @@ class MigrationEngine {
   void Transfer(NodeId from, NodeId to, int64_t bytes, double local_rate,
                 EventFn done);
 
-  Simulator* sim_;
+  exec::ExecutionBackend* exec_;
   Network* net_;
   MigrationConfig config_;
 

@@ -107,6 +107,13 @@ class ProcessStateStore {
   /// Mutable access for StateAccessor; shard must exist.
   ShardState* GetShard(ShardId shard);
 
+  /// Read-only iteration over every shard in this store (equivalence tests
+  /// compare per-key entries across backends; diagnostics dump state sizes).
+  template <typename Fn>
+  void ForEachShard(Fn&& fn) const {
+    for (const auto& [id, state] : shards_) fn(id, state);
+  }
+
  private:
   std::unordered_map<ShardId, ShardState> shards_;
 };

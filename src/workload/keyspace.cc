@@ -27,12 +27,12 @@ void DynamicKeySpace::Shuffle() {
   ++shuffles_;
 }
 
-void DynamicKeySpace::StartShuffling(Simulator* sim,
+void DynamicKeySpace::StartShuffling(exec::ExecutionBackend* exec,
                                      double omega_per_minute) {
   if (omega_per_minute <= 0) return;
   SimDuration period =
       static_cast<SimDuration>(60.0 * kNanosPerSecond / omega_per_minute);
-  sim->Periodic(period, period, [this](SimTime) {
+  exec->Periodic(period, period, [this](SimTime) {
     Shuffle();
     return true;
   });

@@ -10,7 +10,7 @@
 
 #include "common/random.h"
 #include "common/zipf.h"
-#include "sim/simulator.h"
+#include "exec/execution_backend.h"
 
 namespace elasticutor {
 
@@ -32,8 +32,8 @@ class DynamicKeySpace {
   /// Applies one random permutation of key frequencies.
   void Shuffle();
 
-  /// Schedules `omega` shuffles per minute on the simulator (0 = static).
-  void StartShuffling(Simulator* sim, double omega_per_minute);
+  /// Schedules `omega` shuffles per minute on the backend clock (0 = static).
+  void StartShuffling(exec::ExecutionBackend* exec, double omega_per_minute);
 
   // ---- Scenario hooks ----
   /// Flash crowd: route `share` of the traffic uniformly onto `num_hot`

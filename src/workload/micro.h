@@ -47,7 +47,7 @@ struct MicroWorkload {
   /// dynamics benches express ω (and richer disturbances) declaratively via
   /// the scenario layer instead — see scn::MicroDynamics (scenario/library.h).
   void InstallDynamics(Engine* engine) const {
-    keys->StartShuffling(engine->sim(), options.shuffles_per_minute);
+    keys->StartShuffling(engine->exec(), options.shuffles_per_minute);
   }
 };
 

@@ -61,7 +61,7 @@ RunSignature RunMicro(Paradigm paradigm, int batch, uint64_t seed,
   sig.routed = engine.metrics()->routed_tuples();
   sig.inter_bytes = engine.net()->total_inter_node_bytes();
   sig.messages = engine.net()->messages_sent();
-  sig.events = engine.sim()->events_executed();
+  sig.events = engine.exec()->events_executed();
   sig.mean_latency = engine.LatencyHistogram().mean();
   return sig;
 }

@@ -1,0 +1,308 @@
+// Unit tests for the execution-backend seam (src/exec/): the native
+// backend's timer semantics (which must mirror the simulator's), the bounded
+// MPSC channel, the batch pool, and the thread-safety of the EventFn
+// heap-allocation counter. The sim-vs-native dataflow equivalence lives in
+// native_equivalence_test.cc.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "exec/batch_pool.h"
+#include "exec/mpsc_channel.h"
+#include "exec/native_backend.h"
+#include "exec/sim_backend.h"
+#include "sim/event_fn.h"
+
+namespace elasticutor {
+namespace {
+
+using exec::BatchPool;
+using exec::MpscChannel;
+using exec::NativeBackend;
+using exec::TupleBatchStorage;
+
+// ---------------------------------------------------------------------------
+// NativeBackend: wall-clock timers with simulator-compatible semantics.
+// ---------------------------------------------------------------------------
+
+TEST(NativeBackendTest, KindAndNameRoundTrip) {
+  NativeBackend backend;
+  EXPECT_EQ(backend.kind(), exec::BackendKind::kNative);
+  EXPECT_STREQ(exec::BackendKindName(backend.kind()), "native");
+  exec::SimBackend sim;
+  EXPECT_STREQ(exec::BackendKindName(sim.kind()), "sim");
+}
+
+TEST(NativeBackendTest, NowIsMonotonic) {
+  NativeBackend backend;
+  SimTime a = backend.now();
+  SimTime b = backend.now();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+TEST(NativeBackendTest, AfterFiresWithinRunUntil) {
+  NativeBackend backend;
+  bool fired = false;
+  backend.After(Millis(1), [&]() { fired = true; });
+  uint64_t executed = backend.RunUntil(backend.now() + Millis(200));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(backend.events_executed(), 1u);
+}
+
+TEST(NativeBackendTest, NegativeDelayClampsToNow) {
+  NativeBackend backend;
+  bool fired = false;
+  backend.After(-Millis(5), [&]() { fired = true; });  // Clamps like sim.
+  backend.RunUntil(backend.now() + Millis(50));
+  EXPECT_TRUE(fired);
+}
+
+TEST(NativeBackendTest, SameDeadlineFiresInScheduleOrder) {
+  NativeBackend backend;
+  std::vector<int> order;
+  const SimTime at = backend.now() + Millis(2);
+  for (int i = 0; i < 8; ++i) {
+    backend.At(at, [&order, i]() { order.push_back(i); });
+  }
+  backend.RunUntil(at + Millis(200));
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(NativeBackendTest, CancelPreventsFiring) {
+  NativeBackend backend;
+  bool fired = false;
+  EventId id = backend.After(Millis(5), [&]() { fired = true; });
+  EXPECT_TRUE(backend.Cancel(id));
+  EXPECT_FALSE(backend.Cancel(id));  // Already cancelled.
+  backend.RunUntil(backend.now() + Millis(50));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(backend.events_executed(), 0u);
+}
+
+TEST(NativeBackendTest, CancelAfterFiringReturnsFalse) {
+  NativeBackend backend;
+  EventId id = backend.After(0, []() {});
+  backend.RunUntil(backend.now() + Millis(50));
+  EXPECT_FALSE(backend.Cancel(id));
+}
+
+TEST(NativeBackendTest, ScheduleFromAnotherThreadFires) {
+  NativeBackend backend;
+  std::atomic<bool> fired{false};
+  // The driver parks far in the future; a worker schedules an earlier timer,
+  // which must wake the driver rather than wait out the original deadline.
+  std::thread scheduler([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    backend.After(0, [&]() { fired.store(true); });
+  });
+  backend.RunUntil(backend.now() + Millis(500));
+  scheduler.join();
+  EXPECT_TRUE(fired.load());
+}
+
+TEST(NativeBackendTest, StopWakesUnboundedRunUntil) {
+  NativeBackend backend;
+  std::thread stopper([&]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    backend.Stop();
+  });
+  backend.RunUntil(kSimTimeMax);  // Returns promptly on Stop, no deadline.
+  stopper.join();
+}
+
+TEST(NativeBackendTest, PeriodicFiresUntilCallbackDeclines) {
+  NativeBackend backend;
+  int fires = 0;
+  backend.Periodic(backend.now() + Millis(1), Millis(1),
+                   [&](SimTime) { return ++fires < 3; });
+  backend.RunUntil(backend.now() + Millis(500));
+  EXPECT_EQ(fires, 3);
+}
+
+// ---------------------------------------------------------------------------
+// MpscChannel.
+// ---------------------------------------------------------------------------
+
+TEST(MpscChannelTest, FifoRoundTripAndCloseDrain) {
+  MpscChannel ch(/*capacity=*/4, /*producers=*/1);
+  std::array<TupleBatchStorage, 3> batches;
+  for (auto& b : batches) EXPECT_TRUE(ch.Push(&b));
+  ch.CloseProducer();
+  // Closed but not drained: batches come out in FIFO order, then nullptr.
+  EXPECT_EQ(ch.Pop(), &batches[0]);
+  EXPECT_EQ(ch.TryPop(), &batches[1]);
+  EXPECT_EQ(ch.Pop(), &batches[2]);
+  EXPECT_EQ(ch.Pop(), nullptr);
+  EXPECT_EQ(ch.TryPop(), nullptr);
+  EXPECT_EQ(ch.batches_pushed(), 3);
+}
+
+TEST(MpscChannelTest, TryPopOnEmptyOpenChannelReturnsNull) {
+  MpscChannel ch(2, 1);
+  EXPECT_EQ(ch.TryPop(), nullptr);
+  ch.CloseProducer();
+}
+
+TEST(MpscChannelTest, PopBlocksUntilPush) {
+  MpscChannel ch(2, 1);
+  TupleBatchStorage batch;
+  TupleBatchStorage* popped = nullptr;
+  std::thread consumer([&]() { popped = ch.Pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(ch.Push(&batch));
+  consumer.join();
+  EXPECT_EQ(popped, &batch);
+  EXPECT_GE(ch.pop_waits(), 1);
+  ch.CloseProducer();
+}
+
+TEST(MpscChannelTest, FullChannelBlocksProducerUntilPop) {
+  MpscChannel ch(/*capacity=*/1, /*producers=*/1);
+  TupleBatchStorage first, second;
+  EXPECT_TRUE(ch.Push(&first));
+  std::atomic<bool> second_pushed{false};
+  std::thread producer([&]() {
+    EXPECT_TRUE(ch.Push(&second));  // Blocks: channel is full.
+    second_pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(ch.Pop(), &first);  // Frees a slot; producer unblocks.
+  producer.join();
+  EXPECT_TRUE(second_pushed.load());
+  EXPECT_EQ(ch.Pop(), &second);
+  EXPECT_GE(ch.push_blocks(), 1);
+  ch.CloseProducer();
+}
+
+TEST(MpscChannelTest, LastProducerCloseWakesBlockedConsumer) {
+  MpscChannel ch(4, /*producers=*/3);
+  TupleBatchStorage sentinel;
+  TupleBatchStorage* popped = &sentinel;
+  std::thread consumer([&]() { popped = ch.Pop(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ch.CloseProducer();
+  ch.CloseProducer();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ch.CloseProducer();  // Last close: consumer must see nullptr.
+  consumer.join();
+  EXPECT_EQ(popped, nullptr);
+}
+
+TEST(MpscChannelTest, MultiProducerStressDeliversEverything) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  MpscChannel ch(/*capacity=*/8, kProducers);
+  std::vector<std::unique_ptr<TupleBatchStorage>> storage;
+  storage.reserve(kProducers * kPerProducer);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    storage.push_back(std::make_unique<TupleBatchStorage>());
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p]() {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(ch.Push(storage[p * kPerProducer + i].get()));
+      }
+      ch.CloseProducer();
+    });
+  }
+  int consumed = 0;
+  while (ch.Pop() != nullptr) ++consumed;
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(consumed, kProducers * kPerProducer);
+  EXPECT_EQ(ch.batches_pushed(), kProducers * kPerProducer);
+}
+
+TEST(MpscChannelTest, AbortUnblocksFullChannelProducer) {
+  MpscChannel ch(/*capacity=*/1, /*producers=*/1);
+  TupleBatchStorage first, second;
+  EXPECT_TRUE(ch.Push(&first));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&]() { push_result.store(ch.Push(&second)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ch.Abort();
+  producer.join();
+  EXPECT_FALSE(push_result.load());  // Aborted push reports failure.
+}
+
+// ---------------------------------------------------------------------------
+// BatchPool.
+// ---------------------------------------------------------------------------
+
+TEST(BatchPoolTest, ReleaseThenAcquireReusesWithoutAllocating) {
+  BatchPool pool;
+  TupleBatchStorage* a = pool.Acquire();
+  EXPECT_EQ(pool.allocated(), 1);
+  a->tuples.resize(16);
+  const size_t capacity = a->tuples.capacity();
+  pool.Release(a);
+  TupleBatchStorage* b = pool.Acquire();
+  EXPECT_EQ(b, a);                 // Reused, not reallocated.
+  EXPECT_EQ(pool.allocated(), 1);  // Flat: the steady-state invariant.
+  EXPECT_TRUE(b->tuples.empty());  // Cleared on release...
+  EXPECT_GE(b->tuples.capacity(), capacity);  // ...but capacity retained.
+  pool.Release(b);
+}
+
+TEST(BatchPoolTest, ConcurrentAcquireReleaseIsSafe) {
+  BatchPool pool;
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < kRounds; ++i) {
+        TupleBatchStorage* batch = pool.Acquire();
+        batch->tuples.emplace_back();
+        pool.Release(batch);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // At most one live batch per thread at any instant.
+  EXPECT_GE(pool.allocated(), 1);
+  EXPECT_LE(pool.allocated(), kThreads);
+}
+
+// ---------------------------------------------------------------------------
+// EventFn::heap_allocations() under concurrent construction.
+// ---------------------------------------------------------------------------
+
+TEST(EventFnCounterTest, ConcurrentHeapFallbacksAreCountedExactly) {
+  const int64_t before = EventFn::heap_allocations();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Oversized capture: guaranteed inline-storage miss.
+        std::array<char, EventFn::kInlineBytes + 1> big{};
+        EventFn fn([big]() { (void)big; });
+        fn();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Relaxed atomics still count exactly; only ordering is unconstrained.
+  EXPECT_EQ(EventFn::heap_allocations() - before, kThreads * kPerThread);
+}
+
+TEST(EventFnCounterTest, InlineCallablesDoNotTouchTheCounter) {
+  const int64_t before = EventFn::heap_allocations();
+  int x = 0;
+  EventFn fn([&x]() { ++x; });
+  EXPECT_FALSE(fn.on_heap());
+  fn();
+  EXPECT_EQ(x, 1);
+  EXPECT_EQ(EventFn::heap_allocations(), before);
+}
+
+}  // namespace
+}  // namespace elasticutor

@@ -214,7 +214,7 @@ TEST(DeterminismTest, IdenticalSeedsIdenticalResults) {
     engine.Start();
     engine.RunFor(Seconds(5));
     return std::make_tuple(engine.metrics()->sink_count(),
-                           engine.sim()->events_executed(),
+                           engine.exec()->events_executed(),
                            engine.net()->total_inter_node_bytes());
   };
   EXPECT_EQ(run(), run());

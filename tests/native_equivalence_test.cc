@@ -1,0 +1,307 @@
+// Sim-vs-native equivalence: the same topology at the same seed, run once on
+// the discrete-event SimBackend and once on the multithreaded NativeBackend,
+// must process the identical tuple multiset and land in identical per-key
+// aggregate state — "modulo timing": wall-clock, latencies and interleavings
+// differ, sums and counts may not.
+//
+// Why this holds (and what the tests pin down): both backends fork source
+// rngs from the same root in the same order, so source tuple streams are
+// bit-identical; keys route through the same OperatorPartition hash (shard
+// ids are global, independent of worker counts); per-tuple semantics go
+// through the shared ApplyOperatorLogic; and per-key processing order is
+// preserved end to end, so even floating-point accumulators agree exactly.
+// Worker counts are deliberately DIFFERENT between the two runs — the
+// results must not depend on them.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+
+#include "elasticutor/elasticutor.h"
+#include "engine/single_task_executor.h"
+
+namespace elasticutor {
+namespace {
+
+// Per-key int64 counters of one operator (the default operator logic keeps
+// one per key), accumulated across every store of the operator.
+using KeyCounts = std::map<uint64_t, int64_t>;
+
+// Per-shard (global shard id) user-state fingerprint: entry count and
+// user_bytes. Captures typed state whose concrete types are private to the
+// workload (e.g. the SSE order books) without naming them.
+using ShardFingerprint = std::map<ShardId, std::pair<int64_t, int64_t>>;
+
+void AccumulateCounts(const ProcessStateStore& store, KeyCounts* counts) {
+  store.ForEachShard([&](ShardId, const ShardState& state) {
+    for (const auto& [key, value] : state.entries) {
+      const int64_t* counter = std::any_cast<int64_t>(&value);
+      ASSERT_NE(counter, nullptr);
+      (*counts)[key] += *counter;
+    }
+  });
+}
+
+void AccumulateFingerprint(const ProcessStateStore& store,
+                           ShardFingerprint* fp) {
+  store.ForEachShard([&](ShardId shard, const ShardState& state) {
+    auto& entry = (*fp)[shard];
+    entry.first += static_cast<int64_t>(state.entries.size());
+    entry.second += state.user_bytes;
+  });
+}
+
+// Walks every store of `op` on whichever backend `engine` runs.
+template <typename Fn>
+void ForEachStore(Engine* engine, OperatorId op, Fn&& fn) {
+  if (engine->native() != nullptr) {
+    for (int w = 0; w < engine->native()->num_workers(op); ++w) {
+      fn(*engine->native()->worker_store(op, w));
+    }
+    return;
+  }
+  for (const auto& ex : engine->runtime()->executors(op)) {
+    fn(*std::static_pointer_cast<SingleTaskExecutor>(ex)->state_store());
+  }
+}
+
+int64_t ProcessedCount(Engine* engine, OperatorId op) {
+  if (engine->native() != nullptr) return engine->native()->processed(op);
+  int64_t total = 0;
+  for (const auto& ex : engine->runtime()->executors(op)) {
+    total += ex->metrics().processed;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Micro topology: generator -> calculator (per-key counters).
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kMicroBudget = 3000;  // Per source executor.
+constexpr int kMicroSources = 2;
+
+MicroWorkload BuildMicroForEquivalence(uint64_t seed) {
+  MicroOptions options;
+  options.num_keys = 400;
+  options.zipf_skew = 0.8;
+  options.tuple_bytes = 64;
+  options.calc_cost_ns = Micros(2);
+  options.shard_state_bytes = 1 << 10;
+  options.generator_executors = kMicroSources;
+  options.calculator_executors = 8;
+  options.shards_per_executor = 8;
+  options.mode = SourceSpec::Mode::kSaturation;
+  // Sources must stay slower than downstream capacity: a back-pressured sim
+  // spout draws retry jitter from the SAME rng as its tuple factory, which
+  // would desync the key stream from the (never-blocked) native source.
+  options.gen_overhead_ns = Micros(20);
+  MicroWorkload workload = BuildMicroWorkload(options, seed).value();
+  workload.topology.mutable_spec(workload.generator).source.max_tuples =
+      kMicroBudget;
+  workload.topology.mutable_spec(workload.calculator).static_executors = 4;
+  return workload;
+}
+
+EngineConfig SmallStaticConfig() {
+  EngineConfig config;
+  config.paradigm = Paradigm::kStatic;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  config.seed = 7;
+  return config;
+}
+
+TEST(NativeEquivalenceTest, MicroPerKeyCountersMatchSim) {
+  // Sim run.
+  MicroWorkload sim_workload = BuildMicroForEquivalence(/*seed=*/11);
+  Engine sim_engine(sim_workload.topology, SmallStaticConfig());
+  ASSERT_TRUE(sim_engine.Setup().ok());
+  sim_engine.Start();
+  sim_engine.RunToCompletion();
+
+  // Native run: different worker count, micro-batched channels.
+  MicroWorkload native_workload = BuildMicroForEquivalence(/*seed=*/11);
+  EngineConfig native_config = SmallStaticConfig();
+  native_config.backend = exec::BackendKind::kNative;
+  native_config.native.workers_per_operator = 3;  // != sim's 4 executors.
+  native_config.native.batch_tuples = 16;
+  native_config.native.channel_capacity_batches = 8;
+  Engine native_engine(native_workload.topology, native_config);
+  ASSERT_TRUE(native_engine.Setup().ok());
+  native_engine.Start();
+  native_engine.RunToCompletion();
+
+  // Identical tuple counts.
+  const int64_t expected = kMicroSources * kMicroBudget;
+  EXPECT_EQ(sim_engine.metrics()->sink_count(), expected);
+  EXPECT_EQ(native_engine.metrics()->sink_count(), expected);
+  EXPECT_EQ(native_engine.native()->source_emitted(), expected);
+  EXPECT_EQ(native_engine.native()->total_processed(), expected);
+
+  // Identical per-key aggregate state.
+  KeyCounts sim_counts, native_counts;
+  ForEachStore(&sim_engine, sim_workload.calculator,
+               [&](const ProcessStateStore& s) {
+                 AccumulateCounts(s, &sim_counts);
+               });
+  ForEachStore(&native_engine, native_workload.calculator,
+               [&](const ProcessStateStore& s) {
+                 AccumulateCounts(s, &native_counts);
+               });
+  int64_t total = 0;
+  for (const auto& [key, count] : sim_counts) total += count;
+  EXPECT_EQ(total, expected);
+  EXPECT_EQ(sim_counts, native_counts);
+}
+
+TEST(NativeEquivalenceTest, MicroNativeIsDeterministicAcrossWorkerCounts) {
+  // Two NATIVE runs with different thread counts must also agree — the
+  // native data path itself cannot let parallelism leak into results.
+  KeyCounts counts[2];
+  const int workers[2] = {1, 4};
+  for (int run = 0; run < 2; ++run) {
+    MicroWorkload workload = BuildMicroForEquivalence(/*seed=*/23);
+    EngineConfig config = SmallStaticConfig();
+    config.backend = exec::BackendKind::kNative;
+    config.native.workers_per_operator = workers[run];
+    config.native.batch_tuples = run == 0 ? 1 : 32;  // Batch-size invariant.
+    Engine engine(workload.topology, config);
+    ASSERT_TRUE(engine.Setup().ok());
+    engine.Start();
+    engine.RunToCompletion();
+    EXPECT_EQ(engine.native()->sink_count(), kMicroSources * kMicroBudget);
+    ForEachStore(&engine, workload.calculator,
+                 [&](const ProcessStateStore& s) {
+                   AccumulateCounts(s, &counts[run]);
+                 });
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+}
+
+// ---------------------------------------------------------------------------
+// SSE application: order matching + 11 downstream aggregates.
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kSseBudget = 4000;
+
+SseWorkload BuildSseForEquivalence(uint64_t seed) {
+  SseOptions options;
+  options.mode = SourceSpec::Mode::kSaturation;
+  // Horizon 1 ns: no surges, no popularity drift — stock sampling becomes
+  // time-independent, so the wall clock cannot perturb the order stream.
+  options.trace.horizon_ns = 1;
+  options.trace.num_stocks = 300;
+  options.source_executors = 1;  // SampleStock mutates shared model state.
+  options.executors_per_operator = 4;
+  options.shards_per_executor = 4;
+  options.shard_state_bytes = 4 << 10;
+  SseWorkload workload = BuildSseWorkload(options, seed).value();
+  OperatorSpec& orders = workload.topology.mutable_spec(workload.orders);
+  orders.source.max_tuples = kSseBudget;
+  // Keep the source below the transactor's capacity (2 executors x 0.5 ms
+  // mean cost): a blocked sim spout would burn factory-rng draws on retry
+  // jitter and desync the order stream from the native run.
+  orders.source.gen_overhead_ns = Millis(1);
+  for (OperatorId op = 0; op < workload.topology.num_operators(); ++op) {
+    OperatorSpec& spec = workload.topology.mutable_spec(op);
+    if (!spec.is_source) spec.static_executors = 2;
+  }
+  return workload;
+}
+
+TEST(NativeEquivalenceTest, SsePerShardStateAndCountsMatchSim) {
+  SseWorkload sim_workload = BuildSseForEquivalence(/*seed=*/5);
+  EngineConfig sim_config = SmallStaticConfig();
+  sim_config.num_nodes = 8;  // 12 processing ops x 2 executors = 24 cores.
+  Engine sim_engine(sim_workload.topology, sim_config);
+  ASSERT_TRUE(sim_engine.Setup().ok());
+  sim_engine.Start();
+  sim_engine.RunToCompletion();
+
+  SseWorkload native_workload = BuildSseForEquivalence(/*seed=*/5);
+  EngineConfig native_config = SmallStaticConfig();
+  native_config.num_nodes = 8;
+  native_config.backend = exec::BackendKind::kNative;
+  native_config.native.workers_per_operator = 3;
+  native_config.native.batch_tuples = 8;
+  Engine native_engine(native_workload.topology, native_config);
+  ASSERT_TRUE(native_engine.Setup().ok());
+  native_engine.Start();
+  native_engine.RunToCompletion();
+
+  // The transactor consumed the full order budget on both backends; every
+  // downstream operator saw exactly the records the matcher emitted.
+  EXPECT_EQ(ProcessedCount(&sim_engine, sim_workload.transactor), kSseBudget);
+  EXPECT_EQ(ProcessedCount(&native_engine, native_workload.transactor),
+            kSseBudget);
+  const int64_t sim_records =
+      ProcessedCount(&sim_engine, sim_workload.stats_ops[0]);
+  EXPECT_GT(sim_records, 0);
+  for (OperatorId op : sim_workload.stats_ops) {
+    EXPECT_EQ(ProcessedCount(&sim_engine, op), sim_records);
+    EXPECT_EQ(ProcessedCount(&native_engine, op), sim_records);
+  }
+  for (OperatorId op : sim_workload.event_ops) {
+    EXPECT_EQ(ProcessedCount(&sim_engine, op), sim_records);
+    EXPECT_EQ(ProcessedCount(&native_engine, op), sim_records);
+  }
+  EXPECT_EQ(sim_engine.metrics()->sink_count(),
+            native_engine.metrics()->sink_count());
+
+  // Identical per-shard typed state on every operator: shard ids are global
+  // (partition hashing does not depend on worker counts), so entry counts
+  // and user-state bytes must line up shard by shard — for the transactor
+  // this fingerprints the order books themselves (user_bytes grows with
+  // every price-level change).
+  for (OperatorId op = 0; op < sim_workload.topology.num_operators(); ++op) {
+    if (sim_workload.topology.spec(op).is_source) continue;
+    ShardFingerprint sim_fp, native_fp;
+    ForEachStore(&sim_engine, op, [&](const ProcessStateStore& s) {
+      AccumulateFingerprint(s, &sim_fp);
+    });
+    ForEachStore(&native_engine, op, [&](const ProcessStateStore& s) {
+      AccumulateFingerprint(s, &native_fp);
+    });
+    EXPECT_EQ(sim_fp, native_fp) << "operator "
+                                 << sim_workload.topology.spec(op).name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Native guard rails: configurations the native runtime must reject.
+// ---------------------------------------------------------------------------
+
+TEST(NativeEquivalenceTest, NativeRejectsElasticParadigm) {
+  MicroWorkload workload = BuildMicroForEquivalence(/*seed=*/3);
+  EngineConfig config = SmallStaticConfig();
+  config.backend = exec::BackendKind::kNative;
+  config.paradigm = Paradigm::kElastic;
+  Engine engine(workload.topology, config);
+  EXPECT_FALSE(engine.Setup().ok());
+}
+
+TEST(NativeEquivalenceTest, NativeRejectsTraceModeSources) {
+  MicroOptions options;
+  options.mode = SourceSpec::Mode::kTrace;
+  options.generator_executors = 1;
+  options.calculator_executors = 2;
+  options.shards_per_executor = 2;
+  MicroWorkload workload = BuildMicroWorkload(options, /*seed=*/3).value();
+  EngineConfig config = SmallStaticConfig();
+  config.backend = exec::BackendKind::kNative;
+  Engine engine(workload.topology, config);
+  EXPECT_FALSE(engine.Setup().ok());
+}
+
+TEST(NativeEquivalenceTest, NativeRejectsOrderValidation) {
+  MicroWorkload workload = BuildMicroForEquivalence(/*seed=*/3);
+  EngineConfig config = SmallStaticConfig();
+  config.backend = exec::BackendKind::kNative;
+  config.validate_key_order = true;
+  Engine engine(workload.topology, config);
+  EXPECT_FALSE(engine.Setup().ok());
+}
+
+}  // namespace
+}  // namespace elasticutor

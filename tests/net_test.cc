@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "exec/sim_backend.h"
 #include "net/network.h"
 
 namespace elasticutor {
@@ -19,7 +20,7 @@ NetworkConfig TestConfig() {
 }
 
 TEST(NetworkTest, IntraNodeUsesHandoffLatencyOnly) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 2, TestConfig());
   SimTime delivered = -1;
   net.Send(0, 0, 1 << 20, Purpose::kInterOperator,
@@ -31,7 +32,7 @@ TEST(NetworkTest, IntraNodeUsesHandoffLatencyOnly) {
 }
 
 TEST(NetworkTest, TransmissionPlusPropagation) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 2, TestConfig());
   SimTime delivered = -1;
   // 1000 bytes at 1 MB/s = 1 ms transmission.
@@ -42,7 +43,7 @@ TEST(NetworkTest, TransmissionPlusPropagation) {
 }
 
 TEST(NetworkTest, EgressSerializesMessages) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 3, TestConfig());
   std::vector<SimTime> deliveries;
   net.Send(0, 1, 1000, Purpose::kInterOperator,
@@ -56,7 +57,7 @@ TEST(NetworkTest, EgressSerializesMessages) {
 }
 
 TEST(NetworkTest, PerDestinationFifo) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 2, TestConfig());
   std::vector<int> order;
   for (int i = 0; i < 20; ++i) {
@@ -68,7 +69,7 @@ TEST(NetworkTest, PerDestinationFifo) {
 }
 
 TEST(NetworkTest, DistinctSourcesDoNotSerialize) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 3, TestConfig());
   std::vector<SimTime> deliveries(2);
   net.Send(0, 2, 1000, Purpose::kInterOperator,
@@ -80,7 +81,7 @@ TEST(NetworkTest, DistinctSourcesDoNotSerialize) {
 }
 
 TEST(NetworkTest, PurposeAccountingSeparated) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 2, TestConfig());
   net.Send(0, 1, 100, Purpose::kInterOperator, []() {});
   net.Send(0, 1, 200, Purpose::kStateMigration, []() {});
@@ -99,7 +100,7 @@ TEST(NetworkTest, MigrationChunksAndLabelShareOneFifo) {
   // channels: pre-copy chunks, the labeling tuple and post-flip data tuples
   // on the same (src,dst) path drain through one egress queue in send
   // order, so a label can never overtake a chunk sent before it.
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 2, TestConfig());
   std::vector<int> order;
   for (int i = 0; i < 4; ++i) {
@@ -118,7 +119,7 @@ TEST(NetworkTest, StateAccessRpcBytesAttributedBothWays) {
   // External-KV accesses are request/response pairs: the response send is
   // chained on the request's delivery, and both directions land under
   // Purpose::kStateAccess.
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 2, TestConfig());
   SimTime reply_at = -1;
   net.Send(0, 1, 128, Purpose::kStateAccess, [&]() {
@@ -131,7 +132,7 @@ TEST(NetworkTest, StateAccessRpcBytesAttributedBothWays) {
 }
 
 TEST(NetworkTest, MessageOverheadCounted) {
-  Simulator sim;
+  exec::SimBackend sim;
   NetworkConfig cfg = TestConfig();
   cfg.per_message_overhead_bytes = 64;
   Network net(&sim, 2, cfg);
@@ -141,7 +142,7 @@ TEST(NetworkTest, MessageOverheadCounted) {
 }
 
 TEST(NetworkTest, AllMessagesDelivered) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 4, TestConfig());
   int delivered = 0;
   for (int i = 0; i < 100; ++i) {
@@ -155,7 +156,7 @@ TEST(NetworkTest, AllMessagesDelivered) {
 }
 
 TEST(NetworkTest, RpcRoundTrip) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 2, TestConfig());
   SimTime request_seen = -1, reply_seen = -1;
   net.Rpc(0, 1, 100, 100, Millis(2),
@@ -168,7 +169,7 @@ TEST(NetworkTest, RpcRoundTrip) {
 }
 
 TEST(NetworkTest, ResetCountersClearsBytes) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 2, TestConfig());
   net.Send(0, 1, 100, Purpose::kInterOperator, []() {});
   sim.RunAll();

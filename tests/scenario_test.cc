@@ -130,7 +130,7 @@ TEST(FaultPlaneTest, TracksFactorsAndAvailability) {
 }
 
 TEST(NetworkFaultTest, DegradedEgressSlowsTransmission) {
-  Simulator sim;
+  exec::SimBackend sim;
   NetworkConfig cfg;
   Network net(&sim, 2, cfg);
   SimTime healthy_arrival = -1;
@@ -138,7 +138,7 @@ TEST(NetworkFaultTest, DegradedEgressSlowsTransmission) {
            [&]() { healthy_arrival = sim.now(); });
   sim.RunAll();
 
-  Simulator sim2;
+  exec::SimBackend sim2;
   Network net2(&sim2, 2, cfg);
   net2.SetEgressBandwidthFactor(0, 0.1);
   SimTime degraded_arrival = -1;
@@ -149,7 +149,7 @@ TEST(NetworkFaultTest, DegradedEgressSlowsTransmission) {
 }
 
 TEST(NetworkFaultTest, ExtraDelayKeepsChannelFifo) {
-  Simulator sim;
+  exec::SimBackend sim;
   NetworkConfig cfg;
   Network net(&sim, 2, cfg);
   std::vector<int> order;
@@ -374,7 +374,7 @@ std::string RunScenarioFingerprint(const Scenario& s) {
       static_cast<long long>(engine.metrics()->sink_count()),
       engine.LatencyHistogram().mean(),
       static_cast<long long>(engine.LatencyHistogram().P99()),
-      static_cast<unsigned long long>(engine.sim()->events_executed()),
+      static_cast<unsigned long long>(engine.exec()->events_executed()),
       static_cast<long long>(driver.events_fired()),
       engine.metrics()->elasticity_ops().size(),
       static_cast<long long>(workload->keys->shuffles_applied()),

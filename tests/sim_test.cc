@@ -11,7 +11,7 @@
 
 #include "sim/event_fn.h"
 #include "sim/event_queue.h"
-#include "sim/simulator.h"
+#include "exec/sim_backend.h"
 
 namespace elasticutor {
 namespace {
@@ -196,7 +196,7 @@ TEST(EventFnTest, MoveAndNullSemantics) {
 }
 
 TEST(SimulatorTest, CancelReturnsWhetherEventWasPending) {
-  Simulator sim;
+  exec::SimBackend sim;
   int fired = 0;
   EventId id = sim.At(10, [&]() { ++fired; });
   sim.At(20, [&]() { ++fired; });
@@ -207,7 +207,7 @@ TEST(SimulatorTest, CancelReturnsWhetherEventWasPending) {
 }
 
 TEST(SimulatorTest, RunUntilStopsAtBoundary) {
-  Simulator sim;
+  exec::SimBackend sim;
   int fired = 0;
   sim.At(10, [&]() { ++fired; });
   sim.At(20, [&]() { ++fired; });
@@ -220,7 +220,7 @@ TEST(SimulatorTest, RunUntilStopsAtBoundary) {
 }
 
 TEST(SimulatorTest, AfterSchedulesRelative) {
-  Simulator sim;
+  exec::SimBackend sim;
   SimTime seen = -1;
   sim.At(100, [&]() {
     sim.After(50, [&]() { seen = sim.now(); });
@@ -230,7 +230,7 @@ TEST(SimulatorTest, AfterSchedulesRelative) {
 }
 
 TEST(SimulatorTest, NestedSchedulingWorks) {
-  Simulator sim;
+  exec::SimBackend sim;
   int depth = 0;
   std::function<void()> recurse = [&]() {
     if (++depth < 5) sim.After(10, recurse);
@@ -242,7 +242,7 @@ TEST(SimulatorTest, NestedSchedulingWorks) {
 }
 
 TEST(SimulatorTest, PeriodicFiresUntilStopped) {
-  Simulator sim;
+  exec::SimBackend sim;
   int count = 0;
   sim.Periodic(10, 10, [&](SimTime) { return ++count < 4; });
   sim.RunUntil(1000);
@@ -250,7 +250,7 @@ TEST(SimulatorTest, PeriodicFiresUntilStopped) {
 }
 
 TEST(SimulatorTest, PeriodicTimesAreExact) {
-  Simulator sim;
+  exec::SimBackend sim;
   std::vector<SimTime> times;
   sim.Periodic(5, 7, [&](SimTime t) {
     times.push_back(t);
@@ -262,7 +262,7 @@ TEST(SimulatorTest, PeriodicTimesAreExact) {
 
 TEST(SimulatorTest, DeterministicEventCount) {
   auto run = []() {
-    Simulator sim;
+    exec::SimBackend sim;
     int fired = 0;
     for (int i = 0; i < 100; ++i) {
       sim.After(i * 3 % 17, [&]() { ++fired; });
@@ -274,7 +274,7 @@ TEST(SimulatorTest, DeterministicEventCount) {
 }
 
 TEST(SimulatorTest, RunUntilAdvancesClockWithoutEvents) {
-  Simulator sim;
+  exec::SimBackend sim;
   sim.RunUntil(500);
   EXPECT_EQ(sim.now(), 500);
 }

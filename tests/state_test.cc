@@ -7,7 +7,7 @@
 #include <type_traits>
 
 #include "net/network.h"
-#include "sim/simulator.h"
+#include "exec/sim_backend.h"
 #include "state/migration_engine.h"
 #include "state/state_backend.h"
 #include "state/state_store.h"
@@ -127,7 +127,7 @@ NetworkConfig MigNetConfig() {
 }
 
 struct MigrationRig {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net;
   MigrationEngine engine;
   ProcessStateStore src, dst;
@@ -333,7 +333,7 @@ TEST(StateBackendTest, ExternalKvRoutesEveryNodeToHomeStore) {
 }
 
 TEST(StateBackendTest, ExternalKvAttributesAccessBytesToNetwork) {
-  Simulator sim;
+  exec::SimBackend sim;
   Network net(&sim, 4, MigNetConfig());
   ExternalKvBackend backend(/*home=*/0, &net, Micros(150), 128);
   // A task on a remote node: the read/write round trip crosses the wire.

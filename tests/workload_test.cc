@@ -37,7 +37,7 @@ TEST(KeySpaceTest, ProbabilitiesSumToOne) {
 
 TEST(KeySpaceTest, PeriodicShuffleOnSimulator) {
   DynamicKeySpace keys(64, 0.5, 3);
-  Simulator sim;
+  exec::SimBackend sim;
   keys.StartShuffling(&sim, 6.0);  // Every 10 s.
   sim.RunUntil(Seconds(35));
   EXPECT_EQ(keys.shuffles_applied(), 3);
