@@ -65,8 +65,7 @@ void BM_GreedyAllocation(benchmark::State& state) {
 }
 BENCHMARK(BM_GreedyAllocation)->Arg(32)->Arg(192);
 
-void BM_Assignment(benchmark::State& state) {
-  int m = static_cast<int>(state.range(0));
+AssignmentInput AssignmentBenchInput(int m) {
   const int n = 32;
   AssignmentInput in;
   in.node_capacity.assign(n, 8);
@@ -74,12 +73,12 @@ void BM_Assignment(benchmark::State& state) {
   in.target.resize(m);
   in.state_bytes.assign(m, 8e6);
   in.data_intensity.assign(m, 100e3);
-  in.current.assign(n, std::vector<int>(m, 0));
+  in.current = SparseAssignment(m);
   Rng rng(11);
   int total = 0;
   for (int j = 0; j < m; ++j) {
     in.home[j] = j % n;
-    in.current[j % n][j] = 1;
+    in.current.Add(j % n, j, 1);
     in.target[j] = 1 + static_cast<int>(rng.NextBounded(3));
     total += in.target[j];
   }
@@ -90,11 +89,24 @@ void BM_Assignment(benchmark::State& state) {
       --total;
     }
   }
+  return in;
+}
+
+void BM_Assignment(benchmark::State& state) {
+  AssignmentInput in = AssignmentBenchInput(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(SolveAssignment(in));
   }
 }
 BENCHMARK(BM_Assignment)->Arg(32)->Arg(192);
+
+void BM_AssignmentDense(benchmark::State& state) {
+  AssignmentInput in = AssignmentBenchInput(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveAssignmentDense(in));
+  }
+}
+BENCHMARK(BM_AssignmentDense)->Arg(32)->Arg(192);
 
 void BM_BalancerPlan(benchmark::State& state) {
   int shards = static_cast<int>(state.range(0));

@@ -16,6 +16,9 @@ int main(int argc, char** argv) {
   double migration[2] = {0, 0};
   double remote[2] = {0, 0};
   double tput[2] = {0, 0};
+  double solve_avg[2] = {0, 0};
+  double cycle_p99[2] = {0, 0};
+  double cycle_max[2] = {0, 0};
 
   for (int naive = 1; naive >= 0; --naive) {
     SseOptions options;
@@ -37,6 +40,10 @@ int main(int argc, char** argv) {
     migration[naive] = r.migration_rate_mbps;
     remote[naive] = r.remote_task_rate_mbps;
     tput[naive] = r.throughput_tps;
+    const SchedulerTiming& t = engine.scheduler()->timing();
+    solve_avg[naive] = t.Avg(t.solve_ms);
+    cycle_p99[naive] = t.P99CycleMs();
+    cycle_max[naive] = t.MaxCycleMs();
   }
 
   table.PrintHeader();
@@ -45,6 +52,13 @@ int main(int argc, char** argv) {
   table.PrintRow({"remote transfer (MB/s)", Fmt(remote[1], 2),
                   Fmt(remote[0], 2)});
   table.PrintRow({"throughput (tup/s)", Fmt(tput[1], 0), Fmt(tput[0], 0)});
+  // Control-plane cost of each assignment policy (first-fit vs Algorithm 1).
+  table.PrintRow({"solve avg (ms)", Fmt(solve_avg[1], 3),
+                  Fmt(solve_avg[0], 3)});
+  table.PrintRow({"cycle p99 (ms)", Fmt(cycle_p99[1], 3),
+                  Fmt(cycle_p99[0], 3)});
+  table.PrintRow({"cycle max (ms)", Fmt(cycle_max[1], 3),
+                  Fmt(cycle_max[0], 3)});
   std::printf("\npaper: 13.9 -> 2.4 MB/s migration, 235.3 -> 21.6 MB/s "
               "remote transfer (5x / 10x lower with the optimized "
               "scheduler)\n");

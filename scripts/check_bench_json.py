@@ -8,6 +8,9 @@ Validates every bench JSON against bench/expectations.json:
                          sections: every row must carry all keys of at
                          least one listed schema;
   * rows              -- exact count, or {"min": n, "max": n} bounds;
+  * numeric_columns   -- columns that, wherever present in a row, must
+                         parse as numbers (catches benches serializing
+                         "nan"/"-"/garbage into metric cells);
   * allow_empty       -- the file may serialize zero rows (e.g. fig07 below
                          the scale where its one-second bins fill);
   * checks            -- tolerance-banded headline metrics: each check
@@ -122,7 +125,12 @@ def check_file(path, spec, scale, errors):
     schemas = spec.get("row_schemas")
     if schemas is None and "required_columns" in spec:
         schemas = [spec["required_columns"]]
+    numeric_columns = spec.get("numeric_columns", [])
     for i, row in enumerate(rows):
+        for col in numeric_columns:
+            if col in row and parse_number(row[col]) is None:
+                errors.append(f"{name}: row {i} column {col!r} is not "
+                              f"numeric ({row[col]!r})")
         if schemas is None:
             continue
         if not any(all(c in row for c in schema) for schema in schemas):

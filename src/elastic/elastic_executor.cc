@@ -326,6 +326,22 @@ std::unordered_map<NodeId, int> ElasticExecutor::core_distribution() const {
   return dist;
 }
 
+std::vector<std::pair<int, int>> ElasticExecutor::placement() const {
+  std::vector<std::pair<int, int>> out;
+  for (const auto& t : tasks_) {
+    if (!t || t->draining) continue;
+    auto it = std::lower_bound(
+        out.begin(), out.end(), t->node,
+        [](const std::pair<int, int>& e, NodeId v) { return e.first < v; });
+    if (it != out.end() && it->first == t->node) {
+      ++it->second;
+    } else {
+      out.insert(it, {t->node, 1});
+    }
+  }
+  return out;
+}
+
 int64_t ElasticExecutor::state_bytes() const { return backend_->TotalBytes(); }
 
 Status ElasticExecutor::AddCore(NodeId node) {

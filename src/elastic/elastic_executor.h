@@ -36,6 +36,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "elastic/load_balancer.h"
@@ -76,6 +77,9 @@ class ElasticExecutor : public ExecutorBase {
   /// Cores per node (x_ij column of the assignment matrix), active tasks
   /// only (draining tasks excluded).
   std::unordered_map<NodeId, int> core_distribution() const;
+  /// Same data as core_distribution(), as node-ascending (node, cores)
+  /// pairs — the sparse placement row the scheduler feeds Algorithm 1.
+  std::vector<std::pair<int, int>> placement() const;
 
   /// Aggregate state size s_j across all processes.
   int64_t state_bytes() const;

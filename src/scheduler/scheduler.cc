@@ -2,10 +2,26 @@
 
 #include <algorithm>
 #include <chrono>
+#include <queue>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace elasticutor {
+
+double SchedulerTiming::MaxCycleMs() const {
+  double best = 0.0;
+  for (double v : cycle_ms) best = std::max(best, v);
+  return best;
+}
+
+double SchedulerTiming::P99CycleMs() const {
+  if (cycle_ms.empty()) return 0.0;
+  std::vector<double> sorted = cycle_ms;
+  size_t idx = static_cast<size_t>(0.99 * (sorted.size() - 1));
+  std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+  return sorted[idx];
+}
 
 DynamicScheduler::DynamicScheduler(
     Runtime* rt, const Cluster* cluster, CoreLedger* ledger,
@@ -87,14 +103,19 @@ std::vector<int> DynamicScheduler::ComputeTargets() {
 }
 
 void DynamicScheduler::RunOnce() {
+  using WallClock = std::chrono::steady_clock;
+  auto wall_ms = [](WallClock::time_point a, WallClock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  };
   SimTime now = rt_->exec()->now();
   SimDuration dt = now - last_run_;
   last_run_ = now;
   if (dt <= 0) dt = rt_->config().scheduler.interval_ns;
+  auto wall_measure = WallClock::now();
   MeasureInterval(dt);
 
   const SchedulerConfig& cfg = rt_->config().scheduler;
-  auto wall_start = std::chrono::steady_clock::now();
+  auto wall_start = WallClock::now();
 
   std::vector<int> targets = ComputeTargets();
   // Deadband: a ±1-core difference is within measurement noise; chasing it
@@ -118,22 +139,34 @@ void DynamicScheduler::RunOnce() {
   const int available_cores = AvailableCores();
   if (rt_->config().scheduler.allocate_all_cores) {
     // The deadband must not strand capacity: hand leftover cores to the
-    // executors with the highest per-core utilization.
+    // executors with the highest per-core utilization. A grant only changes
+    // the grantee's utilization (its target grew), so a max-heap with
+    // recompute-on-pop staleness replaces the per-core O(m) argmax scan;
+    // (util, -j) keys reproduce the scan's smallest-index tie-break.
     int total_target = 0;
     for (int t : targets) total_target += t;
-    while (total_target < available_cores) {
-      int best = -1;
-      double best_util = -1.0;
-      for (size_t j = 0; j < states_.size(); ++j) {
-        double util = std::max(states_[j].lambda.value(), 0.0) /
-                      (std::max(states_[j].mu.value(), 1e-9) * targets[j]);
-        if (util > best_util) {
-          best_util = util;
-          best = static_cast<int>(j);
-        }
+    if (total_target < available_cores) {
+      auto util_of = [&](int j) {
+        return std::max(states_[j].lambda.value(), 0.0) /
+               (std::max(states_[j].mu.value(), 1e-9) * targets[j]);
+      };
+      std::priority_queue<std::pair<double, int>> heap;
+      for (int j = 0; j < static_cast<int>(states_.size()); ++j) {
+        heap.push({util_of(j), -j});
       }
-      ++targets[best];
-      ++total_target;
+      while (total_target < available_cores) {
+        auto [util, neg_j] = heap.top();
+        heap.pop();
+        int j = -neg_j;
+        double fresh = util_of(j);
+        if (fresh != util) {  // Stale (j was granted since the push).
+          heap.push({fresh, neg_j});
+          continue;
+        }
+        ++targets[j];
+        ++total_target;
+        heap.push({util_of(j), neg_j});
+      }
     }
   }
 
@@ -162,23 +195,21 @@ void DynamicScheduler::RunOnce() {
   in.target = targets;
   in.state_bytes.resize(m);
   in.data_intensity.resize(m);
-  in.current.assign(cluster_->num_nodes(), std::vector<int>(m, 0));
+  in.current = SparseAssignment(m);
   in.phi = cfg.phi_bytes_per_sec;
   for (int j = 0; j < m; ++j) {
     const auto& s = states_[j];
     in.home[j] = s.executor->home_node();
     in.state_bytes[j] = static_cast<double>(s.executor->state_bytes());
     in.data_intensity[j] = s.intensity.value();
-    for (const auto& [node, count] : s.executor->core_distribution()) {
+    int current_total = 0;
+    for (const auto& [node, count] : s.executor->placement()) {
       if (!rt_->faults()->available(node)) continue;  // Being evacuated.
-      in.current[node][j] = count;
+      in.current.exec[j].push_back({node, count});
+      current_total += count;
     }
     // Executors mid-transition keep their current allocation this round.
     if (s.executor->transition_pending()) {
-      int current_total = 0;
-      for (int i = 0; i < cluster_->num_nodes(); ++i) {
-        current_total += in.current[i][j];
-      }
       in.target[j] = std::max(1, current_total);
     }
   }
@@ -191,35 +222,63 @@ void DynamicScheduler::RunOnce() {
   {
     int total_target = 0;
     for (int j = 0; j < m; ++j) total_target += in.target[j];
+    // Largest-target-first victim selection via a (target, -j) max-heap —
+    // same victims as the old per-core O(m) argmax scan (ties go to the
+    // smallest index). An entry is stale iff its stored target no longer
+    // matches; a fresh entry is pushed after every decrement, so the valid
+    // maximum is always resident. Eligibility (mid-transition, starved in
+    // pass 1) is fixed within a pass and checked at push; target > 1 only
+    // decreases, so entries matching the current target still satisfy it.
     auto shave = [&](bool allow_starved) {
-      while (total_target > available_cores) {
-        int victim = -1;
-        for (int j = 0; j < m; ++j) {
-          if (states_[j].executor->transition_pending() ||
-              in.target[j] <= 1) {
-            continue;
-          }
-          if (!allow_starved && starved[j]) continue;
-          if (victim < 0 || in.target[j] > in.target[victim]) victim = j;
+      if (total_target <= available_cores) return;
+      std::priority_queue<std::pair<int, int>> heap;
+      for (int j = 0; j < m; ++j) {
+        if (states_[j].executor->transition_pending() || in.target[j] <= 1) {
+          continue;
         }
-        if (victim < 0) return;
-        --in.target[victim];
+        if (!allow_starved && starved[j]) continue;
+        heap.push({in.target[j], -j});
+      }
+      while (total_target > available_cores && !heap.empty()) {
+        auto [target, neg_j] = heap.top();
+        heap.pop();
+        int j = -neg_j;
+        if (target != in.target[j]) continue;  // Stale.
+        --in.target[j];
         --total_target;
+        if (in.target[j] > 1) heap.push({in.target[j], neg_j});
       }
     };
     shave(/*allow_starved=*/false);
     shave(/*allow_starved=*/true);
   }
 
+  auto wall_solve = WallClock::now();
   AssignmentOutput out =
       cfg.naive_assignment
           ? NaiveAssignment(in, static_cast<uint64_t>(cycles_ / 8))
           : SolveAssignment(in);
 
-  auto wall_end = std::chrono::steady_clock::now();
-  scheduling_wall_ms_total_ +=
-      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  auto wall_end = WallClock::now();
+  scheduling_wall_ms_total_ += wall_ms(wall_start, wall_end);
   ++cycles_;
+  timing_.measure_ms += wall_ms(wall_measure, wall_start);
+  timing_.targets_ms += wall_ms(wall_start, wall_solve);
+  timing_.solve_ms += wall_ms(wall_solve, wall_end);
+  // The diff phase (everything below, including the pause estimate) runs
+  // inside this guard so every exit path records its cycle breakdown.
+  struct CycleRecorder {
+    SchedulerTiming* timing;
+    WallClock::time_point cycle_start, diff_start;
+    ~CycleRecorder() {
+      auto end = WallClock::now();
+      timing->diff_ms +=
+          std::chrono::duration<double, std::milli>(end - diff_start).count();
+      timing->cycle_ms.push_back(
+          std::chrono::duration<double, std::milli>(end - cycle_start)
+              .count());
+    }
+  } recorder{&timing_, wall_measure, wall_end};
 
   if (!out.feasible) {
     ELOG_WARN << "scheduler: no feasible assignment this cycle";
@@ -278,56 +337,51 @@ void DynamicScheduler::RunOnce() {
   ExecuteDiff(out.x);
 }
 
-void DynamicScheduler::ExecuteDiff(const std::vector<std::vector<int>>& x) {
-  const int n = cluster_->num_nodes();
+void DynamicScheduler::ExecuteDiff(const SparseAssignment& x) {
   const int m = static_cast<int>(states_.size());
   pending_adds_.clear();  // Drop stale intents from the previous cycle.
 
-  // Deltas per (node, executor) from the live distribution.
-  std::vector<std::vector<int>> delta(n, std::vector<int>(m, 0));
-  for (int j = 0; j < m; ++j) {
-    auto dist = states_[j].executor->core_distribution();
-    for (int i = 0; i < n; ++i) {
-      int current = 0;
-      auto it = dist.find(i);
-      if (it != dist.end()) current = it->second;
-      delta[i][j] = x[i][j] - current;
-    }
-  }
+  // Diff the plan against the *live* distribution — on a crashed node the
+  // solver input excluded the cores, so the diff turns into removals there
+  // plus additions elsewhere: the evacuation. The plan's moves come
+  // (node, executor)-ascending, the order the old dense delta scan issued.
+  SparseAssignment live(m);
+  for (int j = 0; j < m; ++j) live.exec[j] = states_[j].executor->placement();
+  DiffPlan plan = PlanCoreDiff(live, x);
 
   // Queue additions; issue at most one removal per executor per cycle (the
   // executor serializes transitions anyway), then satisfy additions as cores
   // free up.
-  std::vector<bool> removal_issued(m, false);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < m; ++j) {
-      for (int a = 0; a < delta[i][j]; ++a) {
-        pending_adds_[i].push_back(j);
-      }
-    }
+  for (const CoreMove& mv : plan.adds) {
+    pending_adds_[mv.node].push_back(mv.executor);
   }
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < m; ++j) {
-      if (delta[i][j] >= 0 || removal_issued[j]) continue;
-      if (states_[j].executor->transition_pending()) continue;
-      NodeId node = i;
-      auto& s = states_[j];
-      Status st = s.executor->RemoveCore(node, [this, node, j]() {
-        // Core physically free once the task drained.
-        int core = ledger_->ReleaseOneOf(node, states_[j].executor->id());
-        ELASTICUTOR_CHECK_MSG(core >= 0, "ledger out of sync on removal");
-        TryDrainPendingAdds(node);
-      });
-      if (st.ok()) {
-        removal_issued[j] = true;
-        ++core_moves_issued_;
-      }
+  std::vector<bool> removal_issued(m, false);
+  for (const CoreMove& mv : plan.removal_candidates) {
+    int j = mv.executor;
+    if (removal_issued[j]) continue;
+    if (states_[j].executor->transition_pending()) continue;
+    NodeId node = mv.node;
+    auto& s = states_[j];
+    Status st = s.executor->RemoveCore(node, [this, node, j]() {
+      // Core physically free once the task drained.
+      int core = ledger_->ReleaseOneOf(node, states_[j].executor->id());
+      ELASTICUTOR_CHECK_MSG(core >= 0, "ledger out of sync on removal");
+      TryDrainPendingAdds(node);
+    });
+    if (st.ok()) {
+      removal_issued[j] = true;
+      ++core_moves_issued_;
     }
   }
   // Satisfy whatever fits in the currently free cores; the rest chain on
   // removal completions (and are discarded at the next cycle, which
-  // recomputes the diff from fresh state).
-  for (int i = 0; i < n; ++i) TryDrainPendingAdds(i);
+  // recomputes the diff from fresh state). Walk the planned nodes in
+  // ascending order (plan.adds is node-major) — the historical drain order.
+  for (size_t k = 0; k < plan.adds.size();) {
+    NodeId node = plan.adds[k].node;
+    while (k < plan.adds.size() && plan.adds[k].node == node) ++k;
+    TryDrainPendingAdds(node);
+  }
 }
 
 void DynamicScheduler::TryDrainPendingAdds(NodeId node) {
@@ -336,7 +390,7 @@ void DynamicScheduler::TryDrainPendingAdds(NodeId node) {
   auto& adds = it->second;
   while (!adds.empty() && ledger_->FreeOn(node) > 0) {
     int j = adds.front();
-    adds.erase(adds.begin());
+    adds.pop_front();
     auto& s = states_[j];
     int core = ledger_->Acquire(node, s.executor->id());
     ELASTICUTOR_CHECK(core >= 0);

@@ -14,6 +14,7 @@
 // the paper reports in Table 3.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -26,6 +27,24 @@
 #include "scheduler/perf_model.h"
 
 namespace elasticutor {
+
+/// Control-plane wall-clock breakdown: per-phase totals (divide by cycles
+/// for averages) plus the full per-cycle series for tail statistics.
+struct SchedulerTiming {
+  double measure_ms = 0.0;  // Metric snapshots + EWMA updates.
+  double targets_ms = 0.0;  // Core allocation, deadband, feasibility shave.
+  double solve_ms = 0.0;    // Algorithm 1 (or the naive baseline).
+  double diff_ms = 0.0;     // Pause estimate + core-move issuance.
+  std::vector<double> cycle_ms;  // Per-cycle total (all four phases).
+
+  int64_t cycles() const { return static_cast<int64_t>(cycle_ms.size()); }
+  double Avg(double total_ms) const {
+    return cycle_ms.empty() ? 0.0
+                            : total_ms / static_cast<double>(cycle_ms.size());
+  }
+  double MaxCycleMs() const;
+  double P99CycleMs() const;
+};
 
 class DynamicScheduler {
  public:
@@ -55,6 +74,10 @@ class DynamicScheduler {
   /// (perf_model.h): near-flat for chunked-live, linear in moved state for
   /// sync-blob.
   double last_pause_estimate_s() const { return last_pause_estimate_s_; }
+  /// Per-phase wall-clock breakdown (measure / targets / solve / diff) with
+  /// max and p99 cycle time. avg_scheduling_wall_ms() remains the Table-3
+  /// metric (targets + solve only).
+  const SchedulerTiming& timing() const { return timing_; }
 
  private:
   struct ExecutorState {
@@ -73,15 +96,16 @@ class DynamicScheduler {
   /// Total cores on nodes the fault plane marks schedulable.
   int AvailableCores() const;
   std::vector<int> ComputeTargets();
-  void ExecuteDiff(const std::vector<std::vector<int>>& x);
+  void ExecuteDiff(const SparseAssignment& x);
   void TryDrainPendingAdds(NodeId node);
 
   Runtime* rt_;
   const Cluster* cluster_;
   CoreLedger* ledger_;
   std::vector<ExecutorState> states_;
-  // Additions waiting for cores to be released on a node.
-  std::unordered_map<NodeId, std::vector<int>> pending_adds_;
+  // Additions waiting for cores to be released on a node (FIFO per node;
+  // a deque so the drain pops the front in O(1)).
+  std::unordered_map<NodeId, std::deque<int>> pending_adds_;
 
   int64_t cycles_ = 0;
   double scheduling_wall_ms_total_ = 0.0;
@@ -90,6 +114,7 @@ class DynamicScheduler {
   double last_pause_estimate_s_ = 0.0;
   int64_t core_moves_issued_ = 0;
   SimTime last_run_ = 0;
+  SchedulerTiming timing_;
 };
 
 }  // namespace elasticutor

@@ -99,10 +99,10 @@ AssignmentInput BaseInput(int nodes, int executors) {
   in.target.assign(executors, 1);
   in.state_bytes.assign(executors, 8e6);
   in.data_intensity.assign(executors, 0.0);
-  in.current.assign(nodes, std::vector<int>(executors, 0));
+  in.current = SparseAssignment(executors);
   for (int j = 0; j < executors; ++j) {
     in.home[j] = j % nodes;
-    in.current[j % nodes][j] = 1;
+    in.current.Add(j % nodes, j, 1);
   }
   return in;
 }
@@ -120,14 +120,13 @@ TEST(AssignmentTest, SatisfiesTargetsAndCapacity) {
   in.target = {5, 1, 1, 1, 5, 1, 1, 1};
   auto out = SolveAssignment(in);
   ASSERT_TRUE(out.feasible);
+  auto dense = out.x.ToDense(4);
   for (int j = 0; j < 8; ++j) {
-    int total = 0;
-    for (int i = 0; i < 4; ++i) total += out.x[i][j];
-    EXPECT_GE(total, in.target[j]) << "executor " << j;
+    EXPECT_GE(out.x.Total(j), in.target[j]) << "executor " << j;
   }
   for (int i = 0; i < 4; ++i) {
     int used = 0;
-    for (int j = 0; j < 8; ++j) used += out.x[i][j];
+    for (int j = 0; j < 8; ++j) used += dense[i][j];
     EXPECT_LE(used, in.node_capacity[i]) << "node " << i;
   }
 }
@@ -139,7 +138,7 @@ TEST(AssignmentTest, DataIntensiveExecutorStaysLocal) {
   auto out = SolveAssignment(in);
   ASSERT_TRUE(out.feasible);
   // All 6 cores of executor 0 on its home node (node 0).
-  EXPECT_EQ(out.x[in.home[0]][0], 6);
+  EXPECT_EQ(out.x.At(in.home[0], 0), 6);
 }
 
 TEST(AssignmentTest, PhiDoublesWhenLocalityInfeasible) {
@@ -148,9 +147,11 @@ TEST(AssignmentTest, PhiDoublesWhenLocalityInfeasible) {
   // together infeasible locally (12 > 8), so φ must double until one is
   // allowed remote cores.
   in.home = {0, 0, 1, 1};
-  in.current.assign(2, std::vector<int>(4, 0));
-  in.current[0][0] = in.current[0][1] = 1;
-  in.current[1][2] = in.current[1][3] = 1;
+  in.current = SparseAssignment(4);
+  in.current.Add(0, 0, 1);
+  in.current.Add(0, 1, 1);
+  in.current.Add(1, 2, 1);
+  in.current.Add(1, 3, 1);
   in.target = {6, 6, 1, 1};
   in.data_intensity = {10e6, 9e6, 0, 0};
   auto out = SolveAssignment(in);
@@ -170,10 +171,10 @@ TEST(AssignmentTest, PrefersCheapDonors) {
   // Executor 2 is over-provisioned with cores on both nodes; executor 0
   // needs one more. Cheapest donor core should leave migration cost ~0 when
   // a free core exists.
-  in.current.assign(2, std::vector<int>(3, 0));
-  in.current[0][0] = 1;
-  in.current[0][1] = 1;
-  in.current[1][2] = 2;
+  in.current = SparseAssignment(3);
+  in.current.Add(0, 0, 1);
+  in.current.Add(0, 1, 1);
+  in.current.Add(1, 2, 2);
   in.target = {2, 1, 2};
   auto out = SolveAssignment(in);
   ASSERT_TRUE(out.feasible);
@@ -184,13 +185,13 @@ TEST(AssignmentTest, PrefersCheapDonors) {
 
 TEST(AssignmentTest, MigrationCostAccountsProportionalState) {
   AssignmentInput in = BaseInput(2, 1);
-  in.current.assign(2, std::vector<int>(1, 0));
-  in.current[0][0] = 2;  // 2 cores on node 0, state 8 MB.
+  in.current = SparseAssignment(1);
+  in.current.Add(0, 0, 2);  // 2 cores on node 0, state 8 MB.
   in.target = {2};
   // Force a move by making node 0 too small for an added executor... here
   // just verify the cost function directly: moving half the cores moves
   // half the state.
-  std::vector<std::vector<int>> x = {{1}, {1}};
+  SparseAssignment x = SparseAssignment::FromDense({{1}, {1}});
   EXPECT_NEAR(MigrationCostBytes(in, x), 4e6, 1.0);
 }
 
