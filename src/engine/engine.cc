@@ -215,10 +215,13 @@ Status Engine::Setup() {
 
   if (config_.backend == exec::BackendKind::kNative) {
     // Native: the thread/channel dataflow replaces the simulated executor
-    // wiring entirely (no controllers — elasticity is sim-only).
+    // wiring entirely. Elasticity runs live: shards migrate between worker
+    // threads through the in-channel labeling barrier, reusing the same
+    // MigrationEngine the simulated controllers use.
     native_ = std::make_unique<exec::NativeRuntime>(
         &topology_, &config_,
-        static_cast<exec::NativeBackend*>(exec_.get()), metrics_.get());
+        static_cast<exec::NativeBackend*>(exec_.get()), migration_.get(),
+        metrics_.get());
     ELASTICUTOR_RETURN_NOT_OK(native_->Setup());
     setup_done_ = true;
     return Status::OK();
@@ -340,6 +343,7 @@ double Engine::MeasuredThroughput() const {
 }
 
 int64_t Engine::order_violations() const {
+  if (native_ != nullptr) return native_->order_violations();
   const OrderValidator* v =
       const_cast<Runtime*>(runtime_.get())->validator();
   return v == nullptr ? 0 : v->violations();

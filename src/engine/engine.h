@@ -133,13 +133,16 @@ class Engine {
   EngineConfig config_;
 
   std::unique_ptr<exec::ExecutionBackend> exec_;
-  std::unique_ptr<exec::NativeRuntime> native_;  // kNative backend only.
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<CoreLedger> ledger_;
   std::unique_ptr<NodeFaultPlane> faults_;
   std::unique_ptr<Network> net_;
   std::unique_ptr<MigrationEngine> migration_;
   std::unique_ptr<EngineMetrics> metrics_;
+  /// kNative backend only. Declared after the migration engine, metrics and
+  /// backend: its destructor (emergency teardown) joins worker threads that
+  /// touch all three.
+  std::unique_ptr<exec::NativeRuntime> native_;
   std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<DynamicScheduler> scheduler_;
   std::unique_ptr<RcController> rc_;

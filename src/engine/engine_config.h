@@ -36,6 +36,24 @@ struct NativeRuntimeOptions {
   int batch_tuples = 64;
   /// Bounded channel depth, in batches, per worker input (back-pressure).
   int channel_capacity_batches = 64;
+
+  // ---- Elastic paradigm (Paradigm::kElastic on the native backend) ----
+  /// Same-process shard-copy rate for migrations between worker threads
+  /// (bytes/s). 0 = free handoff: the move is a pointer swap and pre-copy
+  /// completes synchronously. Positive rates pace MigrationEngine's
+  /// chunked pre-copy / delta shipment on the backend's timer wheel, the
+  /// native analog of StateLayerConfig::local_copy_bytes_per_sec.
+  double migration_copy_bytes_per_sec = 0.0;
+  /// Period of the driver-side balance tick that samples per-shard
+  /// processed counts and plans ReassignShard moves across the worker
+  /// threads (0 = off; reassignments then come only from explicit
+  /// ReassignShard calls).
+  SimDuration balance_period_ns = 0;
+  /// Imbalance trigger (max/avg per-worker load) for the native balance
+  /// tick, mirroring BalancerConfig::theta.
+  double balance_theta = 1.25;
+  /// Moves planned per balance tick per operator.
+  int balance_max_moves = 2;
 };
 
 struct EngineConfig {
@@ -44,8 +62,10 @@ struct EngineConfig {
   // ---- Execution backend (exec/execution_backend.h) ----
   /// kSim (default): single-threaded discrete-event simulation, the
   /// deterministic path every figure bench and test runs on. kNative: real
-  /// OS threads + monotonic clock; static dataflow only (no elasticity) —
-  /// see docs/architecture.md "Execution backends".
+  /// OS threads + monotonic clock, supporting the static and elastic
+  /// paradigms (shards migrate live between worker threads via the
+  /// in-channel labeling barrier) — see docs/architecture.md "Execution
+  /// backends".
   exec::BackendKind backend = exec::BackendKind::kSim;
   NativeRuntimeOptions native;
 

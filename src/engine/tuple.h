@@ -25,9 +25,15 @@ struct Tuple {
   /// Root event time: set when the tuple (or its root ancestor) entered the
   /// topology; inherited by derived tuples so sink latency is end-to-end.
   SimTime created_at = 0;
-  /// Arrival sequence number assigned at the destination operator when order
-  /// validation is enabled; 0 otherwise.
+  /// Order-validation bookkeeping, populated only when
+  /// EngineConfig::validate_key_order is on. Sim backend: `arrival_seq` is
+  /// assigned at the destination operator on admission. Native backend:
+  /// `origin` identifies the producer slot and `arrival_seq` is that
+  /// producer's per-(destination op, key) emission counter — the consumer
+  /// checks the sequence is consecutive per (origin, key), which is exactly
+  /// the per-channel FIFO + per-key routing guarantee the runtime makes.
   uint64_t arrival_seq = 0;
+  uint32_t origin = 0;
   TuplePayload payload;
 };
 

@@ -20,8 +20,13 @@ namespace elasticutor {
 namespace exec {
 
 /// One pooled micro-batch. `tuples` keeps its capacity across reuse.
+/// A batch with `label_id >= 0` is a labeling marker of the elastic
+/// reassignment protocol (§3.3): it carries no tuples and rides the same
+/// FIFO ring as data, so popping it proves every prior tuple from its
+/// producer has been consumed.
 struct TupleBatchStorage {
   std::vector<Tuple> tuples;
+  int64_t label_id = -1;
 };
 
 class BatchPool {
@@ -51,6 +56,7 @@ class BatchPool {
 
   void Release(TupleBatchStorage* batch) {
     batch->tuples.clear();  // Keeps capacity.
+    batch->label_id = -1;
     std::lock_guard<std::mutex> lock(mu_);
     free_.push_back(batch);
   }

@@ -69,17 +69,40 @@ class MpscChannel {
     return PopLocked();
   }
 
-  /// Blocks until a batch arrives or the channel is closed (all producers
-  /// done) and drained; nullptr means "no more batches, ever".
+  /// Blocks until a batch arrives, the channel is closed (all producers
+  /// done) and drained, or a Kick() lands. nullptr no longer means "done"
+  /// by itself — a kicked consumer gets a spurious nullptr so it can
+  /// revisit out-of-band state (the elastic control board); check
+  /// exhausted() to distinguish shutdown from a wake-up.
   TupleBatchStorage* Pop() {
     std::unique_lock<std::mutex> lock(mu_);
-    if (ring_.empty() && producers_open_ > 0 && !aborted_) {
+    if (ring_.empty() && producers_open_ > 0 && !aborted_ && !kicked_) {
       ++pop_waits_;
       not_empty_.wait(lock, [this] {
-        return !ring_.empty() || producers_open_ == 0 || aborted_;
+        return !ring_.empty() || producers_open_ == 0 || aborted_ || kicked_;
       });
     }
+    kicked_ = false;  // Any return lets the consumer poll its control state.
     return PopLocked();
+  }
+
+  /// Wakes a consumer blocked in Pop() without closing anything: its Pop
+  /// returns (possibly nullptr on an empty ring). Used by the elastic
+  /// control plane so an idle worker notices new label/migration duties.
+  void Kick() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      kicked_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// True once the channel can never yield another batch: drained and
+  /// either closed by all producers or aborted. The consumer's shutdown
+  /// test (a plain nullptr from Pop may just be a Kick).
+  bool exhausted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return ring_.empty() && (producers_open_ == 0 || aborted_);
   }
 
   /// A producer finished for good (source budget exhausted / stop request /
@@ -137,6 +160,7 @@ class MpscChannel {
   std::deque<TupleBatchStorage*> ring_;
   int producers_open_;
   bool aborted_ = false;
+  bool kicked_ = false;
   int64_t push_blocks_ = 0;
   int64_t pop_waits_ = 0;
   int64_t batches_pushed_ = 0;

@@ -1,7 +1,9 @@
 #include "exec/native_runtime.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "elastic/load_balancer.h"
 #include "engine/single_task_executor.h"  // ApplyOperatorLogic.
 
 namespace elasticutor {
@@ -13,10 +15,9 @@ namespace exec {
 /// NativeRuntime — not in an anonymous namespace on purpose.)
 class NativeEmitContext final : public EmitContext {
  public:
-  NativeEmitContext(NativeRuntime* rt,
-                    std::vector<NativeRuntime::ProducerPort>* ports,
+  NativeEmitContext(NativeRuntime* rt, NativeRuntime::Producer* producer,
                     SimTime created_at)
-      : rt_(rt), ports_(ports), created_at_(created_at) {}
+      : rt_(rt), producer_(producer), created_at_(created_at) {}
 
   void Emit(uint64_t key, int32_t size_bytes,
             const TuplePayload& payload) override {
@@ -25,27 +26,36 @@ class NativeEmitContext final : public EmitContext {
     out.size_bytes = size_bytes;
     out.created_at = created_at_;
     out.payload = payload;
-    for (auto& port : *ports_) rt_->EmitTo(&port, out);
+    for (auto& port : producer_->ports) rt_->EmitTo(producer_, &port, out);
   }
 
  private:
   NativeRuntime* rt_;
-  std::vector<NativeRuntime::ProducerPort>* ports_;
+  NativeRuntime::Producer* producer_;
   SimTime created_at_;
 };
 
 NativeRuntime::NativeRuntime(const Topology* topology,
                              const EngineConfig* config,
-                             NativeBackend* backend, EngineMetrics* metrics)
+                             NativeBackend* backend,
+                             MigrationEngine* migration,
+                             EngineMetrics* metrics)
     : topology_(topology),
       config_(config),
       backend_(backend),
+      migration_(migration),
       metrics_(metrics) {}
 
 NativeRuntime::~NativeRuntime() {
   if (started_ && !drained_) {
-    // Emergency teardown: unblock every thread and join.
+    // Emergency teardown: unblock every thread and join. Migrations still
+    // in flight are abandoned (teardown_ releases epilogue waiters).
     stop_sources_.store(true, std::memory_order_relaxed);
+    if (elastic_) {
+      std::lock_guard<std::mutex> lock(ctrl_mu_);
+      teardown_ = true;
+    }
+    ctrl_cv_.notify_all();
     for (auto& op_workers : workers_) {
       for (auto& w : op_workers) w->input->Abort();
     }
@@ -63,15 +73,17 @@ int NativeRuntime::WorkerCount(OperatorId op) const {
 
 Status NativeRuntime::Setup() {
   if (setup_done_) return Status::FailedPrecondition("Setup called twice");
-  if (config_->paradigm != Paradigm::kStatic) {
+  if (config_->paradigm == Paradigm::kResourceCentric) {
     return Status::InvalidArgument(
-        "the native backend runs the static dataflow only; elasticity "
-        "(elastic/RC paradigms) is simulator-only — see docs/architecture.md");
+        "the native backend runs the static and elastic paradigms; "
+        "resource-centric key repartitioning is simulator-only — see "
+        "docs/architecture.md");
   }
-  if (config_->validate_key_order) {
+  elastic_ = config_->paradigm == Paradigm::kElastic;
+  validate_ = config_->validate_key_order;
+  if (elastic_ && migration_ == nullptr) {
     return Status::InvalidArgument(
-        "validate_key_order is simulator-only (the order validator is "
-        "single-threaded)");
+        "elastic paradigm requires a MigrationEngine (Engine wires one)");
   }
   batch_tuples_ =
       static_cast<size_t>(std::max(1, config_->native.batch_tuples));
@@ -81,16 +93,20 @@ Status NativeRuntime::Setup() {
   const int n = topology_->num_operators();
   partitions_.resize(n);
   workers_.resize(n);
+  elastic_ops_.resize(n);
 
   // Pass 1: partitions, workers and their input channels (no ports yet —
   // ports need every destination channel to exist).
+  bool has_trace = false;
   for (OperatorId op : topology_->topo_order()) {
     const OperatorSpec& spec = topology_->spec(op);
     if (spec.is_source) {
-      if (spec.source.mode != SourceSpec::Mode::kSaturation) {
-        return Status::InvalidArgument(
-            "native sources support saturation mode only (trace-mode "
-            "Poisson pacing is a simulator feature)");
+      if (spec.source.mode == SourceSpec::Mode::kTrace) {
+        if (!spec.source.rate_fn) {
+          return Status::InvalidArgument("trace-mode source '" + spec.name +
+                                         "' needs a rate_fn");
+        }
+        has_trace = true;
       }
       if (topology_->downstream(op).size() != 1) {
         return Status::InvalidArgument("source '" + spec.name +
@@ -113,6 +129,7 @@ Status NativeRuntime::Setup() {
       auto w = std::make_unique<Worker>();
       w->op = op;
       w->index = i;
+      w->is_sink = topology_->is_sink(op);
       w->input = std::make_unique<MpscChannel>(channel_cap, producers);
       workers_[op].push_back(std::move(w));
     }
@@ -122,13 +139,32 @@ Status NativeRuntime::Setup() {
       ELASTICUTOR_RETURN_NOT_OK(
           owner->store.CreateShard(s, spec.shard_state_bytes));
     }
+    if (elastic_) {
+      auto eo = std::make_unique<ElasticOp>();
+      const int num_shards = part->num_shards();
+      eo->owner = std::vector<std::atomic<int32_t>>(num_shards);
+      eo->held = std::vector<std::atomic<uint8_t>>(num_shards);
+      eo->processed = std::vector<std::atomic<int64_t>>(num_shards);
+      eo->balance_prev.assign(num_shards, 0);
+      for (int s = 0; s < num_shards; ++s) {
+        eo->owner[s].store(part->ExecutorOfShard(s),
+                           std::memory_order_relaxed);
+        eo->held[s].store(0, std::memory_order_relaxed);
+        eo->processed[s].store(0, std::memory_order_relaxed);
+      }
+      eo->open_producers = producers;
+      elastic_ops_[op] = std::move(eo);
+    }
     partitions_[op] = std::move(partition);
   }
+  has_timed_work_ = elastic_ || has_trace;
 
   // Pass 2: rngs (mirroring the simulator's fork order exactly: topo order,
   // executors in index order — so source streams are bit-identical to a sim
-  // run at the same seed) and producer ports.
+  // run at the same seed), producer ports and origin stamps (unique per
+  // producer slot; the concurrent order validator keys sequences on them).
   Rng root(config_->seed, 0x5eed5eed);
+  uint32_t next_origin = 1;
   for (OperatorId op : topology_->topo_order()) {
     const OperatorSpec& spec = topology_->spec(op);
     if (spec.is_source) {
@@ -136,6 +172,7 @@ Status NativeRuntime::Setup() {
         auto s = std::make_unique<Source>();
         s->op = op;
         s->index = e;
+        s->origin = next_origin++;
         s->rng = root.Fork(0x500 + MakeExecutorId(op, e));
         BuildPorts(op, &s->ports);
         sources_.push_back(std::move(s));
@@ -143,6 +180,7 @@ Status NativeRuntime::Setup() {
       continue;
     }
     for (auto& w : workers_[op]) {
+      w->origin = next_origin++;
       w->rng = root.Fork(MakeExecutorId(op, w->index));
       BuildPorts(op, &w->ports);
     }
@@ -167,6 +205,11 @@ void NativeRuntime::Start() {
   ELASTICUTOR_CHECK_MSG(setup_done_, "Start before Setup");
   ELASTICUTOR_CHECK_MSG(!started_, "Start called twice");
   started_ = true;
+  int threads = static_cast<int>(sources_.size());
+  for (auto& op_workers : workers_) {
+    threads += static_cast<int>(op_workers.size());
+  }
+  live_threads_.store(threads, std::memory_order_release);
   // Workers first so channels have their consumers before sources flood.
   for (auto& op_workers : workers_) {
     for (auto& w : op_workers) {
@@ -176,6 +219,16 @@ void NativeRuntime::Start() {
   for (auto& s : sources_) {
     s->thread = std::thread([this, src = s.get()] { SourceLoop(src); });
   }
+  if (elastic_ && config_->native.balance_period_ns > 0) {
+    const SimDuration period = config_->native.balance_period_ns;
+    backend_->Periodic(backend_->now() + period, period, [this](SimTime) {
+      if (drained_ || live_threads_.load(std::memory_order_acquire) == 0) {
+        return false;
+      }
+      BalanceTick();
+      return true;
+    });
+  }
 }
 
 void NativeRuntime::StopSources() {
@@ -184,6 +237,20 @@ void NativeRuntime::StopSources() {
 
 void NativeRuntime::WaitDrained() {
   if (!started_ || drained_) return;
+  if (has_timed_work_) {
+    // Elastic migrations and trace sources are driven by the backend's
+    // timer wheel, and timers only fire inside RunUntil — pump it until
+    // every thread is gone AND no migration is still in flight. The second
+    // condition matters for moves requested after the dataflow drained:
+    // with every worker exited those are driver-driven, and their paced
+    // pre-copy chunks and labeling callback only fire here. (Each RunUntil
+    // call sleeps through one 1 ms window, so this is a condvar-paced
+    // wait, not a spin.)
+    while (live_threads_.load(std::memory_order_acquire) > 0 ||
+           MigrationsPending()) {
+      backend_->RunUntil(backend_->now() + Millis(1));
+    }
+  }
   for (auto& s : sources_) {
     if (s->thread.joinable()) s->thread.join();
   }
@@ -198,12 +265,27 @@ void NativeRuntime::WaitDrained() {
   metrics_->MergeSinkCount(sink_count());
 }
 
-bool NativeRuntime::EmitTo(ProducerPort* port, const Tuple& t) {
-  const size_t wi =
-      static_cast<size_t>(port->part->ExecutorOfKey(t.key));
+bool NativeRuntime::EmitTo(Producer* p, ProducerPort* port, const Tuple& t) {
+  size_t wi;
+  if (elastic_) {
+    // Two-tier routing (paper §3.2): key -> shard by hash, shard -> worker
+    // through the live routing table. The acquire pairs with the release
+    // store in BeginLabeling: a producer that sees the new owner routes to
+    // a worker guaranteed to see `held` raised.
+    const ShardId shard = port->part->ShardOf(t.key);
+    wi = static_cast<size_t>(elastic_ops_[port->to_op]->owner[shard].load(
+        std::memory_order_acquire));
+  } else {
+    wi = static_cast<size_t>(port->part->ExecutorOfKey(t.key));
+  }
   TupleBatchStorage*& batch = port->pending[wi];
   if (batch == nullptr) batch = pool_.Acquire();
   batch->tuples.push_back(t);
+  if (validate_) {
+    Tuple& stamped = batch->tuples.back();
+    stamped.origin = p->origin;
+    stamped.arrival_seq = ++p->emit_seq[{port->to_op, t.key}];
+  }
   if (batch->tuples.size() < batch_tuples_) return true;
   TupleBatchStorage* full = batch;
   batch = nullptr;
@@ -225,52 +307,606 @@ void NativeRuntime::FlushPorts(std::vector<ProducerPort>* ports) {
   }
 }
 
-void NativeRuntime::ClosePorts(std::vector<ProducerPort>* ports) {
-  FlushPorts(ports);
-  for (auto& port : *ports) {
+void NativeRuntime::CloseProducerPorts(Producer* p) {
+  // Data leaves first: a barrier armed after the retirement below does not
+  // count this producer, so no batch of ours may enter a channel after
+  // that point — a straggler flushed later could ride in behind another
+  // producer's marker and reach the old owner post-extraction.
+  FlushPorts(&p->ports);
+  if (elastic_) {
+    // Final duty sweep + producer retirement, atomically: the decrement
+    // happens under the same lock hold as the sweep, so any labeling
+    // command published later arms its barrier without this producer —
+    // and the retirement precedes CloseProducer below, so a barrier that
+    // did count us gets its marker before the channel closes.
+    std::vector<LabelDuty> duties;
+    {
+      std::lock_guard<std::mutex> lock(ctrl_mu_);
+      CollectLabelDuties(p, &duties);
+      for (auto& port : p->ports) {
+        --elastic_ops_[port.to_op]->open_producers;
+      }
+      p->seen_version = ctrl_version_.load(std::memory_order_relaxed);
+    }
+    for (auto& d : duties) PushLabel(d.port, d.from, d.label_id);
+  }
+  for (auto& port : p->ports) {
     for (MpscChannel* ch : port.channels) ch->CloseProducer();
   }
 }
 
+bool NativeRuntime::SourceWaitUntil(Source* s, SimTime target) {
+  if (backend_->now() >= target) {
+    return !stop_sources_.load(std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(s->pace_mu);
+    s->pace_fired = false;
+  }
+  const EventId timer = backend_->At(target, [s] {
+    {
+      std::lock_guard<std::mutex> lock(s->pace_mu);
+      s->pace_fired = true;
+    }
+    s->pace_cv.notify_all();
+  });
+  bool fired = false;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(s->pace_mu);
+      s->pace_cv.wait_for(lock, std::chrono::milliseconds(1),
+                          [s] { return s->pace_fired; });
+      fired = s->pace_fired;
+    }
+    if (fired || stop_sources_.load(std::memory_order_relaxed) ||
+        backend_->now() >= target) {
+      break;
+    }
+    // Poll tick: stay responsive to label duties while paced (a trace
+    // source between arrivals must not stall a migration's barrier).
+    if (elastic_) PollProducer(s);
+  }
+  if (!fired) backend_->Cancel(timer);  // Best-effort; stale fires are no-ops.
+  return !stop_sources_.load(std::memory_order_relaxed);
+}
+
 void NativeRuntime::SourceLoop(Source* s) {
-  const SourceSpec& src = topology_->spec(s->op).source;
+  const OperatorSpec& spec = topology_->spec(s->op);
+  const SourceSpec& src = spec.source;
   const int64_t budget = src.max_tuples;  // 0 = until StopSources.
+  const bool trace = src.mode == SourceSpec::Mode::kTrace;
+  const double executors = static_cast<double>(spec.num_executors);
   while (budget == 0 || s->generated < budget) {
     if (stop_sources_.load(std::memory_order_relaxed)) break;
+    if (elastic_) PollProducer(s);
+    if (trace) {
+      // Mirror the simulator spout's draw order exactly — gap draw, then
+      // factory draw, from the same rng — so the tuple stream is
+      // bit-identical to a sim run at the same seed.
+      const double rate = src.rate_fn(backend_->now()) / executors;
+      const SimDuration gap =
+          rate <= 1e-9 ? Millis(100)
+                       : static_cast<SimDuration>(
+                             s->rng.NextExponential(1e9 / rate));
+      if (!SourceWaitUntil(s, backend_->now() + gap)) break;
+    }
     Tuple t = src.factory(&s->rng, backend_->now());
     t.created_at = backend_->now();
     ++s->generated;
     bool ok = true;
-    for (auto& port : s->ports) ok = EmitTo(&port, t) && ok;
+    for (auto& port : s->ports) ok = EmitTo(s, &port, t) && ok;
     if (!ok) break;  // Channels aborted.
+    // Trace arrivals are paced (ms-scale gaps): deliver each one promptly
+    // instead of letting it age in a partial batch.
+    if (trace) FlushPorts(&s->ports);
   }
-  ClosePorts(&s->ports);
+  CloseProducerPorts(s);
+  live_threads_.fetch_sub(1, std::memory_order_release);
+}
+
+void NativeRuntime::CheckArrivalOrder(Worker* w, ShardId shard,
+                                      const Tuple& t) {
+  // Per-(origin, key) sequences must be consecutive: a gap is a lost or
+  // reordered tuple, a repeat is a duplicate. The per-shard map travels
+  // with the shard on migration, so sequences stay continuous across a
+  // move (the property the labeling protocol exists to provide).
+  uint64_t& last = w->order_state[shard][{t.origin, t.key}];
+  if (t.arrival_seq != last + 1) ++w->order_violations;
+  last = t.arrival_seq;
+}
+
+void NativeRuntime::ProcessTuple(Worker* w, const OperatorSpec& spec,
+                                 const Tuple& t) {
+  const ShardId shard = partitions_[w->op]->ShardOf(t.key);
+  if (elastic_) {
+    ElasticOp* eo = elastic_ops_[w->op].get();
+    // Hold only as the *destination* of an in-flight move (held raised and
+    // the routing already points here). The old owner keeps processing the
+    // shard's pre-flip backlog while held is raised — that drain is what
+    // the labeling barrier waits for.
+    if (eo->held[shard].load(std::memory_order_acquire) != 0 &&
+        eo->owner[shard].load(std::memory_order_relaxed) ==
+            static_cast<int32_t>(w->index)) {
+      w->hold[shard].push_back(t);
+      return;
+    }
+    eo->processed[shard].fetch_add(1, std::memory_order_relaxed);
+  }
+  if (validate_) CheckArrivalOrder(w, shard, t);
+  NativeEmitContext emit(this, w, t.created_at);
+  ApplyOperatorLogic(*topology_, spec, w->op, t, &w->store, shard, &emit,
+                     &w->rng);
+  ++w->processed;
+  if (w->is_sink) ++w->sink_tuples;
 }
 
 void NativeRuntime::WorkerLoop(Worker* w) {
   const OperatorSpec& spec = topology_->spec(w->op);
-  OperatorPartition* part = partitions_[w->op].get();
-  const bool is_sink = topology_->is_sink(w->op);
   for (;;) {
+    if (elastic_) PollWorkerControl(w);
     TupleBatchStorage* batch = w->input->TryPop();
     if (batch == nullptr) {
       // Input momentarily idle: don't sit on partial output batches while
       // blocking — downstream would starve behind our buffering.
       FlushPorts(&w->ports);
       batch = w->input->Pop();
-      if (batch == nullptr) break;  // All producers closed, ring drained.
+      if (batch == nullptr) {
+        if (w->input->exhausted()) break;  // Producers closed, ring drained.
+        continue;  // Kicked awake: revisit the control board.
+      }
     }
-    for (const Tuple& t : batch->tuples) {
-      const ShardId shard = part->ShardOf(t.key);
-      NativeEmitContext emit(this, &w->ports, t.created_at);
-      ApplyOperatorLogic(*topology_, spec, w->op, t, &w->store, shard, &emit,
-                         &w->rng);
-      ++w->processed;
-      if (is_sink) ++w->sink_tuples;
+    if (batch->label_id >= 0) {
+      const int64_t label_id = batch->label_id;
+      pool_.Release(batch);
+      OnLabel(w, label_id);
+      continue;
     }
+    for (const Tuple& t : batch->tuples) ProcessTuple(w, spec, t);
     pool_.Release(batch);
   }
-  ClosePorts(&w->ports);
+  if (elastic_) WorkerEpilogue(w);
+  CloseProducerPorts(w);
+  if (elastic_) {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    w->exited = true;
+  }
+  ctrl_cv_.notify_all();
+  live_threads_.fetch_sub(1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Elastic control plane.
+// ---------------------------------------------------------------------------
+
+void NativeRuntime::CollectLabelDuties(Producer* p,
+                                       std::vector<LabelDuty>* duties) {
+  for (; p->cmd_cursor < label_cmds_.size(); ++p->cmd_cursor) {
+    const LabelCmd& cmd = label_cmds_[p->cmd_cursor];
+    for (auto& port : p->ports) {
+      if (port.to_op == cmd.op) {
+        duties->push_back({&port, cmd.from_worker, cmd.label_id});
+        ++labels_routed_;
+        break;
+      }
+    }
+  }
+}
+
+void NativeRuntime::PushLabel(ProducerPort* port, int from,
+                              int64_t label_id) {
+  // Flush the partial batch toward the old owner first: the marker must
+  // ride *behind* every tuple this producer already routed there.
+  TupleBatchStorage*& pending = port->pending[from];
+  if (pending != nullptr && !pending->tuples.empty()) {
+    TupleBatchStorage* batch = pending;
+    pending = nullptr;
+    if (!port->channels[from]->Push(batch)) pool_.Release(batch);
+  }
+  TupleBatchStorage* marker = pool_.Acquire();
+  marker->label_id = label_id;
+  if (!port->channels[from]->Push(marker)) pool_.Release(marker);
+}
+
+void NativeRuntime::PollProducer(Producer* p) {
+  if (ctrl_version_.load(std::memory_order_acquire) == p->seen_version) {
+    return;  // Fast path: one acquire load per batch while nothing moves.
+  }
+  std::vector<LabelDuty> duties;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    CollectLabelDuties(p, &duties);
+    p->seen_version = ctrl_version_.load(std::memory_order_relaxed);
+  }
+  // Pushes happen outside ctrl_mu_: a Push may block on a full channel
+  // whose consumer is itself waiting to acquire ctrl_mu_.
+  for (auto& d : duties) PushLabel(d.port, d.from, d.label_id);
+}
+
+void NativeRuntime::PollWorkerControl(Worker* w) {
+  if (ctrl_version_.load(std::memory_order_acquire) == w->seen_version) {
+    return;
+  }
+  std::vector<LabelDuty> duties;
+  std::vector<int64_t> precopies;
+  std::vector<int64_t> drains;
+  std::vector<int64_t> installs;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    CollectLabelDuties(w, &duties);
+    for (auto& [id, m] : migrations_) {
+      if (m->op != w->op) continue;
+      if (m->from == w->index && m->phase == MigPhase::kRequested) {
+        m->phase = MigPhase::kPrecopying;  // Claimed; nobody else starts it.
+        precopies.push_back(id);
+      } else if (m->from == w->index && m->phase == MigPhase::kDrained &&
+                 m->barrier_armed) {
+        // Unarmed drains wait for the epilogue: the channel backlog is the
+        // drain, and this worker is still consuming it.
+        drains.push_back(id);
+      } else if (m->to == w->index && m->phase == MigPhase::kReady) {
+        installs.push_back(id);
+      }
+    }
+    w->seen_version = ctrl_version_.load(std::memory_order_relaxed);
+  }
+  for (auto& d : duties) PushLabel(d.port, d.from, d.label_id);
+  for (int64_t id : precopies) StartPrecopy(w, id);
+  for (int64_t id : drains) DrainComplete(w, id);
+  for (int64_t id : installs) InstallMigratedShard(w, id);
+}
+
+Status NativeRuntime::ReassignShard(OperatorId op, ShardId shard,
+                                    int to_worker) {
+  if (!elastic_) {
+    return Status::FailedPrecondition(
+        "ReassignShard requires the elastic paradigm");
+  }
+  if (!started_) {
+    return Status::FailedPrecondition("ReassignShard before Start");
+  }
+  if (op < 0 || op >= static_cast<OperatorId>(partitions_.size()) ||
+      partitions_[op] == nullptr) {
+    return Status::InvalidArgument("not a worker operator");
+  }
+  if (shard < 0 || shard >= partitions_[op]->num_shards()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  if (to_worker < 0 || to_worker >= num_workers(op)) {
+    return Status::InvalidArgument("destination worker out of range");
+  }
+  Worker* src = nullptr;
+  int64_t label_id = -1;
+  bool drive_inline = false;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    if (teardown_) return Status::FailedPrecondition("tearing down");
+    if (in_transition_.count({op, shard}) > 0) {
+      return Status::FailedPrecondition("shard already in transition");
+    }
+    ElasticOp* eo = elastic_ops_[op].get();
+    const int from = eo->owner[shard].load(std::memory_order_relaxed);
+    if (from == to_worker) return Status::OK();  // Already there.
+    src = workers_[op][from].get();
+    Worker* dst = workers_[op][to_worker].get();
+    if ((src->departing && !src->exited) ||
+        (dst->departing && !dst->exited)) {
+      // Narrow shutdown window: the endpoint committed to exit but its
+      // ports aren't closed yet, so neither the live protocol (it will
+      // never poll again) nor the driver-driven path (its ports are still
+      // hot) can run. The caller just lost the race with drain-down.
+      return Status::FailedPrecondition("endpoint worker is draining");
+    }
+    auto m = std::make_unique<Migration>();
+    label_id = next_label_id_++;
+    m->label_id = label_id;
+    m->op = op;
+    m->shard = shard;
+    m->from = from;
+    m->to = to_worker;
+    m->requested_at = backend_->now();
+    drive_inline = src->exited;
+    if (drive_inline) m->phase = MigPhase::kPrecopying;
+    in_transition_.insert({op, shard});
+    migrations_.emplace(label_id, std::move(m));
+    ctrl_version_.fetch_add(1, std::memory_order_release);
+  }
+  ctrl_cv_.notify_all();
+  if (drive_inline) {
+    // The old owner's thread is gone (post-drain reshuffle): its store is
+    // quiescent and its producers all closed, so the caller's thread can
+    // run the source-side duties directly — the protocol degenerates to a
+    // synchronous handoff (or a paced one driven by the timer wheel).
+    StartPrecopy(src, label_id);
+  } else {
+    src->input->Kick();  // An idle owner must wake up to claim the move.
+  }
+  return Status::OK();
+}
+
+void NativeRuntime::StartPrecopy(Worker* w, int64_t label_id) {
+  ShardId shard = -1;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    auto it = migrations_.find(label_id);
+    if (it == migrations_.end()) return;
+    shard = it->second->shard;
+  }
+  // Same-process move: both "nodes" are 0, so the transfer cost model uses
+  // the local copy rate (0 = free handoff, pre-copy completes
+  // synchronously; >0 = chunks paced on the backend's timer wheel while
+  // this worker keeps processing the shard).
+  MigrationEngine::Handle handle = migration_->Begin(
+      &w->store, shard, /*from=*/0, /*to=*/0,
+      config_->state.migration.strategy,
+      config_->native.migration_copy_bytes_per_sec,
+      [this, label_id] { BeginLabeling(label_id); });
+  bool finalize_now = false;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    auto it = migrations_.find(label_id);
+    if (it == migrations_.end()) return;
+    Migration* m = it->second.get();
+    m->handle = std::move(handle);
+    // BeginLabeling may have run synchronously inside Begin (free handoff)
+    // and found the drain already satisfied; it could not finalize without
+    // the handle, so the baton comes back here. An unarmed drain on a live
+    // worker is NOT satisfied yet — its channel backlog stands in for the
+    // barrier and the epilogue finalizes once that backlog is consumed.
+    finalize_now =
+        m->phase == MigPhase::kDrained && (m->barrier_armed || w->exited);
+  }
+  if (finalize_now) DrainComplete(w, label_id);
+}
+
+void NativeRuntime::BeginLabeling(int64_t label_id) {
+  Worker* exited_src = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    auto it = migrations_.find(label_id);
+    if (it == migrations_.end()) return;
+    Migration* m = it->second.get();
+    ElasticOp* eo = elastic_ops_[m->op].get();
+    // The flip: raise held first (relaxed), then publish the new owner
+    // with release. Producers acquire-load the owner; the channel mutex
+    // then carries the edge to the destination, whose acquire-load of
+    // held therefore cannot miss it for any tuple routed post-flip.
+    m->flip_at = backend_->now();
+    eo->held[m->shard].store(1, std::memory_order_relaxed);
+    eo->owner[m->shard].store(m->to, std::memory_order_release);
+    m->barrier_armed = barrier_.Arm(label_id, eo->open_producers);
+    if (m->barrier_armed) {
+      m->phase = MigPhase::kLabeling;
+      label_cmds_.push_back({m->op, m->from, label_id});
+    } else {
+      // No open producers: the backlog is whatever already sits in the old
+      // owner's channel. If that thread exited the drain is vacuous and
+      // runs here; otherwise finalization waits for the worker's epilogue
+      // (channel exhausted), so the backlog is consumed before the shard
+      // is extracted.
+      m->phase = MigPhase::kDrained;
+      Worker* src = workers_[m->op][m->from].get();
+      if (src->exited) exited_src = src;
+    }
+    ctrl_version_.fetch_add(1, std::memory_order_release);
+  }
+  ctrl_cv_.notify_all();
+  // Every worker is a potential label debtor (it may feed the migrating
+  // operator) and the old owner may be idle-blocked: kick them all awake.
+  for (auto& op_workers : workers_) {
+    for (auto& w : op_workers) w->input->Kick();
+  }
+  if (exited_src != nullptr) DrainComplete(exited_src, label_id);
+}
+
+void NativeRuntime::OnLabel(Worker* w, int64_t label_id) {
+  bool complete = false;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    complete = barrier_.OnLabel(label_id);
+    if (complete) {
+      auto it = migrations_.find(label_id);
+      if (it == migrations_.end()) return;
+      it->second->phase = MigPhase::kDrained;
+    }
+  }
+  if (complete) DrainComplete(w, label_id);
+}
+
+void NativeRuntime::DrainComplete(Worker* w, int64_t label_id) {
+  MigrationEngine::Handle handle;
+  ProcessStateStore* staging = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    auto it = migrations_.find(label_id);
+    if (it == migrations_.end()) return;
+    Migration* m = it->second.get();
+    if (m->phase != MigPhase::kDrained) return;  // Someone else finalized.
+    if (m->handle == nullptr) return;  // Begin still in flight; StartPrecopy
+                                       // re-drives once the handle lands.
+    m->phase = MigPhase::kFinalizing;
+    if (validate_) {
+      auto os = w->order_state.find(m->shard);
+      if (os != w->order_state.end()) {
+        m->order_state = std::move(os->second);
+        w->order_state.erase(os);
+      }
+    }
+    handle = m->handle;
+    staging = &m->staging;
+  }
+  // Hand pre-flip emissions downstream before the new owner starts
+  // producing for the same keys — bounds how long they linger in partial
+  // batches (per-channel FIFO still carries the ordering guarantee).
+  FlushPorts(&w->ports);
+  migration_->Finalize(handle, staging,
+                       [this, label_id](const MigrationStats&) {
+                         MigrationReady(label_id);
+                       });
+}
+
+void NativeRuntime::MigrationReady(int64_t label_id) {
+  Worker* exited_dst = nullptr;
+  MpscChannel* dst_channel = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    auto it = migrations_.find(label_id);
+    if (it == migrations_.end()) return;
+    Migration* m = it->second.get();
+    m->phase = MigPhase::kReady;
+    Worker* dst = workers_[m->op][m->to].get();
+    if (dst->exited) {
+      exited_dst = dst;  // Quiescent: install from this thread.
+    } else {
+      dst_channel = dst->input.get();
+    }
+    ctrl_version_.fetch_add(1, std::memory_order_release);
+  }
+  ctrl_cv_.notify_all();
+  if (dst_channel != nullptr) dst_channel->Kick();
+  if (exited_dst != nullptr) InstallMigratedShard(exited_dst, label_id);
+}
+
+void NativeRuntime::InstallMigratedShard(Worker* w, int64_t label_id) {
+  std::unique_ptr<Migration> m;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    auto it = migrations_.find(label_id);
+    if (it == migrations_.end() || it->second->phase != MigPhase::kReady) {
+      return;
+    }
+    m = std::move(it->second);
+    migrations_.erase(it);
+  }
+  Result<ShardState> state = m->staging.ExtractShard(m->shard);
+  ELASTICUTOR_CHECK_MSG(state.ok(), "migrated shard missing from staging");
+  ELASTICUTOR_CHECK(
+      w->store.InstallShard(m->shard, std::move(state.value())).ok());
+  if (validate_ && !m->order_state.empty()) {
+    w->order_state[m->shard] = std::move(m->order_state);
+  }
+  std::vector<Tuple> replay;
+  auto hold = w->hold.find(m->shard);
+  if (hold != w->hold.end()) {
+    replay = std::move(hold->second);
+    w->hold.erase(hold);
+  }
+  // Lower held before replaying: ProcessTuple must not re-hold, and new
+  // arrivals may interleave behind the replay in channel order.
+  elastic_ops_[m->op]->held[m->shard].store(0, std::memory_order_release);
+  const OperatorSpec& spec = topology_->spec(w->op);
+  for (const Tuple& t : replay) ProcessTuple(w, spec, t);
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    in_transition_.erase({m->op, m->shard});
+    ++reassignments_done_;
+    pause_ns_.push_back(backend_->now() - m->flip_at);
+  }
+  ctrl_cv_.notify_all();  // Epilogue waiters and the driver re-check.
+}
+
+void NativeRuntime::WorkerEpilogue(Worker* w) {
+  // The channel is exhausted but this worker may still owe protocol steps:
+  // label pushes toward other operators, its own finalize as an old owner,
+  // or an install as a destination. Stay on duty until no in-flight move
+  // references this worker, then commit to departure atomically with that
+  // check (ReassignShard refuses departing endpoints).
+  for (;;) {
+    PollWorkerControl(w);
+    std::vector<int64_t> drains;
+    {
+      std::unique_lock<std::mutex> lock(ctrl_mu_);
+      bool pending = false;
+      for (auto& [id, m] : migrations_) {
+        if (m->op != w->op) continue;
+        if (m->from == w->index && m->phase == MigPhase::kDrained) {
+          // Deferred (unarmed) drain: the input channel is exhausted now,
+          // so the backlog that stood in for the labeling barrier has been
+          // consumed and the shard can finally leave this store.
+          drains.push_back(id);
+        }
+        if (m->from == w->index || m->to == w->index) pending = true;
+      }
+      if (teardown_ || !pending) {
+        w->departing = true;
+        return;
+      }
+      if (drains.empty()) {
+        ctrl_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        continue;
+      }
+    }
+    for (int64_t id : drains) DrainComplete(w, id);
+  }
+}
+
+void NativeRuntime::BalanceTick() {
+  for (OperatorId op = 0;
+       op < static_cast<OperatorId>(elastic_ops_.size()); ++op) {
+    ElasticOp* eo = elastic_ops_[op].get();
+    if (eo == nullptr) continue;
+    const int slots = num_workers(op);
+    if (slots <= 1) continue;
+    const int num_shards = static_cast<int>(eo->owner.size());
+    std::vector<double> load(num_shards);
+    std::vector<int> assignment(num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      const int64_t cur = eo->processed[s].load(std::memory_order_relaxed);
+      load[s] = static_cast<double>(cur - eo->balance_prev[s]);
+      eo->balance_prev[s] = cur;
+      assignment[s] = eo->owner[s].load(std::memory_order_relaxed);
+    }
+    const auto moves = balance::PlanMoves(
+        load, &assignment, slots, config_->native.balance_theta,
+        config_->native.balance_max_moves);
+    for (const auto& mv : moves) {
+      // Busy shards (already in transition / draining endpoints) just skip
+      // a round; the next tick replans from fresh load deltas.
+      (void)ReassignShard(op, mv.shard, mv.to);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Accessors.
+// ---------------------------------------------------------------------------
+
+int NativeRuntime::shard_owner(OperatorId op, ShardId shard) const {
+  return elastic_ops_.at(op)->owner.at(shard).load(std::memory_order_acquire);
+}
+
+int64_t NativeRuntime::reassignments_done() const {
+  std::lock_guard<std::mutex> lock(ctrl_mu_);
+  return reassignments_done_;
+}
+
+int64_t NativeRuntime::migrations_in_flight() const {
+  std::lock_guard<std::mutex> lock(ctrl_mu_);
+  return static_cast<int64_t>(migrations_.size());
+}
+
+bool NativeRuntime::MigrationsPending() const {
+  if (!elastic_) return false;
+  std::lock_guard<std::mutex> lock(ctrl_mu_);
+  // Emergency teardown abandons in-flight migrations; don't wait on them.
+  return !teardown_ && !migrations_.empty();
+}
+
+std::vector<SimDuration> NativeRuntime::migration_pauses() const {
+  std::lock_guard<std::mutex> lock(ctrl_mu_);
+  return pause_ns_;
+}
+
+int64_t NativeRuntime::labels_routed() const {
+  std::lock_guard<std::mutex> lock(ctrl_mu_);
+  return labels_routed_;
+}
+
+int64_t NativeRuntime::order_violations() const {
+  int64_t total = 0;
+  for (const auto& op_workers : workers_) {
+    for (const auto& w : op_workers) total += w->order_violations;
+  }
+  return total;
 }
 
 int64_t NativeRuntime::total_processed() const {
@@ -327,6 +963,10 @@ int64_t NativeRuntime::batches_pushed() const {
 
 int NativeRuntime::num_workers(OperatorId op) const {
   return static_cast<int>(workers_.at(op).size());
+}
+
+int NativeRuntime::num_shards(OperatorId op) const {
+  return partitions_.at(op)->num_shards();
 }
 
 ProcessStateStore* NativeRuntime::worker_store(OperatorId op, int worker) {

@@ -1,6 +1,6 @@
-// NativeRuntime — real multithreaded execution of a (static) dataflow
-// topology, paired with NativeBackend. Where the simulator models executors
-// as event-driven callbacks on one thread, here every executor slot is an OS
+// NativeRuntime — real multithreaded execution of a dataflow topology,
+// paired with NativeBackend. Where the simulator models executors as
+// event-driven callbacks on one thread, here every executor slot is an OS
 // thread:
 //
 //   source threads ──batches──▶ worker threads ──batches──▶ ... ──▶ sinks
@@ -20,18 +20,75 @@
 //   downstream channel; a worker exits when all its producers closed and its
 //   channel drained, then closes downstream in turn. No poison pills, no
 //   sentinel tuples.
-// * Elasticity (shard reassignment, RC repartitioning, dynamic scheduling)
-//   is sim-only; Setup() rejects everything but the static paradigm.
+// * Sources run in saturation mode (emit as fast as back-pressure allows)
+//   or trace mode (Poisson arrivals paced on the backend's timer wheel,
+//   mirroring the simulator spout's draw order so streams stay
+//   bit-identical).
+//
+// Elastic paradigm (paper §3.3 on real threads). Each non-source operator
+// carries a per-shard routing table of atomics (`ElasticOp::owner`);
+// producers route every tuple by shard owner. ReassignShard(op, shard, to)
+// drives the consistent-reassignment protocol across the worker threads:
+//
+//   1. kRequested   — the move is posted on the control board; the source
+//                     worker is kicked awake.
+//   2. kPrecopying  — the source worker starts MigrationEngine::Begin on
+//                     its own store: under kChunkedLive the pre-copy chunks
+//                     are paced by the backend's timer wheel
+//                     (native.migration_copy_bytes_per_sec) while the
+//                     worker keeps processing the shard; a DirtyTracker
+//                     records what changes meanwhile.
+//   3. kLabeling    — pre-copy done: `owner[shard]` flips to the
+//                     destination (release store) and `held[shard]` is
+//                     raised; a labeling command is published and every
+//                     producer that feeds this operator pushes one label
+//                     marker into the *old* owner's channel, behind
+//                     everything it already routed there (the in-channel
+//                     barrier; see exec/label_barrier.h). New tuples route
+//                     to the destination, which buffers ("holds") them
+//                     because the shard's state is still in flight.
+//   4. kDrained     — the old owner popped the last expected label: every
+//                     pre-flip tuple of the shard has been processed.
+//   5. kFinalizing  — MigrationEngine::Finalize ships the dirty delta into
+//                     a staging store (paced on the timer wheel when a copy
+//                     rate is set).
+//   6. kReady       — the destination worker is kicked, installs the shard
+//                     into its own store, replays the held tuples in
+//                     arrival order, and lowers `held`. No tuple is lost,
+//                     duplicated, or reordered within its (producer, key)
+//                     stream — native_elastic_stress_test pins this down
+//                     under TSan.
+//
+// Memory-ordering contract of the routing flip: the publisher raises
+// `held` (relaxed) before flipping `owner` (release); producers load
+// `owner` (acquire) and the destination loads `held` (acquire) before
+// consulting `owner`. A producer that observes the new owner therefore
+// routes to a worker that is guaranteed to observe `held` for any tuple it
+// receives from that producer (the channel's internal mutex provides the
+// edge between producer and consumer), so the destination can never
+// process a post-flip tuple before the state arrives. The old owner keeps
+// processing the shard while `owner != my_index` tuples drain — the hold
+// test is `held && owner == my_index`, destination-only on purpose.
 //
 // Threading contract: worker state (stores, rngs, counters) is strictly
 // thread-local while running; cross-thread communication happens only
-// through the channels. Aggregate accessors (total_processed() etc.) are
-// valid after WaitDrained() returned — they read joined threads' counters.
+// through the channels and the control board (ctrl_mu_ + atomics above).
+// Aggregate accessors (total_processed() etc.) are valid after
+// WaitDrained() returned — they read joined threads' counters; the few
+// accessors documented as live (reassignments_done(), shard_owner()) are
+// safe while running.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/random.h"
@@ -41,8 +98,10 @@
 #include "engine/partition.h"
 #include "engine/topology.h"
 #include "exec/batch_pool.h"
+#include "exec/label_barrier.h"
 #include "exec/mpsc_channel.h"
 #include "exec/native_backend.h"
+#include "state/migration_engine.h"
 #include "state/state_store.h"
 
 namespace elasticutor {
@@ -50,20 +109,24 @@ namespace exec {
 
 class NativeRuntime {
  public:
+  /// `migration` may be null for the static paradigm; the elastic paradigm
+  /// requires it (checked in Setup).
   NativeRuntime(const Topology* topology, const EngineConfig* config,
-                NativeBackend* backend, EngineMetrics* metrics);
+                NativeBackend* backend, MigrationEngine* migration,
+                EngineMetrics* metrics);
   ~NativeRuntime();
 
   NativeRuntime(const NativeRuntime&) = delete;
   NativeRuntime& operator=(const NativeRuntime&) = delete;
 
   /// Builds partitions, channels, stores and per-slot rngs (mirroring the
-  /// simulator's deterministic fork order). Rejects non-static paradigms and
-  /// non-saturation sources.
+  /// simulator's deterministic fork order). Supports the static and elastic
+  /// paradigms; rejects resource-centric (simulator-only).
   Status Setup();
 
-  /// Launches all threads. Sources run until their SourceSpec::max_tuples
-  /// budget is exhausted (0 = until StopSources).
+  /// Launches all threads (and the periodic balance tick when
+  /// native.balance_period_ns is set). Sources run until their
+  /// SourceSpec::max_tuples budget is exhausted (0 = until StopSources).
   void Start();
 
   /// Asks sources to stop after their current tuple; the dataflow then
@@ -71,14 +134,40 @@ class NativeRuntime {
   void StopSources();
 
   /// Blocks until every thread has exited, then merges per-worker counters
-  /// into EngineMetrics. Idempotent.
+  /// into EngineMetrics. While elastic migrations or trace sources need the
+  /// timer wheel, pumps the backend so timers keep firing. Idempotent.
   void WaitDrained();
+
+  // ---- Elasticity (driver thread; elastic paradigm only) ----
+  /// Initiates the consistent live reassignment of `shard` of operator
+  /// `op` to worker thread `to_worker`. Asynchronous: returns once the move
+  /// is posted (kRequested). No-op OK when the shard already lives there;
+  /// fails while another move of the same shard is in flight. Callable any
+  /// time between Start() and WaitDrained() — a shard whose worker threads
+  /// already exited moves synchronously.
+  Status ReassignShard(OperatorId op, ShardId shard, int to_worker);
+
+  /// Current owner worker of a shard (acquire load; callable while live).
+  int shard_owner(OperatorId op, ShardId shard) const;
+  /// Completed reassignments (callable while live).
+  int64_t reassignments_done() const;
+  /// Moves currently in flight (callable while live).
+  int64_t migrations_in_flight() const;
+  /// Routing-pause durations (flip -> shard installed) of every completed
+  /// migration, in ns.
+  std::vector<SimDuration> migration_pauses() const;
+  /// Label markers pushed by producers over the runtime's lifetime.
+  int64_t labels_routed() const;
 
   // ---- Aggregates (valid after WaitDrained) ----
   int64_t total_processed() const;
   int64_t sink_count() const;
   int64_t source_emitted() const;
   int64_t processed(OperatorId op) const;
+  /// Out-of-order (origin, key) deliveries observed by the concurrent
+  /// order validator (validate_key_order; always 0 unless the routing
+  /// protocol is broken).
+  int64_t order_violations() const;
   /// Channel-contention counters summed over all worker inputs.
   int64_t push_blocks() const;
   int64_t pop_waits() const;
@@ -87,6 +176,7 @@ class NativeRuntime {
   int64_t batches_allocated() const { return pool_.allocated(); }
 
   int num_workers(OperatorId op) const;
+  int num_shards(OperatorId op) const;
   /// Per-worker state store (equivalence tests read per-key aggregates).
   ProcessStateStore* worker_store(OperatorId op, int worker);
 
@@ -103,55 +193,215 @@ class NativeRuntime {
     std::vector<TupleBatchStorage*> pending;     // Partial batch per worker.
   };
 
-  struct Worker {
+  /// State common to both producer kinds (sources and workers): output
+  /// ports, the cursor into the control board's label-command log, and the
+  /// order-validation emission counters. All thread-local to the producer.
+  struct Producer {
+    std::vector<ProducerPort> ports;  // One per downstream operator.
+    uint32_t origin = 0;              // Validation stamp (unique per slot).
+    size_t cmd_cursor = 0;            // label_cmds_ consumed so far.
+    uint64_t seen_version = 0;        // ctrl_version_ at the last poll.
+    /// Per-(dest op, key) emission sequence (validate_key_order only).
+    std::map<std::pair<OperatorId, uint64_t>, uint64_t> emit_seq;
+  };
+
+  /// Consumer-side order-validation state: last sequence per (origin, key),
+  /// kept per shard so it can travel with the shard on migration.
+  using ShardOrderState = std::map<std::pair<uint32_t, uint64_t>, uint64_t>;
+
+  struct Worker : Producer {
     OperatorId op = -1;
     int index = 0;
     std::unique_ptr<MpscChannel> input;
     ProcessStateStore store;
     Rng rng{0, 0};
-    std::vector<ProducerPort> ports;  // One per downstream operator.
+    bool is_sink = false;
     int64_t processed = 0;
     int64_t sink_tuples = 0;
+    int64_t order_violations = 0;
+    /// Post-flip tuples of shards whose state has not arrived yet, in
+    /// arrival order (replayed at install).
+    std::unordered_map<ShardId, std::vector<Tuple>> hold;
+    std::unordered_map<ShardId, ShardOrderState> order_state;
+    /// Shutdown handshake, guarded by ctrl_mu_. `departing` is set
+    /// atomically with the epilogue's final no-pending-migrations check
+    /// (ReassignShard rejects a departing endpoint — the worker will never
+    /// poll again); `exited` is set once the ports are closed, after which
+    /// the driver may touch the worker's store/ports directly.
+    bool departing = false;
+    bool exited = false;
     std::thread thread;
   };
 
-  struct Source {
+  struct Source : Producer {
     OperatorId op = -1;
     int index = 0;
     Rng rng{0, 0};
-    std::vector<ProducerPort> ports;
     int64_t generated = 0;
+    // Trace-mode pacing: the backend timer sets `fired`, the source thread
+    // waits on the condvar (with a poll fallback so StopSources is prompt).
+    std::mutex pace_mu;
+    std::condition_variable pace_cv;
+    bool pace_fired = false;
     std::thread thread;
+  };
+
+  /// Per-operator elastic routing state. The atomics are the hot-path
+  /// routing table; everything else about a move lives in `migrations_`
+  /// under ctrl_mu_.
+  struct ElasticOp {
+    std::vector<std::atomic<int32_t>> owner;    // Shard -> worker index.
+    std::vector<std::atomic<uint8_t>> held;     // Shard state in flight.
+    std::vector<std::atomic<int64_t>> processed;  // Balancer load signal.
+    std::vector<int64_t> balance_prev;          // Driver-local snapshots.
+    int open_producers = 0;                     // Guarded by ctrl_mu_.
+  };
+
+  enum class MigPhase {
+    kRequested,   // Posted; waiting for the source worker to notice.
+    kPrecopying,  // MigrationEngine::Begin running, chunks in flight.
+    kLabeling,    // Routing flipped; waiting for label markers to drain.
+    kDrained,     // Barrier complete; source worker must finalize.
+    kFinalizing,  // Delta shipping into the staging store.
+    kReady        // Staged; waiting for the destination to install.
+  };
+
+  /// One in-flight reassignment, keyed by label id in `migrations_`.
+  /// Guarded by ctrl_mu_ except where a phase hands exclusive access to one
+  /// thread (e.g. only the source worker touches `handle` after kRequested).
+  struct Migration {
+    int64_t label_id = -1;
+    OperatorId op = -1;
+    ShardId shard = -1;
+    int from = -1;
+    int to = -1;
+    MigPhase phase = MigPhase::kRequested;
+    /// Whether the flip armed a labeling barrier (some producer was still
+    /// open). When false the old owner's channel backlog IS the drain:
+    /// finalization must wait until that channel is exhausted (the worker's
+    /// epilogue), not run the moment the phase reads kDrained.
+    bool barrier_armed = false;
+    MigrationEngine::Handle handle;
+    /// Staging store the delta ships into (stable address; the destination
+    /// extracts from here at install).
+    ProcessStateStore staging;
+    ShardOrderState order_state;  // Travels with the shard (validation).
+    SimTime requested_at = 0;
+    SimTime flip_at = 0;  // Routing flipped (pause starts).
+  };
+
+  /// A labeling command on the control board: every producer with a port
+  /// toward `op` owes one label marker into `from_worker`'s channel.
+  struct LabelCmd {
+    OperatorId op = -1;
+    int from_worker = -1;
+    int64_t label_id = -1;
   };
 
   void WorkerLoop(Worker* w);
   void SourceLoop(Source* s);
+  void ProcessTuple(Worker* w, const OperatorSpec& spec, const Tuple& t);
+  void CheckArrivalOrder(Worker* w, ShardId shard, const Tuple& t);
+
+  // ---- Elastic control plane ----
+  /// Producer-side control poll: push label markers for commands published
+  /// since the last poll (both sources and workers).
+  void PollProducer(Producer* p);
+  /// Worker-side control poll: label duties plus this worker's migration
+  /// duties (start pre-copy / finalize / install).
+  void PollWorkerControl(Worker* w);
+  /// Flushes the partial batch toward `from`, then pushes a label marker
+  /// behind it.
+  void PushLabel(ProducerPort* port, int from, int64_t label_id);
+  /// Source worker: MigrationEngine::Begin on its own store.
+  void StartPrecopy(Worker* w, int64_t label_id);
+  /// Pre-copy complete (worker thread or driver timer): flip routing, arm
+  /// the barrier, publish the labeling command, kick everyone.
+  void BeginLabeling(int64_t label_id);
+  /// A label marker popped from `w`'s channel.
+  void OnLabel(Worker* w, int64_t label_id);
+  /// Barrier complete on the source worker: flush downstream (pre-flip
+  /// emissions must precede post-flip ones), ship the delta.
+  void DrainComplete(Worker* w, int64_t label_id);
+  /// Finalize landed (worker thread or driver timer): stage ready, wake the
+  /// destination.
+  void MigrationReady(int64_t label_id);
+  /// Destination worker: install the shard, replay held tuples.
+  void InstallMigratedShard(Worker* w, int64_t label_id);
+  /// Worker shutdown: wait until no in-flight migration references this
+  /// worker (its duties may still be pending while its channel is drained).
+  void WorkerEpilogue(Worker* w);
+  /// Driver balance tick: per-shard processed deltas -> PlanMoves ->
+  /// ReassignShard.
+  void BalanceTick();
+  /// True while WaitDrained must keep pumping the timer wheel for
+  /// driver-driven migrations (moves requested after every worker exited).
+  bool MigrationsPending() const;
 
   /// Routes one tuple into the port's partial batch for its destination
   /// worker, pushing the batch when full. Returns false iff the channel was
   /// aborted (emergency teardown).
-  bool EmitTo(ProducerPort* port, const Tuple& t);
+  bool EmitTo(Producer* p, ProducerPort* port, const Tuple& t);
   /// Pushes every non-empty partial batch (producer idle or finishing).
   void FlushPorts(std::vector<ProducerPort>* ports);
-  /// FlushPorts + CloseProducer on every downstream channel (thread exit).
-  void ClosePorts(std::vector<ProducerPort>* ports);
+  /// Producer exit: outstanding label duties, final flush, CloseProducer on
+  /// every downstream channel. Decrements open_producers under the same
+  /// lock that sweeps the duties, so label barriers armed later never count
+  /// this producer.
+  void CloseProducerPorts(Producer* p);
   /// Wires the producer's ports toward every downstream operator of `op`.
   void BuildPorts(OperatorId op, std::vector<ProducerPort>* ports);
+  /// Collects the label duties published since the producer's last sweep.
+  /// Caller holds ctrl_mu_; the pushes happen outside it (a Push may block
+  /// on a full channel whose consumer is itself acquiring ctrl_mu_).
+  struct LabelDuty {
+    ProducerPort* port;
+    int from;
+    int64_t label_id;
+  };
+  void CollectLabelDuties(Producer* p, std::vector<LabelDuty>* duties);
+  /// Trace pacing: sleeps until backend time `target` via a backend timer
+  /// (falls back to 1 ms polling). False when stopped meanwhile.
+  bool SourceWaitUntil(Source* s, SimTime target);
 
   int WorkerCount(OperatorId op) const;
 
   const Topology* topology_;
   const EngineConfig* config_;
   NativeBackend* backend_;
+  MigrationEngine* migration_;
   EngineMetrics* metrics_;
 
   BatchPool pool_;
   size_t batch_tuples_ = 64;
+  bool elastic_ = false;
+  bool validate_ = false;
+  /// Timer wheel participates in the dataflow (elastic migrations or trace
+  /// sources): WaitDrained must pump the backend instead of joining cold.
+  bool has_timed_work_ = false;
 
   std::vector<std::unique_ptr<OperatorPartition>> partitions_;  // Per op.
   std::vector<std::vector<std::unique_ptr<Worker>>> workers_;   // Per op.
   std::vector<std::unique_ptr<Source>> sources_;
+  std::vector<std::unique_ptr<ElasticOp>> elastic_ops_;         // Per op.
 
+  // ---- Control board (elastic): guarded by ctrl_mu_ ----
+  mutable std::mutex ctrl_mu_;
+  std::condition_variable ctrl_cv_;
+  /// Bumped (under ctrl_mu_) on every board mutation producers or workers
+  /// must notice; the producers' fast-path gate is one acquire load.
+  std::atomic<uint64_t> ctrl_version_{0};
+  std::vector<LabelCmd> label_cmds_;  // Append-only command log.
+  std::map<int64_t, std::unique_ptr<Migration>> migrations_;
+  std::set<std::pair<OperatorId, ShardId>> in_transition_;
+  LabelBarrier barrier_;
+  int64_t next_label_id_ = 0;
+  int64_t reassignments_done_ = 0;
+  int64_t labels_routed_ = 0;
+  std::vector<SimDuration> pause_ns_;
+  bool teardown_ = false;
+
+  std::atomic<int> live_threads_{0};
   std::atomic<bool> stop_sources_{false};
   bool setup_done_ = false;
   bool started_ = false;

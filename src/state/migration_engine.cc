@@ -1,6 +1,7 @@
 #include "state/migration_engine.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace elasticutor {
 
@@ -73,41 +74,58 @@ void MigrationEngine::PumpPrecopy(const Handle& m) {
   // the window, so data tuples sharing the NIC interleave between chunks
   // instead of waiting behind the whole snapshot. Same-node copies are a
   // single memcpy stream — no pipelining to exploit.
+  //
+  // The window accounting happens under the handle's mutex (on the native
+  // backend the Begin() thread and the driver's chunk callbacks pump
+  // concurrently); the Transfer calls happen outside it so a chunk landing
+  // synchronously cannot self-deadlock.
   const int64_t chunk = std::max<int64_t>(1, config_.chunk_bytes);
   const int depth =
       m->from_ == m->to_ ? 1 : std::max(1, config_.pipeline_depth);
-  while (m->chunks_in_flight_ < depth &&
-         (m->precopy_sent_ < m->snapshot_bytes_ ||
-          (m->snapshot_bytes_ == 0 && m->stats_.chunks == 0 &&
-           m->chunks_in_flight_ == 0))) {
-    int64_t bytes =
-        std::min<int64_t>(chunk, m->snapshot_bytes_ - m->precopy_sent_);
-    bytes = std::max<int64_t>(bytes, 0);  // Empty shard: one zero-byte chunk.
-    m->precopy_sent_ += bytes;
-    ++m->chunks_in_flight_;
+  std::vector<int64_t> to_send;
+  {
+    std::lock_guard<std::mutex> lock(m->mu_);
+    while (m->chunks_in_flight_ < depth &&
+           (m->precopy_sent_ < m->snapshot_bytes_ ||
+            (m->snapshot_bytes_ == 0 && m->stats_.chunks == 0 &&
+             m->chunks_in_flight_ == 0 && to_send.empty()))) {
+      int64_t bytes =
+          std::min<int64_t>(chunk, m->snapshot_bytes_ - m->precopy_sent_);
+      bytes = std::max<int64_t>(bytes, 0);  // Empty shard: one zero-byte
+                                            // chunk.
+      m->precopy_sent_ += bytes;
+      ++m->chunks_in_flight_;
+      to_send.push_back(bytes);
+      if (m->snapshot_bytes_ == 0) break;
+    }
+  }
+  for (int64_t bytes : to_send) {
     Handle handle = m;
     Transfer(m->from_, m->to_, bytes, m->local_copy_bytes_per_sec_,
              [this, handle, bytes]() {
-               --handle->chunks_in_flight_;
-               ++handle->stats_.chunks;
-               handle->stats_.precopy_bytes += bytes;
-               ++chunks_shipped_;
-               bytes_shipped_ += bytes;
-               if (handle->precopy_sent_ < handle->snapshot_bytes_) {
-                 PumpPrecopy(handle);
-                 return;
-               }
-               if (handle->chunks_in_flight_ == 0 && !handle->precopy_done_) {
-                 handle->precopy_done_ = true;
-                 handle->stats_.precopy_ns = exec_->now() - handle->begin_at_;
-                 if (handle->precopy_done_cb_) {
-                   EventFn cb = std::move(handle->precopy_done_cb_);
+               chunks_shipped_.fetch_add(1, std::memory_order_relaxed);
+               bytes_shipped_.fetch_add(bytes, std::memory_order_relaxed);
+               bool pump = false;
+               EventFn cb;
+               {
+                 std::lock_guard<std::mutex> lock(handle->mu_);
+                 --handle->chunks_in_flight_;
+                 ++handle->stats_.chunks;
+                 handle->stats_.precopy_bytes += bytes;
+                 if (handle->precopy_sent_ < handle->snapshot_bytes_) {
+                   pump = true;
+                 } else if (handle->chunks_in_flight_ == 0 &&
+                            !handle->precopy_done_) {
+                   handle->precopy_done_ = true;
+                   handle->stats_.precopy_ns =
+                       exec_->now() - handle->begin_at_;
+                   cb = std::move(handle->precopy_done_cb_);
                    handle->precopy_done_cb_ = nullptr;
-                   cb();
                  }
                }
+               if (pump) PumpPrecopy(handle);
+               if (cb) cb();
              });
-    if (m->snapshot_bytes_ == 0) break;
   }
 }
 

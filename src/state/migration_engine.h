@@ -32,10 +32,21 @@
 // path cannot overtake each other); same-node transfers cost
 // bytes / local_copy_bytes_per_sec (0 = free handoff, completes
 // synchronously — intra-process state sharing).
+//
+// Threading: on the sim backend everything is single-threaded. On the
+// native backend, Begin() and Finalize() run on a worker thread while the
+// paced-chunk completions fire on the backend's driver thread; the
+// pre-copy window is guarded by a per-handle mutex and the cumulative
+// counters are atomics. The caller must still provide the happens-before
+// edge between the precopy_done callback and Finalize() (the native
+// runtime's control mutex does), and must not touch one handle from two
+// threads at once beyond that protocol.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "exec/execution_backend.h"
 #include "net/network.h"
@@ -79,6 +90,9 @@ class ShardMigration {
   bool finalized_ = false;
 
   SimTime begin_at_ = 0;
+  // Pre-copy window, guarded by mu_ (the Begin() thread and the driver's
+  // chunk-completion callbacks both pump it on the native backend).
+  std::mutex mu_;
   int64_t snapshot_bytes_ = 0;   // Shard size when the pre-copy started.
   int64_t precopy_sent_ = 0;     // Bytes handed to the transfer layer.
   int chunks_in_flight_ = 0;
@@ -130,10 +144,12 @@ class MigrationEngine {
   const MigrationConfig& config() const { return config_; }
 
   // ---- Cumulative counters (tests/benches) ----
-  int64_t migrations_begun() const { return migrations_begun_; }
-  int64_t migrations_completed() const { return migrations_completed_; }
-  int64_t chunks_shipped() const { return chunks_shipped_; }
-  int64_t bytes_shipped() const { return bytes_shipped_; }
+  int64_t migrations_begun() const { return migrations_begun_.load(); }
+  int64_t migrations_completed() const {
+    return migrations_completed_.load();
+  }
+  int64_t chunks_shipped() const { return chunks_shipped_.load(); }
+  int64_t bytes_shipped() const { return bytes_shipped_.load(); }
 
  private:
   void PumpPrecopy(const Handle& m);
@@ -146,10 +162,10 @@ class MigrationEngine {
   Network* net_;
   MigrationConfig config_;
 
-  int64_t migrations_begun_ = 0;
-  int64_t migrations_completed_ = 0;
-  int64_t chunks_shipped_ = 0;
-  int64_t bytes_shipped_ = 0;
+  std::atomic<int64_t> migrations_begun_{0};
+  std::atomic<int64_t> migrations_completed_{0};
+  std::atomic<int64_t> chunks_shipped_{0};
+  std::atomic<int64_t> bytes_shipped_{0};
 };
 
 }  // namespace elasticutor

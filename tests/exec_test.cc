@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exec/batch_pool.h"
+#include "exec/label_barrier.h"
 #include "exec/mpsc_channel.h"
 #include "exec/native_backend.h"
 #include "exec/sim_backend.h"
@@ -302,6 +303,153 @@ TEST(EventFnCounterTest, InlineCallablesDoNotTouchTheCounter) {
   fn();
   EXPECT_EQ(x, 1);
   EXPECT_EQ(EventFn::heap_allocations(), before);
+}
+
+// ---------------------------------------------------------------------------
+// In-channel labeling barrier: the primitive behind live shard reassignment
+// (exec/label_barrier.h + the label-marker batches + MpscChannel::Kick).
+// ---------------------------------------------------------------------------
+
+TEST(LabelBarrierTest, CompletesOnLastExpectedMarker) {
+  exec::LabelBarrier barrier;
+  ASSERT_TRUE(barrier.Arm(/*label_id=*/7, /*expected=*/3));
+  EXPECT_TRUE(barrier.armed(7));
+  EXPECT_EQ(barrier.outstanding(7), 3);
+  EXPECT_FALSE(barrier.OnLabel(7));
+  EXPECT_FALSE(barrier.OnLabel(7));
+  EXPECT_EQ(barrier.outstanding(7), 1);
+  EXPECT_TRUE(barrier.OnLabel(7));  // Last marker: barrier completes.
+  EXPECT_FALSE(barrier.armed(7));
+  EXPECT_FALSE(barrier.OnLabel(7));  // Late marker of a done barrier: stale.
+}
+
+TEST(LabelBarrierTest, ZeroProducersMeansNothingToWaitFor) {
+  exec::LabelBarrier barrier;
+  EXPECT_FALSE(barrier.Arm(/*label_id=*/1, /*expected=*/0));
+  EXPECT_FALSE(barrier.armed(1));
+  EXPECT_EQ(barrier.outstanding(1), 0);
+}
+
+TEST(LabelBarrierTest, CancelMakesInFlightMarkersStaleAndAllowsRelabel) {
+  exec::LabelBarrier barrier;
+  ASSERT_TRUE(barrier.Arm(/*label_id=*/9, /*expected=*/2));
+  EXPECT_TRUE(barrier.Cancel(9));  // Aborted migration.
+  EXPECT_FALSE(barrier.Cancel(9));  // Already gone.
+  EXPECT_FALSE(barrier.OnLabel(9));  // Its markers no-op from now on.
+  // Re-labeling the same shard under a fresh id must not double count the
+  // stale markers still in flight.
+  ASSERT_TRUE(barrier.Arm(/*label_id=*/10, /*expected=*/1));
+  EXPECT_FALSE(barrier.OnLabel(9));  // Another stale marker drains.
+  EXPECT_TRUE(barrier.OnLabel(10));
+}
+
+TEST(LabelBarrierTest, IndependentLabelsDoNotInterfere) {
+  exec::LabelBarrier barrier;
+  ASSERT_TRUE(barrier.Arm(1, 1));
+  ASSERT_TRUE(barrier.Arm(2, 2));
+  EXPECT_TRUE(barrier.OnLabel(1));
+  EXPECT_FALSE(barrier.OnLabel(2));
+  EXPECT_TRUE(barrier.armed(2));
+  EXPECT_TRUE(barrier.OnLabel(2));
+}
+
+TEST(MpscChannelTest, LabelMarkerArrivesBehindEarlierBatches) {
+  // The whole point of the in-channel barrier: a marker pushed after N data
+  // batches is popped after all N (per-producer FIFO), and Release resets
+  // the label stamp so recycled batches are plain data again.
+  MpscChannel channel(/*capacity=*/8, /*producers=*/1);
+  BatchPool pool;
+  constexpr int kData = 3;
+  for (int i = 0; i < kData; ++i) {
+    TupleBatchStorage* batch = pool.Acquire();
+    EXPECT_EQ(batch->label_id, -1);
+    batch->tuples.push_back(Tuple{});
+    ASSERT_TRUE(channel.Push(batch));
+  }
+  TupleBatchStorage* marker = pool.Acquire();
+  marker->label_id = 42;
+  ASSERT_TRUE(channel.Push(marker));
+  for (int i = 0; i < kData; ++i) {
+    TupleBatchStorage* batch = channel.Pop();
+    ASSERT_NE(batch, nullptr);
+    EXPECT_EQ(batch->label_id, -1) << "marker overtook batch " << i;
+    pool.Release(batch);
+  }
+  TupleBatchStorage* popped = channel.Pop();
+  ASSERT_NE(popped, nullptr);
+  EXPECT_EQ(popped->label_id, 42);
+  pool.Release(popped);
+  EXPECT_EQ(popped->label_id, -1);  // Recycled batches are data again.
+}
+
+TEST(MpscChannelTest, KickWakesBlockedPopWithoutClosing) {
+  MpscChannel channel(/*capacity=*/2, /*producers=*/1);
+  BatchPool pool;
+  std::atomic<int> null_pops{0};
+  TupleBatchStorage* got = nullptr;
+  std::thread consumer([&] {
+    for (;;) {
+      TupleBatchStorage* batch = channel.Pop();
+      if (batch != nullptr) {
+        got = batch;
+        return;
+      }
+      ASSERT_FALSE(channel.exhausted());  // A kick, not a shutdown.
+      null_pops.fetch_add(1);
+    }
+  });
+  // The consumer may be mid-Pop or not yet there; Kick must wake it either
+  // way (the flag persists until the next Pop returns).
+  channel.Kick();
+  while (null_pops.load() == 0) std::this_thread::yield();
+  TupleBatchStorage* batch = pool.Acquire();
+  ASSERT_TRUE(channel.Push(batch));
+  consumer.join();
+  EXPECT_EQ(got, batch);
+  EXPECT_FALSE(channel.exhausted());
+  channel.CloseProducer();
+  EXPECT_TRUE(channel.exhausted());
+  pool.Release(batch);
+}
+
+TEST(MpscChannelTest, BarrierDrainsAcrossProducerClose) {
+  // Two producers feed one consumer. Producer A pushes data then its
+  // marker; producer B closes without ever pushing (its marker duty was
+  // swept before the close — modeled here by the barrier expecting only
+  // A's marker). The consumer's barrier completes exactly when A's marker
+  // arrives, and the channel is exhausted only after both closed.
+  MpscChannel channel(/*capacity=*/8, /*producers=*/2);
+  BatchPool pool;
+  exec::LabelBarrier barrier;
+  ASSERT_TRUE(barrier.Arm(/*label_id=*/5, /*expected=*/1));
+
+  TupleBatchStorage* data = pool.Acquire();
+  data->tuples.push_back(Tuple{});
+  ASSERT_TRUE(channel.Push(data));
+  TupleBatchStorage* marker = pool.Acquire();
+  marker->label_id = 5;
+  ASSERT_TRUE(channel.Push(marker));
+  channel.CloseProducer();  // A done.
+  channel.CloseProducer();  // B closes without a marker.
+
+  bool complete = false;
+  int batches = 0;
+  for (;;) {
+    TupleBatchStorage* batch = channel.Pop();
+    if (batch == nullptr) {
+      ASSERT_TRUE(channel.exhausted());
+      break;
+    }
+    if (batch->label_id >= 0) {
+      complete = barrier.OnLabel(batch->label_id);
+    } else {
+      ++batches;
+    }
+    pool.Release(batch);
+  }
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(batches, 1);
+  EXPECT_FALSE(barrier.armed(5));
 }
 
 }  // namespace

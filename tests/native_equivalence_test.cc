@@ -185,7 +185,8 @@ TEST(NativeEquivalenceTest, MicroNativeIsDeterministicAcrossWorkerCounts) {
 
 constexpr int64_t kSseBudget = 4000;
 
-SseWorkload BuildSseForEquivalence(uint64_t seed) {
+SseWorkload BuildSseForEquivalence(uint64_t seed,
+                                   int executors_per_operator = 4) {
   SseOptions options;
   options.mode = SourceSpec::Mode::kSaturation;
   // Horizon 1 ns: no surges, no popularity drift — stock sampling becomes
@@ -193,7 +194,7 @@ SseWorkload BuildSseForEquivalence(uint64_t seed) {
   options.trace.horizon_ns = 1;
   options.trace.num_stocks = 300;
   options.source_executors = 1;  // SampleStock mutates shared model state.
-  options.executors_per_operator = 4;
+  options.executors_per_operator = executors_per_operator;
   options.shards_per_executor = 4;
   options.shard_state_bytes = 4 << 10;
   SseWorkload workload = BuildSseWorkload(options, seed).value();
@@ -269,38 +270,263 @@ TEST(NativeEquivalenceTest, SsePerShardStateAndCountsMatchSim) {
 }
 
 // ---------------------------------------------------------------------------
-// Native guard rails: configurations the native runtime must reject.
+// Formerly-rejected configurations, now first-class on the native backend:
+// elastic paradigm, trace-mode sources, concurrent order validation.
 // ---------------------------------------------------------------------------
 
-TEST(NativeEquivalenceTest, NativeRejectsElasticParadigm) {
+TEST(NativeEquivalenceTest, NativeRunsElasticParadigm) {
   MicroWorkload workload = BuildMicroForEquivalence(/*seed=*/3);
   EngineConfig config = SmallStaticConfig();
   config.backend = exec::BackendKind::kNative;
   config.paradigm = Paradigm::kElastic;
+  config.native.workers_per_operator = 4;
   Engine engine(workload.topology, config);
-  EXPECT_FALSE(engine.Setup().ok());
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+  exec::NativeRuntime* native = engine.native();
+  const OperatorId calc = workload.calculator;
+  // Move every shard once while the dataflow runs, then drain.
+  engine.RunFor(Micros(200));
+  const int shards = native->num_shards(calc);
+  for (int s = 0; s < shards; ++s) {
+    // +1 so every move actually leaves the interleaved initial owner;
+    // in-transition skips are fine.
+    (void)native->ReassignShard(calc, s, (s + 1) % 4);
+  }
+  engine.RunToCompletion();
+  EXPECT_EQ(native->sink_count(), kMicroSources * kMicroBudget);
+  EXPECT_GT(native->reassignments_done(), 0);
+  EXPECT_EQ(native->migrations_in_flight(), 0);
+  // Post-drain moves still work (worker threads have exited).
+  const int target = native->shard_owner(calc, 0) == 0 ? 1 : 0;
+  ASSERT_TRUE(native->ReassignShard(calc, 0, target).ok());
+  engine.RunFor(Millis(1));
+  EXPECT_EQ(native->shard_owner(calc, 0), target);
+  EXPECT_EQ(native->migrations_in_flight(), 0);
 }
 
-TEST(NativeEquivalenceTest, NativeRejectsTraceModeSources) {
+TEST(NativeEquivalenceTest, NativeRunsTraceModeSources) {
   MicroOptions options;
   options.mode = SourceSpec::Mode::kTrace;
+  options.trace_rate_per_sec = 200000.0;
   options.generator_executors = 1;
   options.calculator_executors = 2;
   options.shards_per_executor = 2;
   MicroWorkload workload = BuildMicroWorkload(options, /*seed=*/3).value();
+  workload.topology.mutable_spec(workload.generator).source.max_tuples = 500;
   EngineConfig config = SmallStaticConfig();
   config.backend = exec::BackendKind::kNative;
   Engine engine(workload.topology, config);
-  EXPECT_FALSE(engine.Setup().ok());
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.native()->source_emitted(), 500);
+  EXPECT_EQ(engine.native()->sink_count(), 500);
 }
 
-TEST(NativeEquivalenceTest, NativeRejectsOrderValidation) {
+TEST(NativeEquivalenceTest, NativeValidatesKeyOrder) {
   MicroWorkload workload = BuildMicroForEquivalence(/*seed=*/3);
   EngineConfig config = SmallStaticConfig();
   config.backend = exec::BackendKind::kNative;
   config.validate_key_order = true;
+  config.native.workers_per_operator = 4;
+  config.native.batch_tuples = 8;
   Engine engine(workload.topology, config);
-  EXPECT_FALSE(engine.Setup().ok());
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.native()->sink_count(), kMicroSources * kMicroBudget);
+  EXPECT_EQ(engine.order_violations(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Elastic equivalence: shards migrate live between worker threads while the
+// dataflow runs; results must still match the simulator bit for bit and be
+// invariant across worker counts and migration schedules.
+// ---------------------------------------------------------------------------
+
+EngineConfig SmallElasticSimConfig() {
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  config.seed = 7;
+  config.scheduler.enabled = false;  // Scripted core grants only.
+  return config;
+}
+
+// Accumulates over every store of a sim elastic operator. All scripted core
+// grants stay on the executor's home node, so its backend's home store holds
+// all of its shards.
+template <typename Fn>
+void ForEachElasticSimStore(Engine* engine, OperatorId op, Fn&& fn) {
+  for (const auto& ex : engine->elastic_executors(op)) {
+    fn(*ex->state_backend()->store(ex->home_node()));
+  }
+}
+
+// Grants every elastic executor of `op` a second core on its home node (so
+// the balancer has somewhere to move shards) and then force-reassigns a
+// sprinkling of shards — sim-side migrations through the same
+// MigrationEngine the native runtime drives.
+void ScriptSimElasticMoves(Engine* engine, OperatorId op) {
+  auto execs = engine->elastic_executors(op);
+  engine->exec()->After(Millis(2), [engine, execs] {
+    for (const auto& ex : execs) {
+      const NodeId home = ex->home_node();
+      if (engine->ledger()->Acquire(home, ex->id()) >= 0) {
+        ASSERT_TRUE(ex->AddCore(home).ok());
+      }
+    }
+  });
+  engine->exec()->After(Millis(4), [execs] {
+    for (const auto& ex : execs) {
+      for (int s = 0; s < ex->num_shards(); s += 3) {
+        (void)ex->ProbeReassign(s, ex->home_node());
+      }
+    }
+  });
+}
+
+EngineConfig NativeElasticConfig(int workers) {
+  EngineConfig config = SmallStaticConfig();
+  config.paradigm = Paradigm::kElastic;
+  config.backend = exec::BackendKind::kNative;
+  config.validate_key_order = true;  // Concurrent order validator on.
+  config.native.workers_per_operator = workers;
+  config.native.batch_tuples = 8;
+  config.native.channel_capacity_batches = 8;
+  if (workers == 8) {
+    // The widest run also exercises the paced chunked pre-copy path: chunks
+    // and deltas ride the backend's timer wheel instead of completing
+    // synchronously.
+    config.native.migration_copy_bytes_per_sec = 64e6;
+    config.state.migration.chunk_bytes = 512;
+  }
+  return config;
+}
+
+// Sweeps every shard of `op` to a rotating worker while the dataflow runs.
+void ScriptNativeElasticMoves(Engine* engine, OperatorId op, int workers,
+                              int rounds) {
+  exec::NativeRuntime* native = engine->native();
+  const int shards = native->num_shards(op);
+  for (int round = 0; round < rounds; ++round) {
+    engine->RunFor(Micros(300));
+    for (int s = 0; s < shards; ++s) {
+      // Shards still in transition (or whose endpoints are draining) skip a
+      // round; the sweep is best-effort by design.
+      (void)native->ReassignShard(op, s, (s + round) % workers);
+    }
+  }
+}
+
+TEST(NativeEquivalenceTest, MicroElasticCountersMatchSimUnderMigration) {
+  const int64_t expected = kMicroSources * kMicroBudget;
+  KeyCounts sim_counts;
+  {
+    MicroWorkload workload = BuildMicroForEquivalence(/*seed=*/17);
+    Engine engine(workload.topology, SmallElasticSimConfig());
+    ASSERT_TRUE(engine.Setup().ok());
+    engine.Start();
+    ScriptSimElasticMoves(&engine, workload.calculator);
+    engine.RunToCompletion();
+    EXPECT_EQ(engine.metrics()->sink_count(), expected);
+    int64_t sim_moves = 0;
+    for (const auto& ex : engine.elastic_executors(workload.calculator)) {
+      sim_moves += ex->reassignments_done();
+    }
+    EXPECT_GT(sim_moves, 0) << "sim run must actually migrate shards";
+    ForEachElasticSimStore(&engine, workload.calculator,
+                           [&](const ProcessStateStore& s) {
+                             AccumulateCounts(s, &sim_counts);
+                           });
+  }
+  for (int workers : {1, 2, 8}) {
+    MicroWorkload workload = BuildMicroForEquivalence(/*seed=*/17);
+    Engine engine(workload.topology, NativeElasticConfig(workers));
+    ASSERT_TRUE(engine.Setup().ok());
+    engine.Start();
+    ScriptNativeElasticMoves(&engine, workload.calculator, workers,
+                             /*rounds=*/6);
+    engine.RunToCompletion();
+    exec::NativeRuntime* native = engine.native();
+    EXPECT_EQ(native->sink_count(), expected) << "workers=" << workers;
+    EXPECT_EQ(native->source_emitted(), expected);
+    EXPECT_EQ(engine.order_violations(), 0) << "workers=" << workers;
+    EXPECT_EQ(native->migrations_in_flight(), 0);
+    if (workers > 1) {
+      EXPECT_GT(native->reassignments_done(), 0) << "workers=" << workers;
+      EXPECT_GT(native->labels_routed(), 0);
+    }
+    KeyCounts native_counts;
+    ForEachStore(&engine, workload.calculator,
+                 [&](const ProcessStateStore& s) {
+                   AccumulateCounts(s, &native_counts);
+                 });
+    EXPECT_EQ(sim_counts, native_counts) << "workers=" << workers;
+  }
+}
+
+TEST(NativeEquivalenceTest, SseElasticStateMatchesSimUnderMigration) {
+  // Two executors per operator keeps the sim elastic run inside the 4x4
+  // cluster (each executor pins a core); shard ids — and therefore the
+  // fingerprints — depend only on total_shards, which both backends share.
+  SseWorkload sim_workload =
+      BuildSseForEquivalence(/*seed=*/5, /*executors_per_operator=*/2);
+  EngineConfig sim_config = SmallElasticSimConfig();
+  sim_config.num_nodes = 8;
+  Engine sim_engine(sim_workload.topology, sim_config);
+  ASSERT_TRUE(sim_engine.Setup().ok());
+  sim_engine.Start();
+  ScriptSimElasticMoves(&sim_engine, sim_workload.transactor);
+  ScriptSimElasticMoves(&sim_engine, sim_workload.stats_ops[0]);
+  sim_engine.RunToCompletion();
+  ASSERT_EQ(ProcessedCount(&sim_engine, sim_workload.transactor), kSseBudget);
+
+  for (int workers : {1, 2, 8}) {
+    SseWorkload workload =
+        BuildSseForEquivalence(/*seed=*/5, /*executors_per_operator=*/2);
+    EngineConfig config = NativeElasticConfig(workers);
+    config.num_nodes = 8;
+    Engine engine(workload.topology, config);
+    ASSERT_TRUE(engine.Setup().ok());
+    engine.Start();
+    exec::NativeRuntime* native = engine.native();
+    // Migrate across the whole topology, not just one operator: order
+    // matching upstream of the stats fan-out is where a protocol bug would
+    // scramble per-stock streams.
+    for (int round = 0; round < 4; ++round) {
+      engine.RunFor(Micros(500));
+      for (OperatorId op = 0; op < workload.topology.num_operators(); ++op) {
+        if (workload.topology.spec(op).is_source) continue;
+        for (int s = 0; s < native->num_shards(op); ++s) {
+          (void)native->ReassignShard(op, s, (s + round) % workers);
+        }
+      }
+    }
+    engine.RunToCompletion();
+    EXPECT_EQ(ProcessedCount(&engine, workload.transactor), kSseBudget);
+    EXPECT_EQ(engine.order_violations(), 0) << "workers=" << workers;
+    EXPECT_EQ(native->migrations_in_flight(), 0);
+    if (workers > 1) EXPECT_GT(native->reassignments_done(), 0);
+    EXPECT_EQ(sim_engine.metrics()->sink_count(),
+              engine.metrics()->sink_count());
+    for (OperatorId op = 0; op < workload.topology.num_operators(); ++op) {
+      if (workload.topology.spec(op).is_source) continue;
+      ShardFingerprint sim_fp, native_fp;
+      ForEachElasticSimStore(&sim_engine, op,
+                             [&](const ProcessStateStore& s) {
+                               AccumulateFingerprint(s, &sim_fp);
+                             });
+      ForEachStore(&engine, op, [&](const ProcessStateStore& s) {
+        AccumulateFingerprint(s, &native_fp);
+      });
+      EXPECT_EQ(sim_fp, native_fp)
+          << "workers=" << workers << " operator "
+          << workload.topology.spec(op).name;
+    }
+  }
 }
 
 }  // namespace
