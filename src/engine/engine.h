@@ -92,6 +92,18 @@ class Engine {
         EventFn::heap_allocations(), net_->messages_sent());
   }
 
+  // ---- Resource-control plane (exec/telemetry.h, exec/worker_pool.h) ----
+  /// Point-in-time sample of the execution, backend-independent: the native
+  /// runtime serves it from lock-free wall-busy counters; the sim serves it
+  /// from the executors' ExecutorMetrics. See telemetry.h for the liveness
+  /// contract.
+  exec::TelemetrySnapshot SampleTelemetry() const {
+    return exec_->SampleTelemetry();
+  }
+  /// Runtime worker scaling; null under the sim backend (AddCore/RemoveCore
+  /// on the elastic executors is the simulated actuation path).
+  exec::WorkerPool* worker_pool() const { return exec_->worker_pool(); }
+
   // ---- Accessors ----
   /// The execution backend (virtual clock + deferred-call scheduling).
   exec::ExecutionBackend* exec() { return exec_.get(); }
@@ -143,6 +155,9 @@ class Engine {
   /// backend: its destructor (emergency teardown) joins worker threads that
   /// touch all three.
   std::unique_ptr<exec::NativeRuntime> native_;
+  /// kSim backend only: the ExecutorMetrics -> TelemetrySnapshot adapter
+  /// bound to the backend's resource-control plane.
+  std::unique_ptr<exec::TelemetrySource> sim_telemetry_;
   std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<DynamicScheduler> scheduler_;
   std::unique_ptr<RcController> rc_;

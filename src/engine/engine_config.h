@@ -25,36 +25,100 @@ enum class Paradigm {
 const char* ParadigmName(Paradigm p);
 
 /// Knobs of the native multithreaded runtime (exec/native_runtime.h); only
-/// read when `EngineConfig::backend == BackendKind::kNative`.
-struct NativeRuntimeOptions {
+/// read when `EngineConfig::backend == BackendKind::kNative`. Grouped by
+/// concern: the data path (batching/back-pressure), the balance policy
+/// (resource-control plane measurement loop) and thread placement. The old
+/// flat field names remain as reference aliases for one release — new code
+/// should write `native.data_path.batch_tuples`, not `native.batch_tuples`.
+struct NativeOptions {
+  struct DataPathOptions {
+    /// Tuples accumulated per cross-thread micro-batch (the native analog
+    /// of max_batch_tuples; batches are flushed early when the producer
+    /// idles).
+    int batch_tuples = 64;
+    /// Bounded channel depth, in batches, per worker input (back-pressure).
+    int channel_capacity_batches = 64;
+  };
+
+  /// Driver-side balance tick (Paradigm::kElastic only): samples the
+  /// runtime's TelemetrySnapshot and plans ReassignShard moves.
+  struct BalanceOptions {
+    /// Tick period (0 = off; reassignments then come only from explicit
+    /// ReassignShard calls).
+    SimDuration period_ns = 0;
+    /// Imbalance trigger (max/avg per-worker normalized load), mirroring
+    /// BalancerConfig::theta.
+    double theta = 1.25;
+    /// Moves planned per tick per operator.
+    int max_moves = 2;
+    /// Load signal: measured per-shard wall-busy ns with per-worker
+    /// measured capacities (the paper's CPU-weighted load model). false
+    /// falls back to raw processed-count deltas (pre-PR-9 behavior; only
+    /// correct when every tuple costs the same).
+    bool use_wall_busy = true;
+  };
+
+  /// Optional thread placement (exec/cpu_affinity.h shim; no-op off-Linux).
+  struct PinningOptions {
+    /// Pin every source/worker thread to its own CPU, round-robin over the
+    /// online CPU list. Grown workers are pinned from the same plan.
+    bool enabled = false;
+    /// Order the CPU list package-major so one operator's workers (and the
+    /// shards they own) fill a socket before spilling to the next.
+    bool numa_aware = false;
+  };
+
   /// Worker threads per non-source operator (0 = the operator's
   /// static_executors, or 1 when that is unset). Sources get one thread per
   /// source executor.
   int workers_per_operator = 0;
-  /// Tuples accumulated per cross-thread micro-batch (the native analog of
-  /// max_batch_tuples; batches are flushed early when the producer idles).
-  int batch_tuples = 64;
-  /// Bounded channel depth, in batches, per worker input (back-pressure).
-  int channel_capacity_batches = 64;
-
-  // ---- Elastic paradigm (Paradigm::kElastic on the native backend) ----
+  /// Worker-slot reservation per operator for runtime growth
+  /// (WorkerPool::GrowWorkers). 0 = auto: max(2 x initial workers, 16).
+  /// Slots cost a few pointers each until grown into.
+  int max_workers_per_operator = 0;
   /// Same-process shard-copy rate for migrations between worker threads
   /// (bytes/s). 0 = free handoff: the move is a pointer swap and pre-copy
   /// completes synchronously. Positive rates pace MigrationEngine's
   /// chunked pre-copy / delta shipment on the backend's timer wheel, the
   /// native analog of StateLayerConfig::local_copy_bytes_per_sec.
   double migration_copy_bytes_per_sec = 0.0;
-  /// Period of the driver-side balance tick that samples per-shard
-  /// processed counts and plans ReassignShard moves across the worker
-  /// threads (0 = off; reassignments then come only from explicit
-  /// ReassignShard calls).
-  SimDuration balance_period_ns = 0;
-  /// Imbalance trigger (max/avg per-worker load) for the native balance
-  /// tick, mirroring BalancerConfig::theta.
-  double balance_theta = 1.25;
-  /// Moves planned per balance tick per operator.
-  int balance_max_moves = 2;
+
+  DataPathOptions data_path;
+  BalanceOptions balance;
+  PinningOptions pinning;
+
+  // ---- Deprecated flat aliases (one release; see the nested fields) ----
+  int& batch_tuples = data_path.batch_tuples;
+  int& channel_capacity_batches = data_path.channel_capacity_batches;
+  SimDuration& balance_period_ns = balance.period_ns;
+  double& balance_theta = balance.theta;
+  int& balance_max_moves = balance.max_moves;
+
+  // The reference aliases make the implicit copy operations wrong (a
+  // copied object would alias the original's nested fields), so copying is
+  // spelled out: copy the values, let each new object's NSDMIs rebind its
+  // own references.
+  NativeOptions() = default;
+  NativeOptions(const NativeOptions& o)
+      : workers_per_operator(o.workers_per_operator),
+        max_workers_per_operator(o.max_workers_per_operator),
+        migration_copy_bytes_per_sec(o.migration_copy_bytes_per_sec),
+        data_path(o.data_path),
+        balance(o.balance),
+        pinning(o.pinning) {}
+  NativeOptions& operator=(const NativeOptions& o) {
+    workers_per_operator = o.workers_per_operator;
+    max_workers_per_operator = o.max_workers_per_operator;
+    migration_copy_bytes_per_sec = o.migration_copy_bytes_per_sec;
+    data_path = o.data_path;
+    balance = o.balance;
+    pinning = o.pinning;
+    return *this;
+  }
 };
+
+/// Deprecated name of NativeOptions (pre-PR-9), kept for one release.
+using NativeRuntimeOptions = NativeOptions;
 
 struct EngineConfig {
   Paradigm paradigm = Paradigm::kElastic;
@@ -67,7 +131,7 @@ struct EngineConfig {
   /// in-channel labeling barrier) — see docs/architecture.md "Execution
   /// backends".
   exec::BackendKind backend = exec::BackendKind::kSim;
-  NativeRuntimeOptions native;
+  NativeOptions native;
 
   // ---- Cluster (paper testbed: 32 nodes x 8 cores, 1 Gbps) ----
   int num_nodes = 32;

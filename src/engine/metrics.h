@@ -129,12 +129,14 @@ class EngineMetrics {
     return busy_ns_by_node_;
   }
 
-  /// Bulk sink-count merge used by the native runtime AFTER its threads
-  /// joined: the native data path keeps per-worker counters (no shared
-  /// mutable metrics while running) and folds them in once, so EngineMetrics
-  /// itself stays single-threaded on every backend. Latency histograms and
-  /// time series are simulator-only (timing columns).
+  /// Bulk merges used by the native runtime AFTER its threads joined: the
+  /// native data path keeps per-worker counters and sink-latency histograms
+  /// (no shared mutable metrics while running) and folds them in once, so
+  /// EngineMetrics itself stays single-threaded on every backend. Time
+  /// series remain simulator-only (timing columns); latency() is valid on
+  /// both backends — post-drain only on the native one.
   void MergeSinkCount(int64_t n) { sink_count_ += n; }
+  void MergeLatency(const Histogram& h) { latency_.Merge(h); }
 
   int64_t sink_count() const { return sink_count_; }
   const Histogram& latency() const { return latency_; }

@@ -27,10 +27,17 @@
 // pre-seam engine. Under NativeBackend, deferred calls run on the driver
 // thread (the thread inside RunUntil), never concurrently with each other;
 // At/After/Cancel may be called from any thread.
+// Resource-control plane: beyond scheduling, the backend is the seam through
+// which controllers *measure* and *actuate* the execution
+// (exec/telemetry.h, exec/worker_pool.h). The concrete runtime registers
+// itself via BindResourcePlane; SampleTelemetry()/worker_pool() are then
+// backend-independent — the balancer consumes wall-busy load the same way
+// whether a simulator or a thread pool produced it.
 #pragma once
 
 #include <functional>
 
+#include "exec/telemetry.h"
 #include "sim/event_fn.h"
 #include "sim/time.h"
 
@@ -46,6 +53,8 @@ enum class BackendKind {
 };
 
 const char* BackendKindName(BackendKind kind);
+
+class WorkerPool;  // exec/worker_pool.h
 
 class ExecutionBackend {
  public:
@@ -93,6 +102,32 @@ class ExecutionBackend {
 
   /// Deferred calls executed since construction (perf counters).
   virtual uint64_t events_executed() const = 0;
+
+  // ---- Resource-control plane ----
+  /// Registers the measurement and actuation surfaces of the concrete
+  /// execution (Engine calls this during Setup: the native runtime binds
+  /// itself for both; the sim binds the engine's ExecutorMetrics adapter
+  /// and no pool — AddCore/RemoveCore is the simulated actuation path).
+  /// Either pointer may be null; the backend does not own them.
+  void BindResourcePlane(TelemetrySource* telemetry, WorkerPool* pool) {
+    telemetry_ = telemetry;
+    worker_pool_ = pool;
+  }
+
+  /// A point-in-time sample of the execution (exec/telemetry.h documents
+  /// the liveness contract). Empty snapshot when nothing is bound yet.
+  TelemetrySnapshot SampleTelemetry() const {
+    return telemetry_ != nullptr ? telemetry_->SampleTelemetry()
+                                 : TelemetrySnapshot{};
+  }
+
+  /// Runtime worker scaling (exec/worker_pool.h); null when the backend
+  /// cannot actuate thread counts (kSim).
+  WorkerPool* worker_pool() const { return worker_pool_; }
+
+ private:
+  TelemetrySource* telemetry_ = nullptr;
+  WorkerPool* worker_pool_ = nullptr;
 };
 
 }  // namespace exec

@@ -105,6 +105,17 @@ class MpscChannel {
     return ring_.empty() && (producers_open_ == 0 || aborted_);
   }
 
+  /// A new producer joins a live channel (WorkerPool::GrowWorkers wires a
+  /// grown worker into every downstream channel). Only legal while at least
+  /// one producer is still open: once the last producer closed, the
+  /// consumer may already have observed exhaustion and exited.
+  void AddProducer() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ELASTICUTOR_CHECK_MSG(producers_open_ > 0,
+                          "AddProducer on a closed channel");
+    ++producers_open_;
+  }
+
   /// A producer finished for good (source budget exhausted / stop request /
   /// upstream channel closed).
   void CloseProducer() {

@@ -5,9 +5,20 @@
 
 #include "elastic/load_balancer.h"
 #include "engine/single_task_executor.h"  // ApplyOperatorLogic.
+#include "exec/cpu_affinity.h"
 
 namespace elasticutor {
 namespace exec {
+
+namespace {
+/// Speed-EWMA tuning (mirrors ElasticExecutor::RefreshTaskSpeeds): ignore
+/// windows with less than this much measured busy time (too noisy), blend
+/// observations at kSpeedAlpha, and drift an unobserved worker's speed back
+/// toward nominal (idleness is not slowness).
+constexpr int64_t kSpeedMinBusyNs = 200'000;
+constexpr double kSpeedAlpha = 0.4;
+constexpr double kSpeedRecovery = 0.2;
+}  // namespace
 
 /// EmitContext of a native producer: routes each emission into the partial
 /// batches of the thread's ports. Lives on the producer's stack for one
@@ -56,9 +67,7 @@ NativeRuntime::~NativeRuntime() {
       teardown_ = true;
     }
     ctrl_cv_.notify_all();
-    for (auto& op_workers : workers_) {
-      for (auto& w : op_workers) w->input->Abort();
-    }
+    ForEachWorker([](Worker* w) { w->input->Abort(); });
     WaitDrained();
   }
 }
@@ -69,6 +78,15 @@ int NativeRuntime::WorkerCount(OperatorId op) const {
   }
   const OperatorSpec& spec = topology_->spec(op);
   return std::max(1, spec.static_executors);
+}
+
+int NativeRuntime::MaxSlots(OperatorId op) const {
+  const int count = WorkerCount(op);
+  if (!elastic_) return count;  // Growth needs the elastic routing table.
+  if (config_->native.max_workers_per_operator > 0) {
+    return std::max(config_->native.max_workers_per_operator, count);
+  }
+  return std::max(2 * count, 16);
 }
 
 Status NativeRuntime::Setup() {
@@ -85,18 +103,24 @@ Status NativeRuntime::Setup() {
     return Status::InvalidArgument(
         "elastic paradigm requires a MigrationEngine (Engine wires one)");
   }
-  batch_tuples_ =
-      static_cast<size_t>(std::max(1, config_->native.batch_tuples));
+  batch_tuples_ = static_cast<size_t>(
+      std::max(1, config_->native.data_path.batch_tuples));
   const size_t channel_cap = static_cast<size_t>(
-      std::max(1, config_->native.channel_capacity_batches));
+      std::max(1, config_->native.data_path.channel_capacity_batches));
 
   const int n = topology_->num_operators();
   partitions_.resize(n);
   workers_.resize(n);
+  worker_count_ = std::vector<std::atomic<int>>(n);
+  for (int i = 0; i < n; ++i) {
+    worker_count_[i].store(0, std::memory_order_relaxed);
+  }
   elastic_ops_.resize(n);
 
   // Pass 1: partitions, workers and their input channels (no ports yet —
-  // ports need every destination channel to exist).
+  // ports need every destination channel to exist). Worker slots are
+  // reserved up to MaxSlots so GrowWorkers can fill them later without
+  // ever reallocating the array the lock-free readers walk.
   bool has_trace = false;
   for (OperatorId op : topology_->topo_order()) {
     const OperatorSpec& spec = topology_->spec(op);
@@ -116,6 +140,7 @@ Status NativeRuntime::Setup() {
       continue;
     }
     const int count = WorkerCount(op);
+    const int max_slots = MaxSlots(op);
     auto partition = std::make_unique<OperatorPartition>(
         spec.total_shards(), count, /*salt=*/op);
     // Producers on this operator's channels: every upstream slot.
@@ -125,14 +150,16 @@ Status NativeRuntime::Setup() {
       producers +=
           up_spec.is_source ? up_spec.num_executors : WorkerCount(up);
     }
+    workers_[op].resize(max_slots);
     for (int i = 0; i < count; ++i) {
       auto w = std::make_unique<Worker>();
       w->op = op;
       w->index = i;
       w->is_sink = topology_->is_sink(op);
       w->input = std::make_unique<MpscChannel>(channel_cap, producers);
-      workers_[op].push_back(std::move(w));
+      workers_[op][i] = std::move(w);
     }
+    worker_count_[op].store(count, std::memory_order_relaxed);
     OperatorPartition* part = partition.get();
     for (int s = 0; s < part->num_shards(); ++s) {
       Worker* owner = workers_[op][part->ExecutorOfShard(s)].get();
@@ -145,13 +172,19 @@ Status NativeRuntime::Setup() {
       eo->owner = std::vector<std::atomic<int32_t>>(num_shards);
       eo->held = std::vector<std::atomic<uint8_t>>(num_shards);
       eo->processed = std::vector<std::atomic<int64_t>>(num_shards);
+      eo->busy_ticks = std::vector<std::atomic<int64_t>>(num_shards);
       eo->balance_prev.assign(num_shards, 0);
+      eo->balance_prev_busy.assign(num_shards, 0);
       for (int s = 0; s < num_shards; ++s) {
         eo->owner[s].store(part->ExecutorOfShard(s),
                            std::memory_order_relaxed);
         eo->held[s].store(0, std::memory_order_relaxed);
         eo->processed[s].store(0, std::memory_order_relaxed);
+        eo->busy_ticks[s].store(0, std::memory_order_relaxed);
       }
+      eo->speed_ewma.assign(max_slots, 0.0);
+      eo->prev_worker_busy.assign(max_slots, 0);
+      eo->prev_worker_proc.assign(max_slots, 0);
       eo->open_producers = producers;
       elastic_ops_[op] = std::move(eo);
     }
@@ -164,7 +197,6 @@ Status NativeRuntime::Setup() {
   // run at the same seed), producer ports and origin stamps (unique per
   // producer slot; the concurrent order validator keys sequences on them).
   Rng root(config_->seed, 0x5eed5eed);
-  uint32_t next_origin = 1;
   for (OperatorId op : topology_->topo_order()) {
     const OperatorSpec& spec = topology_->spec(op);
     if (spec.is_source) {
@@ -172,15 +204,17 @@ Status NativeRuntime::Setup() {
         auto s = std::make_unique<Source>();
         s->op = op;
         s->index = e;
-        s->origin = next_origin++;
+        s->origin = next_origin_++;
         s->rng = root.Fork(0x500 + MakeExecutorId(op, e));
         BuildPorts(op, &s->ports);
         sources_.push_back(std::move(s));
       }
       continue;
     }
-    for (auto& w : workers_[op]) {
-      w->origin = next_origin++;
+    const int count = worker_count_[op].load(std::memory_order_relaxed);
+    for (int i = 0; i < count; ++i) {
+      Worker* w = workers_[op][i].get();
+      w->origin = next_origin_++;
       w->rng = root.Fork(MakeExecutorId(op, w->index));
       BuildPorts(op, &w->ports);
     }
@@ -195,32 +229,74 @@ void NativeRuntime::BuildPorts(OperatorId op,
     ProducerPort port;
     port.to_op = to;
     port.part = partitions_[to].get();
-    for (auto& w : workers_[to]) port.channels.push_back(w->input.get());
+    const int count = worker_count_[to].load(std::memory_order_acquire);
+    for (int i = 0; i < count; ++i) {
+      port.channels.push_back(workers_[to][i]->input.get());
+    }
     port.pending.assign(port.channels.size(), nullptr);
     ports->push_back(std::move(port));
   }
+}
+
+void NativeRuntime::SyncProducerPorts(Producer* p) {
+  for (auto& port : p->ports) {
+    const int count =
+        worker_count_[port.to_op].load(std::memory_order_relaxed);
+    for (int i = static_cast<int>(port.channels.size()); i < count; ++i) {
+      port.channels.push_back(workers_[port.to_op][i]->input.get());
+      port.pending.push_back(nullptr);
+    }
+  }
+}
+
+int NativeRuntime::NextPinCpu() {
+  if (pin_cpus_.empty()) return -1;
+  const int cpu = pin_cpus_[next_pin_ % pin_cpus_.size()];
+  ++next_pin_;
+  return cpu;
+}
+
+int NativeRuntime::PackageOf(int cpu) const {
+  for (size_t i = 0; i < pin_cpus_.size(); ++i) {
+    if (pin_cpus_[i] == cpu) return pin_packages_[i];
+  }
+  return -1;
 }
 
 void NativeRuntime::Start() {
   ELASTICUTOR_CHECK_MSG(setup_done_, "Start before Setup");
   ELASTICUTOR_CHECK_MSG(!started_, "Start called twice");
   started_ = true;
-  int threads = static_cast<int>(sources_.size());
-  for (auto& op_workers : workers_) {
-    threads += static_cast<int>(op_workers.size());
-  }
-  live_threads_.store(threads, std::memory_order_release);
-  // Workers first so channels have their consumers before sources flood.
-  for (auto& op_workers : workers_) {
-    for (auto& w : op_workers) {
-      w->thread = std::thread([this, worker = w.get()] { WorkerLoop(worker); });
+  if (config_->native.pinning.enabled) {
+    const CpuTopology topo =
+        CpuTopology::Detect(config_->native.pinning.numa_aware);
+    for (const auto& c : topo.cpus) {
+      pin_cpus_.push_back(c.cpu);
+      pin_packages_.push_back(c.package);
     }
   }
+  int threads = static_cast<int>(sources_.size());
+  ForEachWorker([&threads](Worker*) { ++threads; });
+  live_threads_.store(threads, std::memory_order_release);
+  // Workers first so channels have their consumers before sources flood.
+  // Pin in creation order: with a package-major CPU list one operator's
+  // workers land on one socket before spilling to the next.
+  ForEachWorker([this](Worker* w) {
+    w->thread = std::thread([this, w] { WorkerLoop(w); });
+    w->pinned_cpu = NextPinCpu();
+    if (w->pinned_cpu >= 0 && !PinThreadToCpu(&w->thread, w->pinned_cpu)) {
+      w->pinned_cpu = -1;  // Hint failed (cgroup mask etc.): run unpinned.
+    }
+  });
   for (auto& s : sources_) {
     s->thread = std::thread([this, src = s.get()] { SourceLoop(src); });
+    s->pinned_cpu = NextPinCpu();
+    if (s->pinned_cpu >= 0 && !PinThreadToCpu(&s->thread, s->pinned_cpu)) {
+      s->pinned_cpu = -1;
+    }
   }
-  if (elastic_ && config_->native.balance_period_ns > 0) {
-    const SimDuration period = config_->native.balance_period_ns;
+  if (elastic_ && config_->native.balance.period_ns > 0) {
+    const SimDuration period = config_->native.balance.period_ns;
     backend_->Periodic(backend_->now() + period, period, [this](SimTime) {
       if (drained_ || live_threads_.load(std::memory_order_acquire) == 0) {
         return false;
@@ -238,14 +314,14 @@ void NativeRuntime::StopSources() {
 void NativeRuntime::WaitDrained() {
   if (!started_ || drained_) return;
   if (has_timed_work_) {
-    // Elastic migrations and trace sources are driven by the backend's
-    // timer wheel, and timers only fire inside RunUntil — pump it until
-    // every thread is gone AND no migration is still in flight. The second
-    // condition matters for moves requested after the dataflow drained:
-    // with every worker exited those are driver-driven, and their paced
-    // pre-copy chunks and labeling callback only fire here. (Each RunUntil
-    // call sleeps through one 1 ms window, so this is a condvar-paced
-    // wait, not a spin.)
+    // Elastic migrations, trace sources and the retirement pump are driven
+    // by the backend's timer wheel, and timers only fire inside RunUntil —
+    // pump it until every thread is gone AND no migration is still in
+    // flight. The second condition matters for moves requested after the
+    // dataflow drained: with every worker exited those are driver-driven,
+    // and their paced pre-copy chunks and labeling callback only fire
+    // here. (Each RunUntil call sleeps through one 1 ms window, so this is
+    // a condvar-paced wait, not a spin.)
     while (live_threads_.load(std::memory_order_acquire) > 0 ||
            MigrationsPending()) {
       backend_->RunUntil(backend_->now() + Millis(1));
@@ -254,15 +330,17 @@ void NativeRuntime::WaitDrained() {
   for (auto& s : sources_) {
     if (s->thread.joinable()) s->thread.join();
   }
-  for (auto& op_workers : workers_) {
-    for (auto& w : op_workers) {
-      if (w->thread.joinable()) w->thread.join();
-    }
-  }
+  ForEachWorker([](Worker* w) {
+    if (w->thread.joinable()) w->thread.join();
+  });
   drained_ = true;
-  // Single-threaded from here: merge per-worker counters into the engine
-  // metrics (EngineMetrics itself is not touched by running threads).
+  // Single-threaded from here: merge per-worker counters and sink-latency
+  // histograms into the engine metrics (EngineMetrics itself is not
+  // touched by running threads).
   metrics_->MergeSinkCount(sink_count());
+  ForEachWorker([this](Worker* w) {
+    if (w->is_sink) metrics_->MergeLatency(w->latency);
+  });
 }
 
 bool NativeRuntime::EmitTo(Producer* p, ProducerPort* port, const Tuple& t) {
@@ -277,6 +355,13 @@ bool NativeRuntime::EmitTo(Producer* p, ProducerPort* port, const Tuple& t) {
         std::memory_order_acquire));
   } else {
     wi = static_cast<size_t>(port->part->ExecutorOfKey(t.key));
+  }
+  if (wi >= port->pending.size()) {
+    // The routing table names a grown worker this producer has not seen
+    // yet: sync the port vectors to the live slot count (rare — once per
+    // producer per growth event).
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    SyncProducerPorts(p);
   }
   TupleBatchStorage*& batch = port->pending[wi];
   if (batch == nullptr) batch = pool_.Acquire();
@@ -318,10 +403,14 @@ void NativeRuntime::CloseProducerPorts(Producer* p) {
     // happens under the same lock hold as the sweep, so any labeling
     // command published later arms its barrier without this producer —
     // and the retirement precedes CloseProducer below, so a barrier that
-    // did count us gets its marker before the channel closes.
+    // did count us gets its marker before the channel closes. The port
+    // sync under the same hold pairs with GrowWorkers: a channel created
+    // before our retirement counted us, so we must close it; one created
+    // after did not, and won't appear in our ports.
     std::vector<LabelDuty> duties;
     {
       std::lock_guard<std::mutex> lock(ctrl_mu_);
+      SyncProducerPorts(p);
       CollectLabelDuties(p, &duties);
       for (auto& port : p->ports) {
         --elastic_ops_[port.to_op]->open_producers;
@@ -393,6 +482,7 @@ void NativeRuntime::SourceLoop(Source* s) {
     Tuple t = src.factory(&s->rng, backend_->now());
     t.created_at = backend_->now();
     ++s->generated;
+    s->pub_generated.store(s->generated, std::memory_order_relaxed);
     bool ok = true;
     for (auto& port : s->ports) ok = EmitTo(s, &port, t) && ok;
     if (!ok) break;  // Channels aborted.
@@ -418,8 +508,9 @@ void NativeRuntime::CheckArrivalOrder(Worker* w, ShardId shard,
 void NativeRuntime::ProcessTuple(Worker* w, const OperatorSpec& spec,
                                  const Tuple& t) {
   const ShardId shard = partitions_[w->op]->ShardOf(t.key);
+  ElasticOp* eo = nullptr;
   if (elastic_) {
-    ElasticOp* eo = elastic_ops_[w->op].get();
+    eo = elastic_ops_[w->op].get();
     // Hold only as the *destination* of an in-flight move (held raised and
     // the routing already points here). The old owner keeps processing the
     // shard's pre-flip backlog while held is raised — that drain is what
@@ -432,23 +523,52 @@ void NativeRuntime::ProcessTuple(Worker* w, const OperatorSpec& spec,
     }
     eo->processed[shard].fetch_add(1, std::memory_order_relaxed);
   }
+  // Wall-busy window around the operator logic only: channel waits and
+  // control-plane work are idle time, not load (the balancer's signal
+  // must reflect what the shard costs, not what the thread endured).
+  const uint64_t busy_start = CycleClock::Now();
   if (validate_) CheckArrivalOrder(w, shard, t);
   NativeEmitContext emit(this, w, t.created_at);
   ApplyOperatorLogic(*topology_, spec, w->op, t, &w->store, shard, &emit,
                      &w->rng);
+  const int64_t ticks =
+      static_cast<int64_t>(CycleClock::Now() - busy_start);
+  w->busy_ticks += ticks;
+  if (eo != nullptr) {
+    eo->busy_ticks[shard].fetch_add(ticks, std::memory_order_relaxed);
+  }
   ++w->processed;
-  if (w->is_sink) ++w->sink_tuples;
+  if (w->is_sink) {
+    ++w->sink_tuples;
+    w->latency.Record(backend_->now() - t.created_at);
+  }
+}
+
+void NativeRuntime::PublishWorkerCounters(Worker* w) {
+  w->pub_processed.store(w->processed, std::memory_order_relaxed);
+  w->pub_sink.store(w->sink_tuples, std::memory_order_relaxed);
+  w->pub_busy_ns.store(CycleClock::ToNs(w->busy_ticks),
+                       std::memory_order_relaxed);
 }
 
 void NativeRuntime::WorkerLoop(Worker* w) {
   const OperatorSpec& spec = topology_->spec(w->op);
   for (;;) {
-    if (elastic_) PollWorkerControl(w);
+    if (elastic_) {
+      PollWorkerControl(w);
+      if (w->retiring.load(std::memory_order_relaxed) && RetireReady(w)) {
+        // Evacuated and unreferenced: the channel provably holds nothing
+        // the protocol still needs (every marker targets a migration that
+        // would reference us; every tuple targets a shard we would own).
+        break;
+      }
+    }
     TupleBatchStorage* batch = w->input->TryPop();
     if (batch == nullptr) {
       // Input momentarily idle: don't sit on partial output batches while
       // blocking — downstream would starve behind our buffering.
       FlushPorts(&w->ports);
+      PublishWorkerCounters(w);
       batch = w->input->Pop();
       if (batch == nullptr) {
         if (w->input->exhausted()) break;  // Producers closed, ring drained.
@@ -463,9 +583,11 @@ void NativeRuntime::WorkerLoop(Worker* w) {
     }
     for (const Tuple& t : batch->tuples) ProcessTuple(w, spec, t);
     pool_.Release(batch);
+    PublishWorkerCounters(w);
   }
   if (elastic_) WorkerEpilogue(w);
   CloseProducerPorts(w);
+  PublishWorkerCounters(w);
   if (elastic_) {
     std::lock_guard<std::mutex> lock(ctrl_mu_);
     w->exited = true;
@@ -514,6 +636,7 @@ void NativeRuntime::PollProducer(Producer* p) {
   std::vector<LabelDuty> duties;
   {
     std::lock_guard<std::mutex> lock(ctrl_mu_);
+    SyncProducerPorts(p);
     CollectLabelDuties(p, &duties);
     p->seen_version = ctrl_version_.load(std::memory_order_relaxed);
   }
@@ -532,6 +655,7 @@ void NativeRuntime::PollWorkerControl(Worker* w) {
   std::vector<int64_t> installs;
   {
     std::lock_guard<std::mutex> lock(ctrl_mu_);
+    SyncProducerPorts(w);
     CollectLabelDuties(w, &duties);
     for (auto& [id, m] : migrations_) {
       if (m->op != w->op) continue;
@@ -586,8 +710,14 @@ Status NativeRuntime::ReassignShard(OperatorId op, ShardId shard,
     ElasticOp* eo = elastic_ops_[op].get();
     const int from = eo->owner[shard].load(std::memory_order_relaxed);
     if (from == to_worker) return Status::OK();  // Already there.
-    src = workers_[op][from].get();
-    Worker* dst = workers_[op][to_worker].get();
+    src = worker_at(op, from);
+    Worker* dst = worker_at(op, to_worker);
+    if (dst->retiring.load(std::memory_order_relaxed)) {
+      // Sticky: a retiring/retired worker is being (or has been) evacuated
+      // and must never accept a shard again — the balancer and the
+      // retirement pump both rely on this rejection.
+      return Status::FailedPrecondition("destination worker is retiring");
+    }
     if ((src->departing && !src->exited) ||
         (dst->departing && !dst->exited)) {
       // Narrow shutdown window: the endpoint committed to exit but its
@@ -621,6 +751,262 @@ Status NativeRuntime::ReassignShard(OperatorId op, ShardId shard,
     src->input->Kick();  // An idle owner must wake up to claim the move.
   }
   return Status::OK();
+}
+
+Status NativeRuntime::GrowWorkers(OperatorId op, int n) {
+  if (!elastic_) {
+    return Status::FailedPrecondition(
+        "GrowWorkers requires the elastic paradigm (static routing cannot "
+        "address workers that did not exist at Setup)");
+  }
+  if (!started_) return Status::FailedPrecondition("GrowWorkers before Start");
+  if (op < 0 || op >= static_cast<OperatorId>(partitions_.size()) ||
+      partitions_[op] == nullptr) {
+    return Status::InvalidArgument("not a worker operator");
+  }
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  const size_t channel_cap = static_cast<size_t>(
+      std::max(1, config_->native.data_path.channel_capacity_batches));
+  std::vector<Worker*> grown;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    if (teardown_) return Status::FailedPrecondition("tearing down");
+    ElasticOp* eo = elastic_ops_[op].get();
+    if (eo->open_producers <= 0) {
+      return Status::FailedPrecondition(
+          "every producer of the operator already closed (nothing left to "
+          "route to a new worker)");
+    }
+    const int count = worker_count_[op].load(std::memory_order_relaxed);
+    if (count + n > static_cast<int>(workers_[op].size())) {
+      return Status::FailedPrecondition(
+          "worker-slot reservation exhausted (raise "
+          "native.max_workers_per_operator)");
+    }
+    for (int k = 0; k < n; ++k) {
+      auto w = std::make_unique<Worker>();
+      w->op = op;
+      w->index = count + k;
+      w->is_sink = topology_->is_sink(op);
+      // The channel counts exactly the producers currently open toward
+      // this operator: each of them syncs its ports under ctrl_mu_ before
+      // its retirement sweep, so each will CloseProducer on it exactly
+      // once; producers that already closed never learn of the channel.
+      w->input = std::make_unique<MpscChannel>(channel_cap,
+                                               eo->open_producers);
+      w->origin = next_origin_++;
+      // Deterministic in (seed, op, index) regardless of when the growth
+      // happens — unlike Setup's sequential root forks, which encode
+      // creation order. The 0x97 prefix keeps the stream ids disjoint
+      // from Setup's fork salts.
+      w->rng = Rng(config_->seed,
+                   0x9700000000000000ull +
+                       static_cast<uint64_t>(MakeExecutorId(op, w->index)));
+      w->cmd_cursor = label_cmds_.size();  // Owes no past label duties.
+      w->seen_version = ctrl_version_.load(std::memory_order_relaxed);
+      BuildPorts(op, &w->ports);
+      // Register as a producer on every downstream channel. Safe while
+      // some worker of this op is still active (guaranteed: workers only
+      // close after their producers did, and open_producers > 0 above).
+      for (auto& port : w->ports) {
+        for (MpscChannel* ch : port.channels) ch->AddProducer();
+        ++elastic_ops_[port.to_op]->open_producers;
+      }
+      w->pinned_cpu = NextPinCpu();
+      Worker* raw = w.get();
+      workers_[op][count + k] = std::move(w);
+      live_threads_.fetch_add(1, std::memory_order_relaxed);
+      // The release store makes the filled slot (and its channel) visible
+      // to every acquire-side reader: EmitTo's routing, the kick-all loop,
+      // BuildPorts/SyncProducerPorts of other producers.
+      worker_count_[op].store(count + k + 1, std::memory_order_release);
+      grown.push_back(raw);
+    }
+    ctrl_version_.fetch_add(1, std::memory_order_release);
+  }
+  ctrl_cv_.notify_all();
+  for (Worker* w : grown) {
+    w->thread = std::thread([this, w] { WorkerLoop(w); });
+    if (w->pinned_cpu >= 0 && !PinThreadToCpu(&w->thread, w->pinned_cpu)) {
+      w->pinned_cpu = -1;
+    }
+  }
+  return Status::OK();
+}
+
+Status NativeRuntime::ShrinkWorkers(OperatorId op, int n) {
+  if (!elastic_) {
+    return Status::FailedPrecondition(
+        "ShrinkWorkers requires the elastic paradigm (static workers own "
+        "their partition for the run)");
+  }
+  if (!started_) {
+    return Status::FailedPrecondition("ShrinkWorkers before Start");
+  }
+  if (op < 0 || op >= static_cast<OperatorId>(partitions_.size()) ||
+      partitions_[op] == nullptr) {
+    return Status::InvalidArgument("not a worker operator");
+  }
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  bool arm_pump = false;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    if (teardown_) return Status::FailedPrecondition("tearing down");
+    const int count = worker_count_[op].load(std::memory_order_relaxed);
+    std::vector<Worker*> active;
+    for (int i = 0; i < count; ++i) {
+      Worker* w = worker_at(op, i);
+      if (!w->retiring.load(std::memory_order_relaxed) && !w->exited) {
+        active.push_back(w);
+      }
+    }
+    if (static_cast<int>(active.size()) <= n) {
+      return Status::FailedPrecondition(
+          "shrink would leave no active worker (the pool never drops to "
+          "zero)");
+    }
+    // Highest-index actives first: mirrors how growth appends, so repeated
+    // grow/shrink cycles reuse the low slots.
+    for (int k = 0; k < n; ++k) {
+      active[active.size() - 1 - k]->retiring.store(
+          true, std::memory_order_relaxed);
+    }
+    if (!retire_pump_armed_) {
+      retire_pump_armed_ = true;
+      arm_pump = true;
+    }
+    ctrl_version_.fetch_add(1, std::memory_order_release);
+  }
+  ctrl_cv_.notify_all();
+  // Kick every worker of the operator: victims wake to notice retirement,
+  // the rest wake to claim evacuation duties.
+  const int count = worker_count_[op].load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) worker_at(op, i)->input->Kick();
+  (void)PumpRetirement();  // First evacuation pass, synchronously.
+  if (arm_pump) {
+    // 1 ms replan cadence until every victim exited: stragglers appear
+    // when an in-flight move lands a shard on a victim post-mark, or an
+    // evacuation move lost a race with another migration of the shard.
+    backend_->Periodic(backend_->now() + Millis(1), Millis(1),
+                       [this](SimTime) {
+                         if (PumpRetirement()) return true;
+                         std::lock_guard<std::mutex> lock(ctrl_mu_);
+                         retire_pump_armed_ = false;
+                         return false;
+                       });
+  }
+  return Status::OK();
+}
+
+bool NativeRuntime::PumpRetirement() {
+  struct Planned {
+    OperatorId op;
+    ShardId shard;
+    int to;
+  };
+  std::vector<Planned> planned;
+  std::vector<MpscChannel*> kicks;
+  bool any_retiring = false;
+  {
+    std::lock_guard<std::mutex> lock(ctrl_mu_);
+    if (teardown_) return false;
+    for (OperatorId op = 0;
+         op < static_cast<OperatorId>(elastic_ops_.size()); ++op) {
+      ElasticOp* eo = elastic_ops_[op].get();
+      if (eo == nullptr) continue;
+      const int count = worker_count_[op].load(std::memory_order_relaxed);
+      std::vector<bool> allowed(count, false);
+      std::vector<double> slot_load(count, 0.0);
+      std::vector<double> capacity(count, 1.0);
+      std::vector<Worker*> victims;
+      for (int i = 0; i < count; ++i) {
+        Worker* w = worker_at(op, i);
+        if (w->retiring.load(std::memory_order_relaxed)) {
+          if (!w->exited) victims.push_back(w);
+          continue;
+        }
+        if (w->exited) continue;
+        allowed[i] = true;
+        // Cumulative busy as the tie-breaking running load: relative
+        // weights are all the FFD assignment needs.
+        slot_load[i] =
+            static_cast<double>(w->pub_busy_ns.load(std::memory_order_relaxed));
+        if (eo->speed_ewma[i] > 0.0) capacity[i] = eo->speed_ewma[i];
+      }
+      if (victims.empty()) continue;
+      any_retiring = true;
+      const int num_shards = static_cast<int>(eo->owner.size());
+      std::vector<double> shard_load(num_shards, 0.0);
+      for (int s = 0; s < num_shards; ++s) {
+        shard_load[s] = 1.0 + static_cast<double>(CycleClock::ToNs(
+                                  eo->busy_ticks[s].load(
+                                      std::memory_order_relaxed)));
+      }
+      for (Worker* victim : victims) {
+        kicks.push_back(victim->input.get());
+        std::vector<int> shards;
+        for (int s = 0; s < num_shards; ++s) {
+          if (eo->owner[s].load(std::memory_order_relaxed) ==
+                  victim->index &&
+              in_transition_.count({op, s}) == 0) {
+            shards.push_back(s);
+          }
+        }
+        if (shards.empty()) continue;
+        // NUMA preference: evacuate onto the victim's own package when any
+        // active worker lives there (keeps the shard's consumers near its
+        // producers' memory); fall back to the full active set.
+        std::vector<bool> dest = allowed;
+        const int victim_pkg = PackageOf(victim->pinned_cpu);
+        if (victim_pkg >= 0) {
+          std::vector<bool> same(count, false);
+          bool any_same = false;
+          for (int i = 0; i < count; ++i) {
+            if (allowed[i] &&
+                PackageOf(worker_at(op, i)->pinned_cpu) == victim_pkg) {
+              same[i] = true;
+              any_same = true;
+            }
+          }
+          if (any_same) dest = std::move(same);
+        }
+        auto moves = balance::PlanEvacuation(shards, shard_load, &slot_load,
+                                             victim->index, dest, &capacity);
+        if (!moves.ok()) continue;  // No destination this round; retry.
+        for (const auto& mv : moves.value()) {
+          planned.push_back({op, mv.shard, mv.to});
+        }
+      }
+    }
+  }
+  for (const auto& mv : planned) {
+    // Losing a race (shard became in-transition meanwhile) just skips a
+    // round; the pump replans from live ownership next tick.
+    (void)ReassignShard(mv.op, mv.shard, mv.to);
+  }
+  // Victims may be idle-blocked: every pump wakes them to re-run the
+  // retire-ready test.
+  for (MpscChannel* ch : kicks) ch->Kick();
+  return any_retiring;
+}
+
+bool NativeRuntime::RetireReady(Worker* w) {
+  std::lock_guard<std::mutex> lock(ctrl_mu_);
+  if (teardown_) return true;
+  if (!w->hold.empty()) return false;
+  ElasticOp* eo = elastic_ops_[w->op].get();
+  const int num_shards = static_cast<int>(eo->owner.size());
+  for (int s = 0; s < num_shards; ++s) {
+    if (eo->owner[s].load(std::memory_order_relaxed) == w->index) {
+      return false;
+    }
+  }
+  for (auto& [id, m] : migrations_) {
+    if (m->op == w->op && (m->from == w->index || m->to == w->index)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 void NativeRuntime::StartPrecopy(Worker* w, int64_t label_id) {
@@ -684,7 +1070,7 @@ void NativeRuntime::BeginLabeling(int64_t label_id) {
       // (channel exhausted), so the backlog is consumed before the shard
       // is extracted.
       m->phase = MigPhase::kDrained;
-      Worker* src = workers_[m->op][m->from].get();
+      Worker* src = worker_at(m->op, m->from);
       if (src->exited) exited_src = src;
     }
     ctrl_version_.fetch_add(1, std::memory_order_release);
@@ -692,9 +1078,10 @@ void NativeRuntime::BeginLabeling(int64_t label_id) {
   ctrl_cv_.notify_all();
   // Every worker is a potential label debtor (it may feed the migrating
   // operator) and the old owner may be idle-blocked: kick them all awake.
-  for (auto& op_workers : workers_) {
-    for (auto& w : op_workers) w->input->Kick();
-  }
+  // ForEachWorker acquire-loads the slot counts, so workers grown after
+  // this command was published are covered (they owe no duty for it —
+  // their cmd_cursor starts past it — but the wake-up is harmless).
+  ForEachWorker([](Worker* w) { w->input->Kick(); });
   if (exited_src != nullptr) DrainComplete(exited_src, label_id);
 }
 
@@ -753,7 +1140,7 @@ void NativeRuntime::MigrationReady(int64_t label_id) {
     if (it == migrations_.end()) return;
     Migration* m = it->second.get();
     m->phase = MigPhase::kReady;
-    Worker* dst = workers_[m->op][m->to].get();
+    Worker* dst = worker_at(m->op, m->to);
     if (dst->exited) {
       exited_dst = dst;  // Quiescent: install from this thread.
     } else {
@@ -795,6 +1182,7 @@ void NativeRuntime::InstallMigratedShard(Worker* w, int64_t label_id) {
   elastic_ops_[m->op]->held[m->shard].store(0, std::memory_order_release);
   const OperatorSpec& spec = topology_->spec(w->op);
   for (const Tuple& t : replay) ProcessTuple(w, spec, t);
+  PublishWorkerCounters(w);
   {
     std::lock_guard<std::mutex> lock(ctrl_mu_);
     in_transition_.erase({m->op, m->shard});
@@ -802,6 +1190,9 @@ void NativeRuntime::InstallMigratedShard(Worker* w, int64_t label_id) {
     pause_ns_.push_back(backend_->now() - m->flip_at);
   }
   ctrl_cv_.notify_all();  // Epilogue waiters and the driver re-check.
+  // A retiring old owner may be idle-blocked in Pop with this migration
+  // the last thing referencing it: wake it to re-run its exit test.
+  worker_at(m->op, m->from)->input->Kick();
 }
 
 void NativeRuntime::WorkerEpilogue(Worker* w) {
@@ -839,25 +1230,94 @@ void NativeRuntime::WorkerEpilogue(Worker* w) {
   }
 }
 
+void NativeRuntime::UpdateWorkerSpeeds(OperatorId op, ElasticOp* eo) {
+  const int count = worker_count_[op].load(std::memory_order_relaxed);
+  std::vector<double> observed(count, -1.0);
+  double max_observed = 0.0;
+  for (int i = 0; i < count; ++i) {
+    Worker* w = worker_at(op, i);
+    const int64_t busy = w->pub_busy_ns.load(std::memory_order_relaxed);
+    const int64_t proc = w->pub_processed.load(std::memory_order_relaxed);
+    const int64_t dbusy = busy - eo->prev_worker_busy[i];
+    const int64_t dproc = proc - eo->prev_worker_proc[i];
+    eo->prev_worker_busy[i] = busy;
+    eo->prev_worker_proc[i] = proc;
+    if (dbusy >= kSpeedMinBusyNs && dproc > 0) {
+      observed[i] =
+          static_cast<double>(dproc) / static_cast<double>(dbusy);
+      max_observed = std::max(max_observed, observed[i]);
+    }
+  }
+  if (max_observed <= 0.0) return;  // Nothing measured this window.
+  for (int i = 0; i < count; ++i) {
+    double& ewma = eo->speed_ewma[i];
+    if (observed[i] > 0.0) {
+      const double rel = observed[i] / max_observed;
+      ewma = ewma > 0.0 ? kSpeedAlpha * rel + (1.0 - kSpeedAlpha) * ewma
+                        : rel;
+      ewma = std::max(1e-3, std::min(1.0, ewma));
+    } else if (ewma > 0.0) {
+      // Unobserved this window: drift toward nominal rather than trusting
+      // a stale straggler verdict forever (idleness is not slowness).
+      ewma += kSpeedRecovery * (1.0 - ewma);
+    }
+  }
+}
+
 void NativeRuntime::BalanceTick() {
+  const bool wall_busy = config_->native.balance.use_wall_busy;
   for (OperatorId op = 0;
        op < static_cast<OperatorId>(elastic_ops_.size()); ++op) {
     ElasticOp* eo = elastic_ops_[op].get();
     if (eo == nullptr) continue;
-    const int slots = num_workers(op);
+    const int slots = worker_count_[op].load(std::memory_order_acquire);
     if (slots <= 1) continue;
+    std::vector<double> capacity(slots, 1.0);
+    std::vector<bool> frozen(slots, false);
+    {
+      // Measured capacities + lifecycle flags come from the control board;
+      // the shard loads below are plain atomic reads.
+      std::lock_guard<std::mutex> lock(ctrl_mu_);
+      UpdateWorkerSpeeds(op, eo);
+      for (int i = 0; i < slots; ++i) {
+        Worker* w = worker_at(op, i);
+        frozen[i] =
+            w->retiring.load(std::memory_order_relaxed) || w->exited;
+        if (eo->speed_ewma[i] > 0.0) capacity[i] = eo->speed_ewma[i];
+      }
+    }
     const int num_shards = static_cast<int>(eo->owner.size());
     std::vector<double> load(num_shards);
     std::vector<int> assignment(num_shards);
     for (int s = 0; s < num_shards; ++s) {
-      const int64_t cur = eo->processed[s].load(std::memory_order_relaxed);
-      load[s] = static_cast<double>(cur - eo->balance_prev[s]);
-      eo->balance_prev[s] = cur;
       assignment[s] = eo->owner[s].load(std::memory_order_relaxed);
+      if (wall_busy) {
+        // Shard load in speed-independent work units: measured busy time
+        // on the owner, scaled by the owner's measured speed (a slow
+        // worker needs more wall time for the same work — without the
+        // scaling, shards would look heavier merely for sitting on a
+        // straggler, double-counting what the capacity vector already
+        // models).
+        const int64_t cur = CycleClock::ToNs(
+            eo->busy_ticks[s].load(std::memory_order_relaxed));
+        const double delta =
+            static_cast<double>(cur - eo->balance_prev_busy[s]);
+        eo->balance_prev_busy[s] = cur;
+        const int owner = assignment[s];
+        load[s] = delta * (owner >= 0 && owner < slots ? capacity[owner]
+                                                       : 1.0);
+      } else {
+        // Legacy signal: raw processed-count deltas (flat per-tuple cost
+        // assumption; native.balance.use_wall_busy=false).
+        const int64_t cur =
+            eo->processed[s].load(std::memory_order_relaxed);
+        load[s] = static_cast<double>(cur - eo->balance_prev[s]);
+        eo->balance_prev[s] = cur;
+      }
     }
     const auto moves = balance::PlanMoves(
-        load, &assignment, slots, config_->native.balance_theta,
-        config_->native.balance_max_moves);
+        load, &assignment, slots, config_->native.balance.theta,
+        config_->native.balance.max_moves, &frozen, &capacity);
     for (const auto& mv : moves) {
       // Busy shards (already in transition / draining endpoints) just skip
       // a round; the next tick replans from fresh load deltas.
@@ -867,7 +1327,64 @@ void NativeRuntime::BalanceTick() {
 }
 
 // ---------------------------------------------------------------------------
-// Accessors.
+// Telemetry.
+// ---------------------------------------------------------------------------
+
+TelemetrySnapshot NativeRuntime::SampleTelemetry() const {
+  TelemetrySnapshot snap;
+  snap.sampled_at = backend_->now();
+  std::lock_guard<std::mutex> lock(ctrl_mu_);
+  for (OperatorId op = 0; op < static_cast<OperatorId>(workers_.size());
+       ++op) {
+    const int count = worker_count_[op].load(std::memory_order_acquire);
+    ElasticOp* eo = elastic_ == false ? nullptr : elastic_ops_[op].get();
+    for (int i = 0; i < count; ++i) {
+      Worker* w = workers_[op][i].get();
+      WorkerTelemetry wt;
+      wt.op = op;
+      wt.index = i;
+      wt.busy_ns = w->pub_busy_ns.load(std::memory_order_relaxed);
+      wt.processed = w->pub_processed.load(std::memory_order_relaxed);
+      wt.sink_tuples = w->pub_sink.load(std::memory_order_relaxed);
+      wt.speed = eo != nullptr ? eo->speed_ewma[i] : 0.0;
+      wt.pinned_cpu = w->pinned_cpu;
+      wt.retiring = w->retiring.load(std::memory_order_relaxed);
+      wt.exited = w->exited;
+      snap.total_processed += wt.processed;
+      snap.sink_count += wt.sink_tuples;
+      snap.total_busy_ns += wt.busy_ns;
+      snap.workers.push_back(wt);
+    }
+    if (eo != nullptr) {
+      const int num_shards = static_cast<int>(eo->owner.size());
+      for (int s = 0; s < num_shards; ++s) {
+        ShardTelemetry st;
+        st.op = op;
+        st.shard = s;
+        st.owner = eo->owner[s].load(std::memory_order_relaxed);
+        st.busy_ns = CycleClock::ToNs(
+            eo->busy_ticks[s].load(std::memory_order_relaxed));
+        st.processed = eo->processed[s].load(std::memory_order_relaxed);
+        snap.shards.push_back(st);
+      }
+    }
+  }
+  for (const auto& s : sources_) {
+    SourceTelemetry st;
+    st.op = s->op;
+    st.index = s->index;
+    st.emitted = s->pub_generated.load(std::memory_order_relaxed);
+    st.pinned_cpu = s->pinned_cpu;
+    snap.source_emitted += st.emitted;
+    snap.sources.push_back(st);
+  }
+  snap.reassignments_done = reassignments_done_;
+  snap.migrations_in_flight = static_cast<int64_t>(migrations_.size());
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Accessors (deprecated forwarders; see the header's liveness contract).
 // ---------------------------------------------------------------------------
 
 int NativeRuntime::shard_owner(OperatorId op, ShardId shard) const {
@@ -903,31 +1420,26 @@ int64_t NativeRuntime::labels_routed() const {
 
 int64_t NativeRuntime::order_violations() const {
   int64_t total = 0;
-  for (const auto& op_workers : workers_) {
-    for (const auto& w : op_workers) total += w->order_violations;
-  }
+  ForEachWorker([&total](Worker* w) { total += w->order_violations; });
   return total;
 }
 
 int64_t NativeRuntime::total_processed() const {
   int64_t total = 0;
-  for (const auto& op_workers : workers_) {
-    for (const auto& w : op_workers) total += w->processed;
-  }
+  ForEachWorker([&total](Worker* w) { total += w->processed; });
   return total;
 }
 
 int64_t NativeRuntime::processed(OperatorId op) const {
   int64_t total = 0;
-  for (const auto& w : workers_.at(op)) total += w->processed;
+  const int count = worker_count_.at(op).load(std::memory_order_acquire);
+  for (int i = 0; i < count; ++i) total += workers_[op][i]->processed;
   return total;
 }
 
 int64_t NativeRuntime::sink_count() const {
   int64_t total = 0;
-  for (const auto& op_workers : workers_) {
-    for (const auto& w : op_workers) total += w->sink_tuples;
-  }
+  ForEachWorker([&total](Worker* w) { total += w->sink_tuples; });
   return total;
 }
 
@@ -939,38 +1451,46 @@ int64_t NativeRuntime::source_emitted() const {
 
 int64_t NativeRuntime::push_blocks() const {
   int64_t total = 0;
-  for (const auto& op_workers : workers_) {
-    for (const auto& w : op_workers) total += w->input->push_blocks();
-  }
+  ForEachWorker([&total](Worker* w) { total += w->input->push_blocks(); });
   return total;
 }
 
 int64_t NativeRuntime::pop_waits() const {
   int64_t total = 0;
-  for (const auto& op_workers : workers_) {
-    for (const auto& w : op_workers) total += w->input->pop_waits();
-  }
+  ForEachWorker([&total](Worker* w) { total += w->input->pop_waits(); });
   return total;
 }
 
 int64_t NativeRuntime::batches_pushed() const {
   int64_t total = 0;
-  for (const auto& op_workers : workers_) {
-    for (const auto& w : op_workers) total += w->input->batches_pushed();
-  }
+  ForEachWorker([&total](Worker* w) { total += w->input->batches_pushed(); });
   return total;
 }
 
 int NativeRuntime::num_workers(OperatorId op) const {
-  return static_cast<int>(workers_.at(op).size());
+  (void)workers_.at(op);  // Bounds check.
+  return worker_count_[op].load(std::memory_order_acquire);
 }
 
 int NativeRuntime::num_shards(OperatorId op) const {
   return partitions_.at(op)->num_shards();
 }
 
+ShardId NativeRuntime::shard_of_key(OperatorId op, uint64_t key) const {
+  return partitions_.at(op)->ShardOf(key);
+}
+
+int NativeRuntime::worker_of_shard(OperatorId op, ShardId shard) const {
+  if (elastic_) {
+    return elastic_ops_.at(op)->owner.at(shard).load(
+        std::memory_order_acquire);
+  }
+  return partitions_.at(op)->ExecutorOfShard(shard);
+}
+
 ProcessStateStore* NativeRuntime::worker_store(OperatorId op, int worker) {
-  return &workers_.at(op).at(worker)->store;
+  ELASTICUTOR_CHECK(worker >= 0 && worker < num_workers(op));
+  return &workers_.at(op)[worker]->store;
 }
 
 }  // namespace exec

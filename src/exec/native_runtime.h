@@ -6,7 +6,7 @@
 //   source threads ──batches──▶ worker threads ──batches──▶ ... ──▶ sinks
 //
 // * One thread per source executor and per worker slot of each non-source
-//   operator (NativeRuntimeOptions::workers_per_operator).
+//   operator (NativeOptions::workers_per_operator).
 // * Tuples travel in pooled micro-batches (exec/batch_pool.h) over bounded
 //   MPSC channels (exec/mpsc_channel.h) — the native incarnation of the
 //   simulated data path's channel micro-batching; bounded channels give the
@@ -70,13 +70,53 @@
 // processing the shard while `owner != my_index` tuples drain — the hold
 // test is `held && owner == my_index`, destination-only on purpose.
 //
+// Resource-control plane (exec/telemetry.h + exec/worker_pool.h; the
+// runtime implements both and Engine binds them to the backend):
+//
+// * Measurement. Every worker accumulates *measured wall-busy* cycle-clock
+//   deltas around each tuple, thread-locally, and publishes them (plus
+//   processed/sink counts) to per-worker atomics at batch boundaries and to
+//   a per-shard atomic per tuple. SampleTelemetry() is therefore a
+//   lock-free-read snapshot that is live-safe and exact after
+//   WaitDrained(). The balance tick feeds the per-shard busy deltas and
+//   per-worker measured speeds (EWMA of processed/busy, normalized to the
+//   fastest worker) into the capacity-aware balance::PlanMoves — a worker
+//   pinned to a busy core sheds shards even when raw tuple counts look
+//   even (set native.balance.use_wall_busy=false for the old
+//   processed-count diff).
+//
+// * Actuation. GrowWorkers(op, n) adds threads at runtime: each new worker
+//   takes a pre-reserved slot (native.max_workers_per_operator), registers
+//   as a producer on every downstream channel (MpscChannel::AddProducer)
+//   and becomes a routing destination the moment the slot count's release
+//   store lands; producers discover the new channels lazily (EmitTo
+//   re-syncs its ports when it sees an out-of-range worker index, and
+//   every locked control sweep re-syncs). ShrinkWorkers(op, n) is the
+//   native RemoveCore: victims are flagged `retiring` (never again a
+//   migration destination), a retirement pump evacuates their shards
+//   through the ordinary labeling-barrier protocol above, and the thread
+//   exits only when it owns no shard and no in-flight migration references
+//   it — evacuation-before-exit, so zero tuples are lost or reordered.
+//
+// * Placement. With native.pinning.enabled each thread is pinned
+//   round-robin over the online CPU list (package-major when numa_aware,
+//   so an operator's workers — and the shards they own — fill one socket
+//   before spilling); the retirement pump prefers same-package
+//   destinations. Pinning is a hint: a failed pin runs unpinned.
+//
 // Threading contract: worker state (stores, rngs, counters) is strictly
 // thread-local while running; cross-thread communication happens only
 // through the channels and the control board (ctrl_mu_ + atomics above).
-// Aggregate accessors (total_processed() etc.) are valid after
-// WaitDrained() returned — they read joined threads' counters; the few
-// accessors documented as live (reassignments_done(), shard_owner()) are
-// safe while running.
+// Introspection surfaces:
+//  * SampleTelemetry() — live (fresh to one micro-batch) and exact after
+//    WaitDrained(); the canonical surface.
+//  * The legacy aggregate accessors (total_processed() etc.) are thin
+//    deprecated forwarders kept for one release: valid only after
+//    WaitDrained() returned (they read joined threads' plain counters).
+//  * reassignments_done(), shard_owner(), migrations_in_flight(),
+//    num_workers() are live-safe.
+//  * Sink latency histograms merge into EngineMetrics at WaitDrained()
+//    (Engine::LatencyHistogram() is post-drain on this backend).
 #pragma once
 
 #include <atomic>
@@ -91,6 +131,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "engine/engine_config.h"
@@ -101,20 +142,22 @@
 #include "exec/label_barrier.h"
 #include "exec/mpsc_channel.h"
 #include "exec/native_backend.h"
+#include "exec/telemetry.h"
+#include "exec/worker_pool.h"
 #include "state/migration_engine.h"
 #include "state/state_store.h"
 
 namespace elasticutor {
 namespace exec {
 
-class NativeRuntime {
+class NativeRuntime : public TelemetrySource, public WorkerPool {
  public:
   /// `migration` may be null for the static paradigm; the elastic paradigm
   /// requires it (checked in Setup).
   NativeRuntime(const Topology* topology, const EngineConfig* config,
                 NativeBackend* backend, MigrationEngine* migration,
                 EngineMetrics* metrics);
-  ~NativeRuntime();
+  ~NativeRuntime() override;
 
   NativeRuntime(const NativeRuntime&) = delete;
   NativeRuntime& operator=(const NativeRuntime&) = delete;
@@ -125,8 +168,9 @@ class NativeRuntime {
   Status Setup();
 
   /// Launches all threads (and the periodic balance tick when
-  /// native.balance_period_ns is set). Sources run until their
-  /// SourceSpec::max_tuples budget is exhausted (0 = until StopSources).
+  /// native.balance.period_ns is set), pinning them when
+  /// native.pinning.enabled. Sources run until their SourceSpec::max_tuples
+  /// budget is exhausted (0 = until StopSources).
   void Start();
 
   /// Asks sources to stop after their current tuple; the dataflow then
@@ -134,17 +178,37 @@ class NativeRuntime {
   void StopSources();
 
   /// Blocks until every thread has exited, then merges per-worker counters
-  /// into EngineMetrics. While elastic migrations or trace sources need the
-  /// timer wheel, pumps the backend so timers keep firing. Idempotent.
+  /// and sink-latency histograms into EngineMetrics. While elastic
+  /// migrations or trace sources need the timer wheel, pumps the backend so
+  /// timers keep firing. Idempotent.
   void WaitDrained();
+
+  // ---- Resource-control plane ----
+  /// Live point-in-time sample (see the liveness contract above and in
+  /// exec/telemetry.h). Lock-free counter reads plus one ctrl_mu_ hold for
+  /// the lifecycle flags and measured speeds.
+  TelemetrySnapshot SampleTelemetry() const override;
+
+  /// Adds `n` worker threads to `op` at runtime (elastic paradigm, after
+  /// Start, while some producer is still open, within the operator's slot
+  /// reservation). The new workers start shard-less; the balancer or the
+  /// caller moves load onto them.
+  Status GrowWorkers(OperatorId op, int n) override;
+
+  /// Retires the `n` highest-index active workers of `op` by evacuating
+  /// every shard they own over the labeling-barrier protocol; each victim
+  /// thread exits only after its last shard's drain finalized (the native
+  /// RemoveCore). Asynchronous: returns once the evacuation is underway.
+  Status ShrinkWorkers(OperatorId op, int n) override;
 
   // ---- Elasticity (driver thread; elastic paradigm only) ----
   /// Initiates the consistent live reassignment of `shard` of operator
   /// `op` to worker thread `to_worker`. Asynchronous: returns once the move
   /// is posted (kRequested). No-op OK when the shard already lives there;
-  /// fails while another move of the same shard is in flight. Callable any
-  /// time between Start() and WaitDrained() — a shard whose worker threads
-  /// already exited moves synchronously.
+  /// fails while another move of the same shard is in flight, and when the
+  /// destination is retiring. Callable any time between Start() and
+  /// WaitDrained() — a shard whose worker threads already exited moves
+  /// synchronously.
   Status ReassignShard(OperatorId op, ShardId shard, int to_worker);
 
   /// Current owner worker of a shard (acquire load; callable while live).
@@ -159,7 +223,9 @@ class NativeRuntime {
   /// Label markers pushed by producers over the runtime's lifetime.
   int64_t labels_routed() const;
 
-  // ---- Aggregates (valid after WaitDrained) ----
+  // ---- Aggregates: deprecated forwarders (valid after WaitDrained) ----
+  // Prefer SampleTelemetry(): same numbers, one surface, live-safe. These
+  // read the joined threads' plain counters and are kept for one release.
   int64_t total_processed() const;
   int64_t sink_count() const;
   int64_t source_emitted() const;
@@ -175,8 +241,15 @@ class NativeRuntime {
   /// Batches ever heap-allocated by the pool (flat in steady state).
   int64_t batches_allocated() const { return pool_.allocated(); }
 
-  int num_workers(OperatorId op) const;
+  /// Live worker-slot count (grown slots included). WorkerPool override.
+  int num_workers(OperatorId op) const override;
   int num_shards(OperatorId op) const;
+  /// Shard a key hashes to (the same two-tier mapping producers use;
+  /// benches derive skew sets from it).
+  ShardId shard_of_key(OperatorId op, uint64_t key) const;
+  /// Worker currently routing the shard, on either paradigm: the live
+  /// owner atomic under elastic, the fixed partition map under static.
+  int worker_of_shard(OperatorId op, ShardId shard) const;
   /// Per-worker state store (equivalence tests read per-key aggregates).
   ProcessStateStore* worker_store(OperatorId op, int worker);
 
@@ -185,7 +258,9 @@ class NativeRuntime {
 
   /// One output route of a producer thread: the partial batches it is
   /// accumulating toward each worker of one downstream operator. Owned and
-  /// touched only by the producer's own thread.
+  /// touched only by the producer's own thread; grown destination workers
+  /// are appended by SyncProducerPorts under ctrl_mu_ (called only from
+  /// the producer's own thread).
   struct ProducerPort {
     OperatorId to_op = -1;
     OperatorPartition* part = nullptr;
@@ -219,6 +294,24 @@ class NativeRuntime {
     int64_t processed = 0;
     int64_t sink_tuples = 0;
     int64_t order_violations = 0;
+    /// Measured wall-busy cycle ticks inside operator logic (thread-local;
+    /// see exec/telemetry.h CycleClock).
+    int64_t busy_ticks = 0;
+    /// Sink-side tuple latency (created_at -> sink), merged into
+    /// EngineMetrics after the thread joined.
+    Histogram latency;
+    /// Live telemetry: published by the worker's own thread at batch
+    /// boundaries (relaxed stores of the plain counters above), read
+    /// lock-free by SampleTelemetry and the balance tick.
+    std::atomic<int64_t> pub_processed{0};
+    std::atomic<int64_t> pub_sink{0};
+    std::atomic<int64_t> pub_busy_ns{0};
+    /// ShrinkWorkers marked this worker for retirement (set under ctrl_mu_,
+    /// read lock-free as the worker's fast exit gate). Sticky: a retired
+    /// worker is never again a valid migration destination.
+    std::atomic<bool> retiring{false};
+    /// CPU this thread was pinned to (-1 = unpinned).
+    int pinned_cpu = -1;
     /// Post-flip tuples of shards whose state has not arrived yet, in
     /// arrival order (replayed at install).
     std::unordered_map<ShardId, std::vector<Tuple>> hold;
@@ -238,6 +331,8 @@ class NativeRuntime {
     int index = 0;
     Rng rng{0, 0};
     int64_t generated = 0;
+    std::atomic<int64_t> pub_generated{0};  // Live telemetry.
+    int pinned_cpu = -1;
     // Trace-mode pacing: the backend timer sets `fired`, the source thread
     // waits on the condvar (with a poll fallback so StopSources is prompt).
     std::mutex pace_mu;
@@ -252,9 +347,17 @@ class NativeRuntime {
   struct ElasticOp {
     std::vector<std::atomic<int32_t>> owner;    // Shard -> worker index.
     std::vector<std::atomic<uint8_t>> held;     // Shard state in flight.
-    std::vector<std::atomic<int64_t>> processed;  // Balancer load signal.
-    std::vector<int64_t> balance_prev;          // Driver-local snapshots.
-    int open_producers = 0;                     // Guarded by ctrl_mu_.
+    std::vector<std::atomic<int64_t>> processed;   // Per-shard tuple counts.
+    std::vector<std::atomic<int64_t>> busy_ticks;  // Per-shard wall-busy.
+    // Driver-local balance snapshots (sized to the slot reservation).
+    std::vector<int64_t> balance_prev;       // Last processed sample.
+    std::vector<int64_t> balance_prev_busy;  // Last busy-ns sample.
+    /// Measured relative per-worker speed EWMA in [0, 1] (1 = fastest;
+    /// 0 = never observed, treated as nominal). Guarded by ctrl_mu_.
+    std::vector<double> speed_ewma;
+    std::vector<int64_t> prev_worker_busy;   // Speed-EWMA deltas.
+    std::vector<int64_t> prev_worker_proc;
+    int open_producers = 0;                  // Guarded by ctrl_mu_.
   };
 
   enum class MigPhase {
@@ -302,6 +405,9 @@ class NativeRuntime {
   void SourceLoop(Source* s);
   void ProcessTuple(Worker* w, const OperatorSpec& spec, const Tuple& t);
   void CheckArrivalOrder(Worker* w, ShardId shard, const Tuple& t);
+  /// Relaxed stores of the worker's plain counters into its pub_* atomics
+  /// (called at batch boundaries and after held-tuple replays).
+  void PublishWorkerCounters(Worker* w);
 
   // ---- Elastic control plane ----
   /// Producer-side control poll: push label markers for commands published
@@ -331,16 +437,30 @@ class NativeRuntime {
   /// Worker shutdown: wait until no in-flight migration references this
   /// worker (its duties may still be pending while its channel is drained).
   void WorkerEpilogue(Worker* w);
-  /// Driver balance tick: per-shard processed deltas -> PlanMoves ->
-  /// ReassignShard.
+  /// Driver balance tick: per-shard measured wall-busy deltas (or
+  /// processed-count deltas when use_wall_busy is off) + per-worker
+  /// measured capacities -> capacity-aware PlanMoves -> ReassignShard.
   void BalanceTick();
+  /// Updates the per-worker speed EWMAs of one operator from the published
+  /// busy/processed counters. Caller holds ctrl_mu_.
+  void UpdateWorkerSpeeds(OperatorId op, ElasticOp* eo);
+  /// Retirement pump (backend timer, 1 ms): replans the evacuation of every
+  /// retiring worker's remaining shards (stragglers appear when an
+  /// in-flight move lands on a victim after the shrink). Returns true while
+  /// any retiring worker has not exited.
+  bool PumpRetirement();
+  /// The retiring worker's exit test: owns no shard, holds no tuples, and
+  /// no in-flight migration references it (the channel then provably
+  /// contains nothing the protocol still needs — see ShrinkWorkers).
+  bool RetireReady(Worker* w);
   /// True while WaitDrained must keep pumping the timer wheel for
   /// driver-driven migrations (moves requested after every worker exited).
   bool MigrationsPending() const;
 
   /// Routes one tuple into the port's partial batch for its destination
   /// worker, pushing the batch when full. Returns false iff the channel was
-  /// aborted (emergency teardown).
+  /// aborted (emergency teardown). Re-syncs the producer's ports when the
+  /// routing table names a grown worker this producer has not seen yet.
   bool EmitTo(Producer* p, ProducerPort* port, const Tuple& t);
   /// Pushes every non-empty partial batch (producer idle or finishing).
   void FlushPorts(std::vector<ProducerPort>* ports);
@@ -351,6 +471,11 @@ class NativeRuntime {
   void CloseProducerPorts(Producer* p);
   /// Wires the producer's ports toward every downstream operator of `op`.
   void BuildPorts(OperatorId op, std::vector<ProducerPort>* ports);
+  /// Appends channels of workers grown since the ports were built. Caller
+  /// holds ctrl_mu_ (or is single-threaded Setup); must run in every locked
+  /// control sweep so a producer's port vector always covers every worker
+  /// a label command can name.
+  void SyncProducerPorts(Producer* p);
   /// Collects the label duties published since the producer's last sweep.
   /// Caller holds ctrl_mu_; the pushes happen outside it (a Push may block
   /// on a full channel whose consumer is itself acquiring ctrl_mu_).
@@ -365,6 +490,27 @@ class NativeRuntime {
   bool SourceWaitUntil(Source* s, SimTime target);
 
   int WorkerCount(OperatorId op) const;
+  /// Worker-slot reservation of `op` (>= the initial worker count).
+  int MaxSlots(OperatorId op) const;
+  /// Live worker of `op` at `index` (< num_workers(op)).
+  Worker* worker_at(OperatorId op, int index) const {
+    return workers_[op][index].get();
+  }
+  /// Applies `f` to every live worker (acquire-loads the slot counts, so
+  /// grown workers are covered from the moment they are visible).
+  template <typename F>
+  void ForEachWorker(F&& f) const {
+    for (OperatorId op = 0; op < static_cast<OperatorId>(workers_.size());
+         ++op) {
+      const int count = worker_count_[op].load(std::memory_order_acquire);
+      for (int i = 0; i < count; ++i) f(workers_[op][i].get());
+    }
+  }
+  /// Next CPU of the pinning plan (-1 when pinning is off). Caller holds
+  /// ctrl_mu_ or is in single-threaded Start.
+  int NextPinCpu();
+  /// Package of a pinned CPU (-1 unknown / unpinned).
+  int PackageOf(int cpu) const;
 
   const Topology* topology_;
   const EngineConfig* config_;
@@ -381,7 +527,14 @@ class NativeRuntime {
   bool has_timed_work_ = false;
 
   std::vector<std::unique_ptr<OperatorPartition>> partitions_;  // Per op.
-  std::vector<std::vector<std::unique_ptr<Worker>>> workers_;   // Per op.
+  /// Worker slots, per op. Sized to MaxSlots(op) at Setup and never
+  /// reallocated: slot i is written once (Setup or GrowWorkers, before the
+  /// count's release store) and read only at indices below the acquired
+  /// count — the fixed array is what makes runtime growth race-free
+  /// against the lock-free readers (EmitTo's routing, the kick-all loop).
+  std::vector<std::vector<std::unique_ptr<Worker>>> workers_;
+  /// Live worker count per op (release store after the slot is filled).
+  std::vector<std::atomic<int>> worker_count_;
   std::vector<std::unique_ptr<Source>> sources_;
   std::vector<std::unique_ptr<ElasticOp>> elastic_ops_;         // Per op.
 
@@ -400,6 +553,15 @@ class NativeRuntime {
   int64_t labels_routed_ = 0;
   std::vector<SimDuration> pause_ns_;
   bool teardown_ = false;
+  /// Origin stamps continue Setup's numbering for grown workers.
+  uint32_t next_origin_ = 1;
+  /// Retirement pump armed (one periodic timer serves all operators).
+  bool retire_pump_armed_ = false;
+  /// Pinning plan: online CPUs in assignment order (package-major when
+  /// numa_aware) and the round-robin cursor.
+  std::vector<int> pin_cpus_;
+  std::vector<int> pin_packages_;  // Parallel to pin_cpus_.
+  size_t next_pin_ = 0;
 
   std::atomic<int> live_threads_{0};
   std::atomic<bool> stop_sources_{false};

@@ -1,0 +1,49 @@
+// Resource-control plane, actuation half: WorkerPool lets a controller
+// resize an operator's worker set at runtime — the native analog of
+// ElasticExecutor::AddCore/RemoveCore.
+//
+//  * GrowWorkers(op, n): n new threads join the operator's pool immediately
+//    and become valid ReassignShard destinations (they start empty; the
+//    balancer, or the caller, moves load onto them).
+//  * ShrinkWorkers(op, n): the n highest-index active workers are marked
+//    retiring. Every shard they own is evacuated through the ordinary
+//    labeling-barrier migration protocol; a retiring thread exits only once
+//    its last shard's drain has finalized and no in-flight migration
+//    references it (evacuation-before-exit). Retiring workers are rejected
+//    as migration destinations from the moment the call returns, so the
+//    balancer can never re-fill a draining thread. The call is
+//    asynchronous: it returns once the evacuation is underway.
+//
+// Only the native backend actuates; the simulator's analog is
+// AddCore/RemoveCore on the elastic executors (per-core, not per-thread),
+// so ExecutionBackend::worker_pool() returns null under kSim.
+#pragma once
+
+#include "common/status.h"
+#include "engine/ids.h"
+
+namespace elasticutor {
+namespace exec {
+
+class WorkerPool {
+ public:
+  virtual ~WorkerPool() = default;
+
+  /// Adds `n` worker threads to operator `op`. Fails when the paradigm is
+  /// static (no live routing to the new workers), before Start(), when the
+  /// operator's slot reservation (max_workers_per_operator) is exhausted,
+  /// or when every producer already closed (nothing left to route).
+  virtual Status GrowWorkers(OperatorId op, int n) = 0;
+
+  /// Retires the `n` highest-index active workers of `op` via shard
+  /// evacuation. Fails when fewer than n+1 active workers remain (the pool
+  /// never shrinks to zero), or under the static paradigm.
+  virtual Status ShrinkWorkers(OperatorId op, int n) = 0;
+
+  /// Live worker-slot count of `op` (grown slots included; retiring workers
+  /// still count until their threads exit).
+  virtual int num_workers(OperatorId op) const = 0;
+};
+
+}  // namespace exec
+}  // namespace elasticutor

@@ -180,6 +180,46 @@ INSTANTIATE_TEST_SUITE_P(AllParadigms, MicroEngineTest,
                                            Paradigm::kResourceCentric,
                                            Paradigm::kElastic));
 
+TEST(EngineTest, SimBackendServesTelemetryAndHasNoWorkerPool) {
+  // The resource-control plane is backend-independent on the measurement
+  // side only: the sim adapter fills WorkerTelemetry from ExecutorMetrics,
+  // while actuation (worker_pool) is native-only — simulated scaling is
+  // AddCore/RemoveCore on the elastic executors.
+  MicroOptions options;
+  options.generator_executors = 2;
+  options.calculator_executors = 4;
+  options.shards_per_executor = 4;
+  auto workload = BuildMicroWorkload(options, 3);
+  EngineConfig config;
+  config.paradigm = Paradigm::kElastic;
+  config.num_nodes = 4;
+  config.cores_per_node = 4;
+  Engine engine(workload->topology, config);
+  ASSERT_TRUE(engine.Setup().ok());
+  EXPECT_EQ(engine.worker_pool(), nullptr);
+  engine.Start();
+  engine.RunFor(Seconds(2));
+
+  const exec::TelemetrySnapshot snap = engine.SampleTelemetry();
+  EXPECT_EQ(snap.sampled_at, engine.exec()->now());
+  ASSERT_EQ(snap.workers.size(), 4u);
+  ASSERT_EQ(snap.sources.size(), 2u);
+  EXPECT_GT(snap.source_emitted, 0);
+  EXPECT_GT(snap.total_processed, 0);
+  EXPECT_GT(snap.total_busy_ns, 0);
+  EXPECT_EQ(snap.sink_count, engine.metrics()->sink_count());
+  int64_t worker_processed = 0;
+  for (const auto& wt : snap.workers) {
+    EXPECT_EQ(wt.op, workload->calculator);
+    EXPECT_EQ(wt.pinned_cpu, -1);  // No threads to pin in the simulator.
+    EXPECT_FALSE(wt.retiring);
+    EXPECT_GT(wt.speed, 0.0);  // TaskSpeedOn: 1.0 nominal, always > 0.
+    worker_processed += wt.processed;
+  }
+  EXPECT_EQ(worker_processed, snap.total_processed);
+  EXPECT_TRUE(snap.shards.empty());  // Sim shard accounting is per-executor.
+}
+
 TEST(EngineTest, StaticProvisioningUsesAllCores) {
   MicroOptions options;
   auto workload = BuildMicroWorkload(options, 1);

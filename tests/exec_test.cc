@@ -10,11 +10,14 @@
 #include <thread>
 #include <vector>
 
+#include "engine/engine_config.h"
 #include "exec/batch_pool.h"
+#include "exec/cpu_affinity.h"
 #include "exec/label_barrier.h"
 #include "exec/mpsc_channel.h"
 #include "exec/native_backend.h"
 #include "exec/sim_backend.h"
+#include "exec/telemetry.h"
 #include "sim/event_fn.h"
 
 namespace elasticutor {
@@ -450,6 +453,122 @@ TEST(MpscChannelTest, BarrierDrainsAcrossProducerClose) {
   EXPECT_TRUE(complete);
   EXPECT_EQ(batches, 1);
   EXPECT_FALSE(barrier.armed(5));
+}
+
+// ---------------------------------------------------------------------------
+// Resource-control plane units: config shape, telemetry clock, affinity shim.
+// ---------------------------------------------------------------------------
+
+TEST(MpscChannelTest, AddProducerKeepsChannelOpenAcrossOriginalClose) {
+  // GrowWorkers registers a grown worker on live downstream channels; the
+  // channel must not read as exhausted until EVERY producer — original and
+  // added — has closed.
+  MpscChannel channel(/*capacity=*/2, /*producers=*/1);
+  channel.AddProducer();
+  channel.CloseProducer();
+  EXPECT_FALSE(channel.exhausted());
+  channel.CloseProducer();
+  EXPECT_TRUE(channel.exhausted());
+}
+
+TEST(NativeOptionsTest, DeprecatedFlatAliasesReadAndWriteNestedFields) {
+  NativeOptions options;
+  options.batch_tuples = 7;                  // Old name...
+  EXPECT_EQ(options.data_path.batch_tuples, 7);  // ...new storage.
+  options.data_path.channel_capacity_batches = 9;
+  EXPECT_EQ(options.channel_capacity_batches, 9);
+  options.balance_period_ns = Millis(3);
+  EXPECT_EQ(options.balance.period_ns, Millis(3));
+  options.balance.theta = 1.5;
+  EXPECT_DOUBLE_EQ(options.balance_theta, 1.5);
+  options.balance_max_moves = 5;
+  EXPECT_EQ(options.balance.max_moves, 5);
+  // The deprecated type name still compiles.
+  NativeRuntimeOptions legacy;
+  EXPECT_EQ(legacy.data_path.batch_tuples, 64);
+}
+
+TEST(NativeOptionsTest, CopiesAreIndependentDespiteReferenceAliases) {
+  NativeOptions a;
+  a.batch_tuples = 11;
+  a.balance.theta = 2.0;
+  NativeOptions b = a;  // Copy ctor must NOT alias a's nested fields.
+  b.batch_tuples = 13;
+  b.balance_theta = 3.0;
+  EXPECT_EQ(a.data_path.batch_tuples, 11);
+  EXPECT_EQ(b.data_path.batch_tuples, 13);
+  EXPECT_DOUBLE_EQ(a.balance.theta, 2.0);
+  EXPECT_DOUBLE_EQ(b.balance.theta, 3.0);
+  NativeOptions c;
+  c = a;  // Assignment likewise copies values, not bindings.
+  c.channel_capacity_batches = 5;
+  EXPECT_EQ(a.data_path.channel_capacity_batches, 64);
+  EXPECT_EQ(c.data_path.channel_capacity_batches, 5);
+  // EngineConfig (which embeds NativeOptions) stays copyable — benches copy
+  // a base config per row.
+  EngineConfig base;
+  base.native.batch_tuples = 21;
+  EngineConfig row = base;
+  row.native.batch_tuples = 22;
+  EXPECT_EQ(base.native.data_path.batch_tuples, 21);
+  EXPECT_EQ(row.native.data_path.batch_tuples, 22);
+}
+
+TEST(CycleClockTest, TicksAdvanceAndConvertToPlausibleNs) {
+  const uint64_t t0 = exec::CycleClock::Now();
+  // Busy-wait a hair so even a coarse fallback clock moves.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const uint64_t t1 = exec::CycleClock::Now();
+  EXPECT_GT(t1, t0);
+  EXPECT_GT(exec::CycleClock::NsPerTick(), 0.0);
+  const int64_t ns = exec::CycleClock::ToNs(static_cast<int64_t>(t1 - t0));
+  EXPECT_GT(ns, 0);
+  EXPECT_LT(ns, Seconds(10));  // A spin of 1e5 adds is nowhere near 10 s.
+}
+
+TEST(CpuAffinityTest, DetectsAtLeastOneCpuAndGroupsPackages) {
+  const exec::CpuTopology topo = exec::CpuTopology::Detect(false);
+  ASSERT_FALSE(topo.cpus.empty());
+  for (const auto& c : topo.cpus) EXPECT_GE(c.cpu, 0);
+  // numa_aware ordering: package ids must be non-interleaved (each package's
+  // CPUs contiguous in the list).
+  const exec::CpuTopology numa = exec::CpuTopology::Detect(true);
+  ASSERT_EQ(numa.cpus.size(), topo.cpus.size());
+  for (size_t i = 2; i < numa.cpus.size(); ++i) {
+    if (numa.cpus[i].package == numa.cpus[i - 2].package) {
+      EXPECT_EQ(numa.cpus[i - 1].package, numa.cpus[i].package)
+          << "package ids interleave at index " << i;
+    }
+  }
+}
+
+TEST(CpuAffinityTest, PinThreadToCpuMatchesSupportClaim) {
+  std::atomic<bool> stop{false};
+  std::thread t([&stop] {
+    while (!stop.load()) std::this_thread::yield();
+  });
+  const exec::CpuTopology topo = exec::CpuTopology::Detect(false);
+  const bool pinned = exec::PinThreadToCpu(&t, topo.cpus.front().cpu);
+  if (exec::PinningSupported()) {
+    EXPECT_TRUE(pinned);  // First online CPU is always a legal target.
+  } else {
+    EXPECT_FALSE(pinned);  // The shim declines rather than pretending.
+  }
+  // Pinning to a CPU that cannot exist fails cleanly everywhere.
+  EXPECT_FALSE(exec::PinThreadToCpu(&t, 1 << 20));
+  stop.store(true);
+  t.join();
+}
+
+TEST(ExecutionBackendTest, UnboundResourcePlaneYieldsEmptySnapshot) {
+  NativeBackend backend;
+  EXPECT_EQ(backend.worker_pool(), nullptr);
+  const exec::TelemetrySnapshot snap = backend.SampleTelemetry();
+  EXPECT_TRUE(snap.workers.empty());
+  EXPECT_TRUE(snap.shards.empty());
+  EXPECT_TRUE(snap.sources.empty());
+  EXPECT_EQ(snap.total_processed, 0);
 }
 
 }  // namespace

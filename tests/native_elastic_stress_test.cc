@@ -46,8 +46,8 @@ EngineConfig StressConfig() {
   config.native.workers_per_operator = 4;
   // Tiny batches and rings: maximize cross-thread handoffs and
   // back-pressure stalls per tuple — the interleavings a race hides in.
-  config.native.batch_tuples = 4;
-  config.native.channel_capacity_batches = 4;
+  config.native.data_path.batch_tuples = 4;
+  config.native.data_path.channel_capacity_batches = 4;
   // Paced pre-copy: chunks and deltas ride the timer wheel, so routing
   // flips land while the shard is mid-copy and the DirtyTracker is hot.
   config.native.migration_copy_bytes_per_sec = 64e6;
@@ -115,6 +115,121 @@ TEST(NativeElasticStressTest, RandomizedMigrationSoakConservesEveryTuple) {
   EXPECT_GT(rejected, 0);
 }
 
+TEST(NativeElasticStressTest, WorkerScalingSoakConservesEveryTuple) {
+  // The resource-control-plane soak: randomized GrowWorkers/ShrinkWorkers
+  // mid-stream, interleaved with randomized shard reassignments, against
+  // unbounded saturation sources with the order validator on. Every grown
+  // worker becomes a live routing destination while producers are mid-batch;
+  // every shrunk worker must evacuate its shards over the labeling barrier
+  // and exit only once nothing references it. Conservation and ordering
+  // stay absolute throughout (the TSan job runs this too).
+  constexpr int64_t kTargetMoves = 150;
+  constexpr int kTargetScaleOps = 6;
+  MicroWorkload workload = BuildStressWorkload(/*seed=*/41);
+  EngineConfig config = StressConfig();
+  config.native.max_workers_per_operator = 8;
+  Engine engine(workload.topology, config);
+  ASSERT_TRUE(engine.Setup().ok());
+  engine.Start();
+
+  exec::NativeRuntime* native = engine.native();
+  exec::WorkerPool* pool = engine.worker_pool();
+  ASSERT_NE(pool, nullptr);
+  const OperatorId calc = workload.calculator;
+  const int shards = native->num_shards(calc);
+  std::mt19937 rng(4321);
+  std::uniform_int_distribution<int> pick_shard(0, shards - 1);
+
+  int64_t rejected = 0;
+  int scale_ops = 0;
+  int rounds = 0;
+  int actives = 4;  // Mirrors grow/shrink successes below.
+  bool grow_next = true;
+  while (native->reassignments_done() < kTargetMoves ||
+         scale_ops < kTargetScaleOps) {
+    ASSERT_LT(rounds++, 4000)
+        << "soak stalled: " << native->reassignments_done() << " moves, "
+        << scale_ops << " scale ops after " << rounds << " rounds";
+    engine.RunFor(Micros(200));
+    // Moves target the live slot range, retiring victims included — those
+    // are rejected, which is exactly the contract under test.
+    std::uniform_int_distribution<int> pick_worker(
+        0, native->num_workers(calc) - 1);
+    for (int i = 0; i < 3; ++i) {
+      if (!native->ReassignShard(calc, pick_shard(rng), pick_worker(rng))
+               .ok()) {
+        ++rejected;
+      }
+    }
+    if (rounds % 5 == 0) {
+      // Alternate grow/shrink while respecting the pool's slot budget:
+      // slots are single-use (a retired slot is never re-armed), so grows
+      // are bounded by max_workers_per_operator. Never shrink below 3
+      // actives — reassignments need live non-retiring destinations to
+      // keep completing.
+      const bool can_grow = native->num_workers(calc) < 8;
+      const bool can_shrink = actives > 3;
+      const bool grow = grow_next ? can_grow : (can_shrink ? false : can_grow);
+      if (grow) {
+        if (pool->GrowWorkers(calc, 1).ok()) {
+          ++scale_ops;
+          ++actives;
+        }
+      } else if (can_shrink) {
+        if (pool->ShrinkWorkers(calc, 1).ok()) {
+          ++scale_ops;
+          --actives;
+        }
+      }
+      grow_next = !grow_next;
+    }
+  }
+  engine.StopSources();
+  engine.RunToCompletion();
+
+  const int64_t emitted = native->source_emitted();
+  EXPECT_GT(emitted, 0);
+  EXPECT_EQ(native->total_processed(), emitted);
+  EXPECT_EQ(native->sink_count(), emitted);
+  EXPECT_EQ(engine.order_violations(), 0);
+  EXPECT_GE(scale_ops, kTargetScaleOps);
+  EXPECT_GT(native->num_workers(calc), 4) << "no growth ever landed";
+  EXPECT_EQ(native->migrations_in_flight(), 0);
+  EXPECT_GT(rejected, 0);
+
+  // The unified snapshot agrees with the joined threads' exact counters
+  // (post-WaitDrained exactness), covers every slot ever grown, and shows
+  // every retired worker fully evacuated.
+  const exec::TelemetrySnapshot snap = engine.SampleTelemetry();
+  EXPECT_EQ(snap.total_processed, emitted);
+  EXPECT_EQ(snap.sink_count, emitted);
+  EXPECT_EQ(snap.source_emitted, emitted);
+  EXPECT_EQ(snap.reassignments_done, native->reassignments_done());
+  EXPECT_EQ(snap.migrations_in_flight, 0);
+  EXPECT_GT(snap.total_busy_ns, 0);
+  int64_t shard_processed = 0;
+  for (const auto& st : snap.shards) {
+    EXPECT_GE(st.owner, 0);
+    shard_processed += st.processed;
+    EXPECT_GE(st.busy_ns, 0);
+  }
+  EXPECT_EQ(shard_processed, emitted);  // calc is the only worker operator.
+  int grown_seen = 0;
+  for (const auto& wt : snap.workers) {
+    EXPECT_TRUE(wt.exited);
+    if (wt.index >= 4) ++grown_seen;
+    if (wt.retiring) {
+      // Evacuation-before-exit: a retired worker owns nothing.
+      for (const auto& st : snap.shards) {
+        EXPECT_FALSE(st.op == wt.op && st.owner == wt.index)
+            << "retired worker " << wt.index << " still owns shard "
+            << st.shard;
+      }
+    }
+  }
+  EXPECT_GT(grown_seen, 0);
+}
+
 TEST(NativeElasticStressTest, MovesAfterDrainStillRelocateState) {
   // After the dataflow quiesced the worker threads are gone; ReassignShard
   // falls back to the driver-driven synchronous path. Sweep every shard to
@@ -131,7 +246,13 @@ TEST(NativeElasticStressTest, MovesAfterDrainStillRelocateState) {
   for (int s = 0; s < native->num_shards(calc); ++s) {
     ASSERT_TRUE(native->ReassignShard(calc, s, 0).ok());
   }
-  engine.RunFor(Millis(1));  // Paced copies still ride the timer wheel.
+  // Paced copies still ride the timer wheel; pump 1 ms windows until the
+  // cohort lands (wall-clock scheduling jitter can push a chunk timer just
+  // past a single window's deadline on a loaded machine).
+  for (int pumps = 0; native->migrations_in_flight() > 0 && pumps < 200;
+       ++pumps) {
+    engine.RunFor(Millis(1));
+  }
   EXPECT_EQ(native->migrations_in_flight(), 0);
   int64_t entries_on_zero = 0;
   for (int s = 0; s < native->num_shards(calc); ++s) {
@@ -149,6 +270,74 @@ TEST(NativeElasticStressTest, MovesAfterDrainStillRelocateState) {
                         << w;
         });
   }
+}
+
+TEST(NativeElasticStressTest, WorkerScalingErrorPaths) {
+  MicroWorkload workload = BuildStressWorkload(/*seed=*/43);
+  workload.topology.mutable_spec(workload.generator).source.max_tuples = 200;
+  EngineConfig config = StressConfig();
+  config.native.max_workers_per_operator = 5;  // 4 initial + 1 spare slot.
+  Engine engine(workload.topology, config);
+  ASSERT_TRUE(engine.Setup().ok());
+  exec::WorkerPool* pool = engine.worker_pool();
+  ASSERT_NE(pool, nullptr);
+  const OperatorId calc = workload.calculator;
+
+  // Before Start: no threads to grow into or retire.
+  EXPECT_FALSE(pool->GrowWorkers(calc, 1).ok());
+  EXPECT_FALSE(pool->ShrinkWorkers(calc, 1).ok());
+  engine.Start();
+
+  // Bad arguments.
+  EXPECT_FALSE(pool->GrowWorkers(workload.generator, 1).ok());  // A source.
+  EXPECT_FALSE(pool->GrowWorkers(calc, 0).ok());
+  EXPECT_FALSE(pool->ShrinkWorkers(calc, -1).ok());
+  EXPECT_FALSE(pool->GrowWorkers(-1, 1).ok());
+
+  // Slot reservation is a hard ceiling: one spare slot, so +2 is rejected
+  // whole, +1 lands, then the pool is full.
+  EXPECT_FALSE(pool->GrowWorkers(calc, 2).ok());
+  ASSERT_TRUE(pool->GrowWorkers(calc, 1).ok());
+  EXPECT_EQ(pool->num_workers(calc), 5);
+  EXPECT_FALSE(pool->GrowWorkers(calc, 1).ok());
+
+  // The pool never shrinks to zero active workers.
+  EXPECT_FALSE(pool->ShrinkWorkers(calc, 5).ok());
+  ASSERT_TRUE(pool->ShrinkWorkers(calc, 4).ok());
+  EXPECT_FALSE(pool->ShrinkWorkers(calc, 1).ok());  // 1 active left.
+
+  engine.RunToCompletion();
+  EXPECT_EQ(engine.native()->sink_count(), 400);  // 2 sources x 200.
+  EXPECT_EQ(engine.order_violations(), 0);
+  // Everything evacuated onto the lone survivor.
+  const exec::TelemetrySnapshot snap = engine.SampleTelemetry();
+  int actives = 0;
+  for (const auto& wt : snap.workers) {
+    if (!wt.retiring) ++actives;
+  }
+  EXPECT_EQ(actives, 1);
+  for (const auto& st : snap.shards) {
+    EXPECT_FALSE(snap.workers.at(st.owner).retiring)
+        << "shard " << st.shard << " stranded on a retired worker";
+  }
+
+  // After the drain every producer is closed; growth has nothing to route.
+  EXPECT_FALSE(pool->GrowWorkers(calc, 1).ok());
+
+  // Static paradigm: the pool surface exists but refuses (no routing table
+  // to add destinations to).
+  MicroWorkload static_wl = BuildStressWorkload(/*seed=*/47);
+  static_wl.topology.mutable_spec(static_wl.generator).source.max_tuples = 50;
+  EngineConfig static_config = StressConfig();
+  static_config.paradigm = Paradigm::kStatic;
+  Engine static_engine(static_wl.topology, static_config);
+  ASSERT_TRUE(static_engine.Setup().ok());
+  static_engine.Start();
+  EXPECT_FALSE(
+      static_engine.worker_pool()->GrowWorkers(static_wl.calculator, 1).ok());
+  EXPECT_FALSE(
+      static_engine.worker_pool()->ShrinkWorkers(static_wl.calculator, 1).ok());
+  static_engine.RunToCompletion();
 }
 
 TEST(NativeElasticStressTest, RejectsOutOfRangeAndInTransitionMoves) {

@@ -125,8 +125,8 @@ TEST(NativeEquivalenceTest, MicroPerKeyCountersMatchSim) {
   EngineConfig native_config = SmallStaticConfig();
   native_config.backend = exec::BackendKind::kNative;
   native_config.native.workers_per_operator = 3;  // != sim's 4 executors.
-  native_config.native.batch_tuples = 16;
-  native_config.native.channel_capacity_batches = 8;
+  native_config.native.data_path.batch_tuples = 16;
+  native_config.native.data_path.channel_capacity_batches = 8;
   Engine native_engine(native_workload.topology, native_config);
   ASSERT_TRUE(native_engine.Setup().ok());
   native_engine.Start();
@@ -165,7 +165,7 @@ TEST(NativeEquivalenceTest, MicroNativeIsDeterministicAcrossWorkerCounts) {
     EngineConfig config = SmallStaticConfig();
     config.backend = exec::BackendKind::kNative;
     config.native.workers_per_operator = workers[run];
-    config.native.batch_tuples = run == 0 ? 1 : 32;  // Batch-size invariant.
+    config.native.data_path.batch_tuples = run == 0 ? 1 : 32;  // Batch-size invariant.
     Engine engine(workload.topology, config);
     ASSERT_TRUE(engine.Setup().ok());
     engine.Start();
@@ -225,7 +225,7 @@ TEST(NativeEquivalenceTest, SsePerShardStateAndCountsMatchSim) {
   native_config.num_nodes = 8;
   native_config.backend = exec::BackendKind::kNative;
   native_config.native.workers_per_operator = 3;
-  native_config.native.batch_tuples = 8;
+  native_config.native.data_path.batch_tuples = 8;
   Engine native_engine(native_workload.topology, native_config);
   ASSERT_TRUE(native_engine.Setup().ok());
   native_engine.Start();
@@ -330,7 +330,7 @@ TEST(NativeEquivalenceTest, NativeValidatesKeyOrder) {
   config.backend = exec::BackendKind::kNative;
   config.validate_key_order = true;
   config.native.workers_per_operator = 4;
-  config.native.batch_tuples = 8;
+  config.native.data_path.batch_tuples = 8;
   Engine engine(workload.topology, config);
   ASSERT_TRUE(engine.Setup().ok());
   engine.Start();
@@ -394,8 +394,8 @@ EngineConfig NativeElasticConfig(int workers) {
   config.backend = exec::BackendKind::kNative;
   config.validate_key_order = true;  // Concurrent order validator on.
   config.native.workers_per_operator = workers;
-  config.native.batch_tuples = 8;
-  config.native.channel_capacity_batches = 8;
+  config.native.data_path.batch_tuples = 8;
+  config.native.data_path.channel_capacity_batches = 8;
   if (workers == 8) {
     // The widest run also exercises the paced chunked pre-copy path: chunks
     // and deltas ride the backend's timer wheel instead of completing
@@ -466,6 +466,59 @@ TEST(NativeEquivalenceTest, MicroElasticCountersMatchSimUnderMigration) {
                  });
     EXPECT_EQ(sim_counts, native_counts) << "workers=" << workers;
   }
+}
+
+TEST(NativeEquivalenceTest, PoolResizeKeepsPerKeyResultsBitIdentical) {
+  // Run the same workload twice: once with a fixed pool, once growing the
+  // pool mid-stream, sweeping shards onto the new workers, then shrinking
+  // back down (evacuation over the labeling barrier). Results must be
+  // bit-identical — GrowWorkers/ShrinkWorkers are pure placement actions
+  // with no semantic footprint.
+  const int64_t expected = kMicroSources * kMicroBudget;
+  KeyCounts counts[2];
+  for (int run = 0; run < 2; ++run) {
+    MicroWorkload workload = BuildMicroForEquivalence(/*seed=*/19);
+    EngineConfig config = NativeElasticConfig(/*workers=*/3);
+    Engine engine(workload.topology, config);
+    ASSERT_TRUE(engine.Setup().ok());
+    engine.Start();
+    exec::NativeRuntime* native = engine.native();
+    const OperatorId calc = workload.calculator;
+    if (run == 1) {
+      engine.RunFor(Micros(300));
+      ASSERT_TRUE(engine.worker_pool()->GrowWorkers(calc, 2).ok());
+      ASSERT_EQ(native->num_workers(calc), 5);
+      // Load the grown workers: rotate every shard across the wider pool
+      // while the stream runs.
+      ScriptNativeElasticMoves(&engine, calc, /*workers=*/5, /*rounds=*/3);
+      ASSERT_TRUE(engine.worker_pool()->ShrinkWorkers(calc, 2).ok());
+      engine.RunFor(Micros(300));
+    }
+    engine.RunToCompletion();
+    EXPECT_EQ(native->sink_count(), expected) << "run=" << run;
+    EXPECT_EQ(native->source_emitted(), expected);
+    EXPECT_EQ(engine.order_violations(), 0) << "run=" << run;
+    EXPECT_EQ(native->migrations_in_flight(), 0);
+    if (run == 1) {
+      EXPECT_GT(native->reassignments_done(), 0);
+      // Retired workers hold no state after the drain.
+      const exec::TelemetrySnapshot snap = engine.SampleTelemetry();
+      for (const auto& wt : snap.workers) {
+        if (!wt.retiring) continue;
+        int64_t entries = 0;
+        native->worker_store(calc, wt.index)
+            ->ForEachShard([&](ShardId, const ShardState& state) {
+              entries += static_cast<int64_t>(state.entries.size());
+            });
+        EXPECT_EQ(entries, 0) << "retired worker " << wt.index
+                              << " still holds state";
+      }
+    }
+    ForEachStore(&engine, calc, [&](const ProcessStateStore& s) {
+      AccumulateCounts(s, &counts[run]);
+    });
+  }
+  EXPECT_EQ(counts[0], counts[1]);
 }
 
 TEST(NativeEquivalenceTest, SseElasticStateMatchesSimUnderMigration) {
